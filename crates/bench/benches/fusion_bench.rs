@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for sparse similarity matrices and fusion.
+//!
+//! The cost behind the final `M = M_s + M_n` step and the data
+//! augmentation's mutual-top-1 extraction. Also covers ablation D4 (the
+//! γ fusion weight is free — the sweep confirms the cost is the merge
+//! itself, not the weighting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use largeea_sim::SparseSimMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_sim(rows: usize, cols: usize, per_row: usize, seed: u64) -> SparseSimMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = SparseSimMatrix::new(rows, cols);
+    for r in 0..rows {
+        for _ in 0..per_row {
+            m.insert(r, rng.gen_range(0..cols as u32), rng.gen::<f32>());
+        }
+    }
+    m
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let a = random_sim(10_000, 10_000, 50, 1);
+    let b = random_sim(10_000, 10_000, 50, 2);
+    let mut group = c.benchmark_group("fusion_m_s_plus_m_n");
+    group.bench_function("add_10k_rows_k50", |bch| bch.iter(|| a.add(&b)));
+    group.bench_function("scaled_add_gamma", |bch| bch.iter(|| a.scaled_add(&b, 0.05)));
+    group.finish();
+}
+
+fn bench_augmentation_primitives(c: &mut Criterion) {
+    let m = random_sim(10_000, 10_000, 50, 3);
+    let mut group = c.benchmark_group("augmentation_mutual_top1");
+    group.bench_function("mutual_top1_10k", |b| b.iter(|| m.mutual_top1()));
+    group.bench_function("normalize_global_10k", |b| {
+        b.iter(|| {
+            let mut copy = m.clone();
+            copy.normalize_global_minmax();
+            copy
+        })
+    });
+    group.bench_function("truncate_topk10_10k", |b| {
+        b.iter(|| {
+            let mut copy = m.clone();
+            copy.truncate_topk(10);
+            copy
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fusion, bench_augmentation_primitives
+}
+criterion_main!(benches);

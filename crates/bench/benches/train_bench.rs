@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for mini-batch EA training.
+//!
+//! The cost behind Table 2/3's `Time` columns and Figure 4's "EA training"
+//! series: one full training epoch (forward + backward + Adam) for each
+//! model, plus the negative-sampling refresh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use largeea_data::Preset;
+use largeea_models::negative::{sample_negatives, NegStrategy};
+use largeea_models::{train, BatchGraph, ModelKind, TrainConfig};
+use largeea_partition::MiniBatches;
+
+fn batch_graph() -> BatchGraph {
+    let pair = Preset::Ids15kEnFr.spec(0.05).generate();
+    let seeds = pair.split_seeds(0.2, 1);
+    let mb = MiniBatches::from_assignments(
+        &pair,
+        &seeds,
+        &vec![0; pair.source.num_entities()],
+        &vec![0; pair.target.num_entities()],
+        1,
+    );
+    BatchGraph::from_mini_batch(&pair, &mb.batches[0])
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    let bg = batch_graph();
+    let mut group = c.benchmark_group("table2_training_epoch");
+    for kind in [ModelKind::GcnAlign, ModelKind::Rrea] {
+        group.bench_function(format!("{kind:?}_750pairs_1epoch"), |b| {
+            b.iter(|| {
+                let mut model = kind.build(&bg, 64, 3);
+                let cfg = TrainConfig {
+                    epochs: 1,
+                    dim: 64,
+                    ..TrainConfig::default()
+                };
+                train(model.as_mut(), &bg, &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_negative_sampling(c: &mut Criterion) {
+    // Ablation D5: nearest-neighbour vs random negatives.
+    let bg = batch_graph();
+    let mut model = ModelKind::GcnAlign.build(&bg, 64, 5);
+    let report = train(
+        model.as_mut(),
+        &bg,
+        &TrainConfig {
+            epochs: 1,
+            dim: 64,
+            ..TrainConfig::default()
+        },
+    );
+    let mut group = c.benchmark_group("ablation_d5_negatives");
+    for (label, strat) in [("random", NegStrategy::Random), ("nearest", NegStrategy::Nearest)] {
+        group.bench_function(label, |b| {
+            b.iter(|| sample_negatives(&bg, &report.embeddings, 15, strat, 9))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_epochs, bench_negative_sampling
+}
+criterion_main!(benches);

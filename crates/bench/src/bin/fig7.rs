@@ -1,0 +1,69 @@
+//! Figure 7 (Appendix B): mini-batch number effect on DBP1M.
+//!
+//! Sweeps K ∈ {15, 20, 25, 30} and reports the structure-channel H@1 of
+//! METIS-CPS vs VPS plus the edge-cut rate `R_ec`.
+//!
+//! Reproduced claims: accuracy falls as K grows (more edges cut); METIS-CPS
+//! beats VPS at every K; METIS-CPS's `R_ec` stays far below VPS's
+//! (which approaches `1 − 1/K` for random assignment).
+//!
+//! Flags: `--scale <f>`, `--epochs <n>`, `--dim <n>`.
+
+use largeea_bench::{harness_train_config, make_dataset};
+use largeea_core::evaluate;
+use largeea_core::report::{print_series, Series};
+use largeea_core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
+use largeea_data::Preset;
+use largeea_models::ModelKind;
+
+fn main() {
+    for preset in [Preset::Dbp1mEnFr, Preset::Dbp1mEnDe] {
+        let (_, pair, seeds) = make_dataset(preset, None);
+        let ks = [15usize, 20, 25, 30];
+        let mut acc_cps = Series { label: "METIS-CPS".into(), x: vec![], y: vec![] };
+        let mut acc_vps = Series { label: "VPS".into(), x: vec![], y: vec![] };
+        let mut rec_cps = Series { label: "METIS-CPS R_ec".into(), x: vec![], y: vec![] };
+        let mut rec_vps = Series { label: "VPS R_ec".into(), x: vec![], y: vec![] };
+
+        for &k in &ks {
+            for (partitioner, acc, rec) in [
+                (Partitioner::MetisCps, &mut acc_cps, &mut rec_cps),
+                (Partitioner::Vps, &mut acc_vps, &mut rec_vps),
+            ] {
+                let cfg = StructureChannelConfig {
+                    k,
+                    partitioner,
+                    model: ModelKind::GcnAlign,
+                    train: harness_train_config(),
+                    top_k: 50,
+                    ..StructureChannelConfig::default()
+                };
+                let out = StructureChannel::new(cfg).run(&pair, &seeds);
+                let eval = evaluate(&out.m_s, &seeds.test);
+                let r_ec = out.batches.edge_cut_rate(&pair);
+                eprintln!(
+                    "[fig7] {} K={k} {partitioner:?}: H@1 {:.1}, R_ec {:.3}",
+                    preset.name(),
+                    eval.hits1,
+                    r_ec
+                );
+                acc.x.push(k as f64);
+                acc.y.push(eval.hits1);
+                rec.x.push(k as f64);
+                rec.y.push(r_ec);
+            }
+        }
+        print_series(
+            &format!("Figure 7 — structure-channel H@1 vs K ({})", preset.name()),
+            "K",
+            "H@1 %",
+            &[acc_cps, acc_vps],
+        );
+        print_series(
+            &format!("Figure 7 — edge-cut rate vs K ({})", preset.name()),
+            "K",
+            "R_ec",
+            &[rec_cps, rec_vps],
+        );
+    }
+}

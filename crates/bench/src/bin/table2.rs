@@ -1,0 +1,60 @@
+//! Table 2: overall EA results on IDS15K and IDS100K (EN-FR, EN-DE).
+//!
+//! Reproduces the paper's comparison of five competitor EA models against
+//! the four LargeEA variants (`LargeEA-G`/`LargeEA-R`, both directions),
+//! reporting H@1 / H@5 / MRR / time / memory per dataset.
+//!
+//! Flags: `--scale15 <f>` `--scale100 <f>` `--epochs <n>` `--dim <n>`.
+
+use largeea_bench::{arg_f64, baseline_rows, default_scale, largeea_variant_row};
+use largeea_core::report::{print_table, MethodRow};
+use largeea_data::Preset;
+use largeea_models::ModelKind;
+
+fn main() {
+    let presets = [
+        Preset::Ids15kEnFr,
+        Preset::Ids15kEnDe,
+        Preset::Ids100kEnFr,
+        Preset::Ids100kEnDe,
+    ];
+    for preset in presets {
+        let scale_flag = if matches!(preset, Preset::Ids15kEnFr | Preset::Ids15kEnDe) {
+            "scale15"
+        } else {
+            "scale100"
+        };
+        let scale = arg_f64(scale_flag, default_scale(preset));
+        let spec = preset.spec(scale);
+        let pair = spec.generate();
+        let seeds = pair.split_seeds(0.2, 0x5EED);
+        let reversed = pair.reversed();
+        let seeds_rev = largeea_kg::AlignmentSeeds {
+            train: seeds.train.iter().map(|&(s, t)| (t, s)).collect(),
+            test: seeds.test.iter().map(|&(s, t)| (t, s)).collect(),
+        };
+        let k = preset.default_k();
+
+        let mut rows: Vec<MethodRow> = Vec::new();
+        eprintln!("[table2] {} (scale {scale}): baselines…", preset.name());
+        rows.extend(baseline_rows(preset.name(), &pair, &seeds, 50));
+        eprintln!("[table2] {}: LargeEA variants…", preset.name());
+        rows.push(largeea_variant_row(preset.name(), &pair, &seeds, ModelKind::GcnAlign, k));
+        rows.push(largeea_variant_row(
+            preset.name(),
+            &reversed,
+            &seeds_rev,
+            ModelKind::GcnAlign,
+            k,
+        ));
+        rows.push(largeea_variant_row(preset.name(), &pair, &seeds, ModelKind::Rrea, k));
+        rows.push(largeea_variant_row(
+            preset.name(),
+            &reversed,
+            &seeds_rev,
+            ModelKind::Rrea,
+            k,
+        ));
+        print_table(&format!("Table 2 — {}", preset.name()), &rows);
+    }
+}

@@ -1,0 +1,49 @@
+//! Table 3: overall EA results on DBP1M (EN-FR, EN-DE).
+//!
+//! The paper's competitors all fail (OOM) at this scale; only the four
+//! LargeEA variants run, with K = 20 mini-batches. Time is reported in
+//! seconds here (the paper uses hours at full scale).
+//!
+//! Flags: `--scale <f>` (default 0.008), `--epochs <n>`, `--dim <n>`, `--k <n>`.
+
+use largeea_bench::{arg_usize, largeea_variant_row, make_dataset};
+use largeea_core::report::{print_table, MethodRow};
+use largeea_data::Preset;
+use largeea_kg::AlignmentSeeds;
+use largeea_models::ModelKind;
+
+fn main() {
+    for preset in [Preset::Dbp1mEnFr, Preset::Dbp1mEnDe] {
+        let (_, pair, seeds) = make_dataset(preset, None);
+        let k = arg_usize("k", preset.default_k());
+        let reversed = pair.reversed();
+        let seeds_rev = AlignmentSeeds {
+            train: seeds.train.iter().map(|&(s, t)| (t, s)).collect(),
+            test: seeds.test.iter().map(|&(s, t)| (t, s)).collect(),
+        };
+        let mut rows: Vec<MethodRow> = Vec::new();
+        eprintln!(
+            "[table3] {}: |E_s|={}, |E_t|={}, |T_s|={}, |T_t|={}, K={k}",
+            preset.name(),
+            pair.source.num_entities(),
+            pair.target.num_entities(),
+            pair.source.num_triples(),
+            pair.target.num_triples()
+        );
+        for model in [ModelKind::GcnAlign, ModelKind::Rrea] {
+            rows.push(largeea_variant_row(preset.name(), &pair, &seeds, model, k));
+            rows.push(largeea_variant_row(
+                preset.name(),
+                &reversed,
+                &seeds_rev,
+                model,
+                k,
+            ));
+        }
+        print_table(&format!("Table 3 — {}", preset.name()), &rows);
+        println!(
+            "(competitors GCNAlign/MultiKE/RDGCN/RREA/BERT-INT: not reported — the paper's \
+             full-scale runs exhaust memory without mini-batching)"
+        );
+    }
+}

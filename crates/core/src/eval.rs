@@ -1,0 +1,130 @@
+//! Evaluation metrics: Hits@N and Mean Reciprocal Rank.
+
+use largeea_kg::EntityId;
+use largeea_sim::SparseSimMatrix;
+use serde::Serialize;
+
+/// EA accuracy over a set of held-out pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EvalResult {
+    /// Hits@1 in percent (the fraction of test pairs whose true target
+    /// ranks first).
+    pub hits1: f64,
+    /// Hits@5 in percent.
+    pub hits5: f64,
+    /// Mean reciprocal rank (a pair absent from the candidate list
+    /// contributes 0 — the sparse-matrix convention).
+    pub mrr: f64,
+    /// Number of test pairs evaluated.
+    pub evaluated: usize,
+}
+
+impl EvalResult {
+    /// All-zero result over `n` pairs.
+    pub fn zero(n: usize) -> Self {
+        Self {
+            hits1: 0.0,
+            hits5: 0.0,
+            mrr: 0.0,
+            evaluated: n,
+        }
+    }
+
+    /// Table-style row: `H@1  H@5  MRR`.
+    pub fn row(&self) -> String {
+        format!("{:5.1} {:5.1} {:5.2}", self.hits1, self.hits5, self.mrr)
+    }
+}
+
+/// Ranks every test pair's true target within its source row of `sim`.
+///
+/// Ranking is over the row's *stored* candidates (the matrix keeps top-k per
+/// row); a true target missing from the row counts as a miss for every
+/// metric, matching how sparse candidate lists are scored in the LargeEA
+/// release.
+pub fn evaluate(sim: &SparseSimMatrix, test_pairs: &[(EntityId, EntityId)]) -> EvalResult {
+    if test_pairs.is_empty() {
+        return EvalResult::zero(0);
+    }
+    let mut h1 = 0usize;
+    let mut h5 = 0usize;
+    let mut rr = 0.0f64;
+    for &(s, t) in test_pairs {
+        if let Some(rank) = sim.rank(s.idx(), t.0) {
+            if rank == 1 {
+                h1 += 1;
+            }
+            if rank <= 5 {
+                h5 += 1;
+            }
+            rr += 1.0 / rank as f64;
+        }
+    }
+    let n = test_pairs.len() as f64;
+    EvalResult {
+        hits1: 100.0 * h1 as f64 / n,
+        hits5: 100.0 * h5 as f64 / n,
+        mrr: rr / n,
+        evaluated: test_pairs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> SparseSimMatrix {
+        let mut m = SparseSimMatrix::new(3, 3);
+        // row 0: true target 0 ranks 1st
+        m.insert(0, 0, 0.9);
+        m.insert(0, 1, 0.2);
+        // row 1: true target 1 ranks 2nd
+        m.insert(1, 0, 0.8);
+        m.insert(1, 1, 0.5);
+        // row 2: true target 2 absent
+        m.insert(2, 0, 0.4);
+        m
+    }
+
+    fn pairs() -> Vec<(EntityId, EntityId)> {
+        (0..3).map(|i| (EntityId(i), EntityId(i))).collect()
+    }
+
+    #[test]
+    fn hits_and_mrr_hand_computed() {
+        let r = evaluate(&sim(), &pairs());
+        assert!((r.hits1 - 100.0 / 3.0).abs() < 1e-9);
+        assert!((r.hits5 - 200.0 / 3.0).abs() < 1e-9);
+        assert!((r.mrr - (1.0 + 0.5 + 0.0) / 3.0).abs() < 1e-9);
+        assert_eq!(r.evaluated, 3);
+    }
+
+    #[test]
+    fn empty_test_set() {
+        let r = evaluate(&sim(), &[]);
+        assert_eq!(r.evaluated, 0);
+        assert_eq!(r.hits1, 0.0);
+    }
+
+    #[test]
+    fn perfect_matrix_scores_100() {
+        let mut m = SparseSimMatrix::new(2, 2);
+        m.insert(0, 0, 1.0);
+        m.insert(1, 1, 1.0);
+        let p: Vec<_> = (0..2).map(|i| (EntityId(i), EntityId(i))).collect();
+        let r = evaluate(&m, &p);
+        assert_eq!(r.hits1, 100.0);
+        assert_eq!(r.mrr, 1.0);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = EvalResult {
+            hits1: 88.4,
+            hits5: 92.2,
+            mrr: 0.9,
+            evaluated: 10,
+        };
+        assert_eq!(r.row(), " 88.4  92.2  0.90");
+    }
+}

@@ -1,0 +1,116 @@
+//! Byte accounting — the stand-in for the paper's GPU-memory metric.
+//!
+//! The paper reports "maximum GPU memory cost" per channel (Table 6,
+//! measured with NVIDIA Nsight). This reproduction trains on the CPU, so
+//! the analogous quantity is the peak bytes of live model state, feature
+//! matrices and similarity blocks. Components report their allocations to a
+//! [`MemTracker`]; the harness reads per-label peaks.
+
+use std::collections::BTreeMap;
+
+/// Tracks the current and peak bytes of named components.
+#[derive(Debug, Default, Clone)]
+pub struct MemTracker {
+    current: BTreeMap<String, usize>,
+    peak: BTreeMap<String, usize>,
+}
+
+impl MemTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the live byte count of `label`, updating its peak.
+    pub fn set(&mut self, label: &str, bytes: usize) {
+        self.current.insert(label.to_owned(), bytes);
+        let p = self.peak.entry(label.to_owned()).or_insert(0);
+        *p = (*p).max(bytes);
+    }
+
+    /// Adds to the live byte count of `label`, updating its peak.
+    pub fn add(&mut self, label: &str, bytes: usize) {
+        let c = self.current.entry(label.to_owned()).or_insert(0);
+        *c += bytes;
+        let now = *c;
+        let p = self.peak.entry(label.to_owned()).or_insert(0);
+        *p = (*p).max(now);
+    }
+
+    /// Marks `label` as released (current = 0; peak is kept).
+    pub fn release(&mut self, label: &str) {
+        self.current.insert(label.to_owned(), 0);
+    }
+
+    /// The peak bytes recorded for `label` (0 if never set).
+    pub fn peak(&self, label: &str) -> usize {
+        self.peak.get(label).copied().unwrap_or(0)
+    }
+
+    /// The largest single-label peak.
+    pub fn max_peak(&self) -> usize {
+        self.peak.values().copied().max().unwrap_or(0)
+    }
+
+    /// `(label, peak_bytes)` rows in label order.
+    pub fn table(&self) -> Vec<(String, usize)> {
+        self.peak.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// Formats bytes the way the paper's tables do (`"4.04G"`, `"0.13G"`,
+    /// or MB below a gigabyte).
+    pub fn fmt_bytes(bytes: usize) -> String {
+        const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+        const MB: f64 = 1024.0 * 1024.0;
+        let b = bytes as f64;
+        if b >= 0.01 * GB {
+            format!("{:.2}G", b / GB)
+        } else {
+            format!("{:.1}M", b / MB)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_survives_release() {
+        let mut t = MemTracker::new();
+        t.set("model", 100);
+        t.set("model", 300);
+        t.set("model", 50);
+        assert_eq!(t.peak("model"), 300);
+        t.release("model");
+        assert_eq!(t.peak("model"), 300);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut t = MemTracker::new();
+        t.add("sim", 10);
+        t.add("sim", 20);
+        assert_eq!(t.peak("sim"), 30);
+    }
+
+    #[test]
+    fn max_peak_across_labels() {
+        let mut t = MemTracker::new();
+        t.set("a", 5);
+        t.set("b", 9);
+        assert_eq!(t.max_peak(), 9);
+        assert_eq!(t.table().len(), 2);
+    }
+
+    #[test]
+    fn unknown_label_is_zero() {
+        assert_eq!(MemTracker::new().peak("nope"), 0);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(MemTracker::fmt_bytes(4 * 1024 * 1024 * 1024), "4.00G");
+        assert_eq!(MemTracker::fmt_bytes(512 * 1024), "0.5M");
+    }
+}

@@ -1,0 +1,277 @@
+//! The name channel: NFF — name feature fusion (paper §2.3).
+//!
+//! Two training-free similarity functions over entity labels, fused into
+//! `M_n = M_se + γ·M_st`:
+//!
+//! - **SENS** (semantic name similarity): every label is embedded with the
+//!   subword hash encoder (the BERT + max-pooling substitute), embeddings
+//!   are split into `K` segments, and Manhattan top-k search runs segment
+//!   pair by segment pair — keeping retained memory at `O(k·|E_s|)`;
+//! - **STNS** (string name similarity): MinHash-LSH proposes candidate
+//!   pairs whose estimated Jaccard clears θ, and only those pairs pay for a
+//!   Levenshtein computation.
+
+use crate::mem::MemTracker;
+use largeea_kg::KnowledgeGraph;
+use largeea_sim::{segmented_topk, Metric, SparseSimMatrix};
+use largeea_text::{
+    jaccard::shingles, normalize_name, HashEncoder, LshIndex, MinHasher,
+};
+use std::time::Instant;
+
+/// Name-channel hyper-parameters (paper defaults in §3.1).
+#[derive(Debug, Clone, Copy)]
+pub struct NameChannelConfig {
+    /// Semantic embedding dimension (the paper uses BERT's hidden size; the
+    /// hash encoder defaults to 128, which is past the accuracy plateau).
+    pub dim: usize,
+    /// Semantic top-k retained per source entity (paper φ = 50).
+    pub top_k: usize,
+    /// Jaccard threshold θ for the LSH candidate filter (paper 0.5).
+    pub theta: f64,
+    /// String-similarity fusion weight γ (paper 0.05).
+    pub gamma: f32,
+    /// Number of segments the embedding matrices are split into for the
+    /// segment-at-a-time search (the paper reuses the mini-batch count K).
+    pub segments: usize,
+    /// MinHash permutations.
+    pub minhash_perms: usize,
+    /// Character shingle size for MinHash/Jaccard.
+    pub shingle_k: usize,
+    /// Encoder / sketch seed.
+    pub seed: u64,
+}
+
+impl Default for NameChannelConfig {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            top_k: 50,
+            theta: 0.5,
+            gamma: 0.05,
+            segments: 4,
+            minhash_perms: 128,
+            shingle_k: 3,
+            seed: 0x5E45,
+        }
+    }
+}
+
+/// Everything the name channel produces.
+#[derive(Debug)]
+pub struct NameChannelOutput {
+    /// Semantic similarity `M_se` (min-max normalised rows).
+    pub m_se: SparseSimMatrix,
+    /// String similarity `M_st` (Levenshtein similarities in `[0,1]`).
+    pub m_st: SparseSimMatrix,
+    /// Fused name similarity `M_n = M_se + γ·M_st`.
+    pub m_n: SparseSimMatrix,
+    /// Wall-clock seconds of SENS (encoding + top-k search).
+    pub sens_seconds: f64,
+    /// Wall-clock seconds of STNS (sketching + Levenshtein).
+    pub stns_seconds: f64,
+    /// Peak bytes of the channel's live state.
+    pub peak_bytes: usize,
+}
+
+/// The name channel runner.
+#[derive(Debug, Clone)]
+pub struct NameChannel {
+    cfg: NameChannelConfig,
+}
+
+impl NameChannel {
+    /// Creates a channel with `cfg`.
+    pub fn new(cfg: NameChannelConfig) -> Self {
+        assert!(cfg.top_k >= 1, "top_k must be positive");
+        assert!((0.0..=1.0).contains(&cfg.theta), "theta must lie in [0,1]");
+        Self { cfg }
+    }
+
+    /// Runs NFF over the two KGs' entity labels.
+    pub fn run(&self, source: &KnowledgeGraph, target: &KnowledgeGraph) -> NameChannelOutput {
+        let mut mem = MemTracker::new();
+        let (m_se, sens_seconds) = self.sens(source, target, &mut mem);
+        let (m_st, stns_seconds) = self.stns(source, target, &mut mem);
+        let m_n = m_se.scaled_add(&m_st, self.cfg.gamma);
+        mem.add("name_channel", m_n.nbytes());
+        NameChannelOutput {
+            m_se,
+            m_st,
+            m_n,
+            sens_seconds,
+            stns_seconds,
+            peak_bytes: mem.peak("name_channel"),
+        }
+    }
+
+    /// SENS: semantic name similarity via hash-encoder embeddings +
+    /// segment-at-a-time Manhattan top-k.
+    fn sens(
+        &self,
+        source: &KnowledgeGraph,
+        target: &KnowledgeGraph,
+        mem: &mut MemTracker,
+    ) -> (SparseSimMatrix, f64) {
+        let start = Instant::now();
+        let encoder = HashEncoder::new(self.cfg.dim, self.cfg.seed);
+        let emb_s = encoder.encode_batch(source.labels());
+        let emb_t = encoder.encode_batch(target.labels());
+        mem.add("name_channel", emb_s.nbytes() + emb_t.nbytes());
+        let hits = segmented_topk(
+            &emb_s,
+            &emb_t,
+            self.cfg.top_k,
+            Metric::Manhattan,
+            self.cfg.segments,
+        );
+        let mut m_se = SparseSimMatrix::from_topk(target.num_entities(), hits);
+        // negative distances → [0,1] per row so γ-weighted fusion and the
+        // later channel fusion operate on one scale
+        m_se.normalize_global_minmax();
+        mem.add("name_channel", m_se.nbytes());
+        (m_se, start.elapsed().as_secs_f64())
+    }
+
+    /// STNS: string name similarity via MinHash-LSH candidates + banded
+    /// Levenshtein.
+    fn stns(
+        &self,
+        source: &KnowledgeGraph,
+        target: &KnowledgeGraph,
+        mem: &mut MemTracker,
+    ) -> (SparseSimMatrix, f64) {
+        let start = Instant::now();
+        let hasher = MinHasher::new(self.cfg.minhash_perms, self.cfg.seed);
+        let normalized_t: Vec<String> = target
+            .labels()
+            .iter()
+            .map(|l| normalize_name(l))
+            .collect();
+        let mut index = LshIndex::with_threshold(self.cfg.minhash_perms, self.cfg.theta);
+        let mut sigs_t = Vec::with_capacity(normalized_t.len());
+        for (i, label) in normalized_t.iter().enumerate() {
+            let sig = hasher.signature(&shingles(label, self.cfg.shingle_k));
+            index.insert(i as u32, &sig);
+            sigs_t.push(sig);
+        }
+        mem.add(
+            "name_channel",
+            sigs_t.len() * self.cfg.minhash_perms * std::mem::size_of::<u64>(),
+        );
+
+        let mut m_st = SparseSimMatrix::new(source.num_entities(), target.num_entities());
+        for (s, raw) in source.labels().iter().enumerate() {
+            let label = normalize_name(raw);
+            let sig = hasher.signature(&shingles(&label, self.cfg.shingle_k));
+            for cand in index.candidates(&sig) {
+                // cheap estimated-Jaccard gate before paying for Levenshtein
+                if hasher.estimate(&sig, &sigs_t[cand as usize]) < self.cfg.theta {
+                    continue;
+                }
+                let sim =
+                    largeea_text::levenshtein_similarity(&label, &normalized_t[cand as usize]);
+                if sim > 0.0 {
+                    m_st.insert(s, cand, sim as f32);
+                }
+            }
+        }
+        m_st.truncate_topk(self.cfg.top_k);
+        mem.add("name_channel", m_st.nbytes());
+        (m_st, start.elapsed().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use largeea_kg::EntityId;
+
+    fn kgs() -> (KnowledgeGraph, KnowledgeGraph) {
+        let mut s = KnowledgeGraph::new("EN");
+        let mut t = KnowledgeGraph::new("FR");
+        for (i, name) in ["London", "Germany", "Danube", "Venice"].iter().enumerate() {
+            s.add_entity_with_label(&format!("en/{i}"), name);
+        }
+        for (i, name) in ["Londres", "Allemagne", "Danube", "Venise"].iter().enumerate() {
+            t.add_entity_with_label(&format!("fr/{i}"), name);
+        }
+        (s, t)
+    }
+
+    #[test]
+    fn nff_finds_shared_root_translations() {
+        let (s, t) = kgs();
+        let out = NameChannel::new(NameChannelConfig::default()).run(&s, &t);
+        // London→Londres, Danube→Danube, Venice→Venise share roots; the
+        // mutual-best pairs should include them
+        assert_eq!(out.m_n.best(0).unwrap().0, 0, "London should match Londres");
+        assert_eq!(out.m_n.best(2).unwrap().0, 2, "Danube is identical");
+        assert_eq!(out.m_n.best(3).unwrap().0, 3, "Venice should match Venise");
+    }
+
+    #[test]
+    fn stns_exact_match_scores_one() {
+        let (s, t) = kgs();
+        let nc = NameChannel::new(NameChannelConfig::default());
+        let out = nc.run(&s, &t);
+        assert_eq!(out.m_st.get(2, 2), Some(1.0));
+    }
+
+    #[test]
+    fn stns_skips_dissimilar_pairs() {
+        let (s, t) = kgs();
+        let out = NameChannel::new(NameChannelConfig::default()).run(&s, &t);
+        // "London" vs "Allemagne" falls below θ = 0.5 → no stored entry
+        assert_eq!(out.m_st.get(0, 1), None);
+    }
+
+    #[test]
+    fn gamma_weights_string_contribution() {
+        let (s, t) = kgs();
+        let cfg = NameChannelConfig {
+            gamma: 0.5,
+            ..Default::default()
+        };
+        let out = NameChannel::new(cfg).run(&s, &t);
+        let fused = out.m_n.get(2, 2).unwrap();
+        let se = out.m_se.get(2, 2).unwrap();
+        assert!((fused - (se + 0.5)).abs() < 1e-6, "fused {fused} se {se}");
+    }
+
+    #[test]
+    fn timings_and_memory_reported() {
+        let (s, t) = kgs();
+        let out = NameChannel::new(NameChannelConfig::default()).run(&s, &t);
+        assert!(out.sens_seconds >= 0.0);
+        assert!(out.stns_seconds >= 0.0);
+        assert!(out.peak_bytes > 0);
+    }
+
+    #[test]
+    fn rows_capped_at_top_k() {
+        let mut s = KnowledgeGraph::new("EN");
+        let mut t = KnowledgeGraph::new("FR");
+        for i in 0..30 {
+            s.add_entity_with_label(&format!("en/{i}"), &format!("Concept {i}"));
+            t.add_entity_with_label(&format!("fr/{i}"), &format!("Concept {i}"));
+        }
+        let cfg = NameChannelConfig {
+            top_k: 3,
+            ..Default::default()
+        };
+        let out = NameChannel::new(cfg).run(&s, &t);
+        for r in 0..30 {
+            assert!(out.m_se.row(r).len() <= 3, "row {r} too wide");
+        }
+    }
+
+    #[test]
+    fn empty_kgs_produce_empty_matrices() {
+        let s = KnowledgeGraph::new("EN");
+        let t = KnowledgeGraph::new("FR");
+        let out = NameChannel::new(NameChannelConfig::default()).run(&s, &t);
+        assert_eq!(out.m_n.n_rows(), 0);
+        let _ = EntityId(0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Machine-readable experiment rows and table rendering.
+//!
+//! Every experiment binary in `largeea-bench` emits the paper's rows both
+//! as aligned text (for eyes) and as JSON lines (for EXPERIMENTS.md
+//! regeneration and diffing).
+
+use crate::eval::EvalResult;
+use crate::mem::MemTracker;
+use serde::Serialize;
+
+/// One method × dataset × direction row of an accuracy table (the shape of
+/// the paper's Tables 2–4).
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodRow {
+    /// Dataset display name, e.g. `"IDS15K(EN-FR)"`.
+    pub dataset: String,
+    /// Method display name, e.g. `"LargeEA-R"`.
+    pub method: String,
+    /// Direction, e.g. `"EN→FR"`.
+    pub direction: String,
+    /// Hits@1 (%).
+    pub hits1: f64,
+    /// Hits@5 (%).
+    pub hits5: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Peak bytes (GPU-memory stand-in).
+    pub mem_bytes: usize,
+}
+
+impl MethodRow {
+    /// Builds a row from an [`EvalResult`] plus cost figures.
+    pub fn new(
+        dataset: impl Into<String>,
+        method: impl Into<String>,
+        direction: impl Into<String>,
+        eval: EvalResult,
+        seconds: f64,
+        mem_bytes: usize,
+    ) -> Self {
+        Self {
+            dataset: dataset.into(),
+            method: method.into(),
+            direction: direction.into(),
+            hits1: eval.hits1,
+            hits5: eval.hits5,
+            mrr: eval.mrr,
+            seconds,
+            mem_bytes,
+        }
+    }
+
+    /// Aligned text rendering.
+    pub fn formatted(&self) -> String {
+        format!(
+            "{:<18} {:<22} {:<7} {:>5.1} {:>5.1} {:>5.2} {:>9.2}s {:>8}",
+            self.dataset,
+            self.method,
+            self.direction,
+            self.hits1,
+            self.hits5,
+            self.mrr,
+            self.seconds,
+            MemTracker::fmt_bytes(self.mem_bytes),
+        )
+    }
+}
+
+/// Prints a titled table of rows (text + JSON lines), mirroring the paper's
+/// layout: header `H@1 H@5 MRR Time Mem.`.
+pub fn print_table(title: &str, rows: &[MethodRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<18} {:<22} {:<7} {:>5} {:>5} {:>5} {:>10} {:>8}",
+        "Dataset", "Method", "Dir", "H@1", "H@5", "MRR", "Time", "Mem."
+    );
+    for row in rows {
+        println!("{}", row.formatted());
+    }
+    println!("--- json ---");
+    for row in rows {
+        println!(
+            "{}",
+            serde_json::to_string(row).expect("MethodRow serialises")
+        );
+    }
+}
+
+/// A generic labelled data series (the shape of the paper's figures).
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Series label, e.g. `"METIS-CPS"`.
+    pub label: String,
+    /// X values (seed ratio, K, D_ov, scale, …).
+    pub x: Vec<f64>,
+    /// Y values (H@1, seconds, R_ec, …).
+    pub y: Vec<f64>,
+}
+
+/// Prints a titled set of series as aligned text plus JSON lines.
+pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[Series]) {
+    println!("\n=== {title} ===  ({x_label} vs {y_label})");
+    for s in series {
+        print!("{:<14}", s.label);
+        for (x, y) in s.x.iter().zip(&s.y) {
+            print!("  ({x:.3}, {y:.3})");
+        }
+        println!();
+    }
+    println!("--- json ---");
+    for s in series {
+        println!("{}", serde_json::to_string(s).expect("Series serialises"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formats_all_columns() {
+        let row = MethodRow::new(
+            "IDS15K(EN-FR)",
+            "LargeEA-R",
+            "EN→FR",
+            EvalResult {
+                hits1: 88.4,
+                hits5: 92.2,
+                mrr: 0.9,
+                evaluated: 100,
+            },
+            77.0,
+            1_654_000_000,
+        );
+        let s = row.formatted();
+        assert!(s.contains("88.4"));
+        assert!(s.contains("LargeEA-R"));
+        assert!(s.contains("1.54G"));
+    }
+
+    #[test]
+    fn row_serialises_to_json() {
+        let row = MethodRow::new("d", "m", "x", EvalResult::zero(0), 0.0, 0);
+        let json = serde_json::to_string(&row).unwrap();
+        assert!(json.contains("\"dataset\":\"d\""));
+    }
+
+    #[test]
+    fn series_serialises() {
+        let s = Series {
+            label: "VPS".into(),
+            x: vec![0.1, 0.2],
+            y: vec![10.0, 20.0],
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("VPS"));
+    }
+}

@@ -1,0 +1,436 @@
+//! Correlated cross-lingual KG-pair generation.
+
+use crate::names::{concept_root, render, with_typos, Language};
+use largeea_kg::{EntityId, KgPair, KnowledgeGraph, Triple};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Label-noise knobs: how far translated names drift apart.
+#[derive(Debug, Clone, Copy)]
+pub struct NameNoise {
+    /// Probability a concept's target-side name is a *fresh* root entirely
+    /// unrelated to the source name (like "Germany" vs "Allemagne").
+    pub unrelated_prob: f64,
+    /// Probability of injecting one character typo into a rendered name.
+    pub typo_prob: f64,
+}
+
+impl Default for NameNoise {
+    fn default() -> Self {
+        Self {
+            unrelated_prob: 0.08,
+            typo_prob: 0.25,
+        }
+    }
+}
+
+/// Full generator configuration. See the [crate docs](crate) for what each
+/// knob models.
+#[derive(Debug, Clone, Copy)]
+pub struct PairGenConfig {
+    /// Number of aligned concepts (= ground-truth pairs).
+    pub aligned: usize,
+    /// Source-side entities with no equivalent (DBP1M's unknown entities).
+    pub unknown_source: usize,
+    /// Target-side unknown entities.
+    pub unknown_target: usize,
+    /// Relation vocabulary sizes per side.
+    pub relations_source: usize,
+    /// Target relation vocabulary size.
+    pub relations_target: usize,
+    /// Triple counts per side.
+    pub triples_source: usize,
+    /// Target triple count.
+    pub triples_target: usize,
+    /// Fraction of target structure *not* copied from the source
+    /// (0 = as isomorphic as the sizes allow, 1 = independent graphs).
+    pub heterogeneity: f64,
+    /// Number of latent topical communities. Real KGs are strongly
+    /// modular (DBpedia's topic clusters); community structure is what
+    /// makes METIS-style partitioning meaningful at all.
+    pub communities: usize,
+    /// Probability an edge stays inside its head's community.
+    pub community_locality: f64,
+    /// Label noise.
+    pub name_noise: NameNoise,
+    /// Source language.
+    pub source_lang: Language,
+    /// Target language.
+    pub target_lang: Language,
+    /// Master seed; every artefact is a pure function of it.
+    pub seed: u64,
+}
+
+/// Generates the pair described by `cfg`.
+///
+/// Entity ids: `0..aligned` on each side are the aligned concepts (pair
+/// `(i, i)`), the rest are unknown entities. Entity keys are
+/// `"<lang>/e<i>"`; labels carry the generated names.
+pub fn generate_pair(cfg: &PairGenConfig) -> KgPair {
+    assert!(cfg.aligned >= 2, "need at least two aligned concepts");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // --- names ------------------------------------------------------------
+    let roots: Vec<String> = (0..cfg.aligned).map(|_| concept_root(&mut rng)).collect();
+    let mut source = KnowledgeGraph::with_capacity(
+        format!("{}", cfg.source_lang.tag().to_uppercase()),
+        cfg.aligned + cfg.unknown_source,
+        cfg.triples_source,
+    );
+    let mut target = KnowledgeGraph::with_capacity(
+        format!("{}", cfg.target_lang.tag().to_uppercase()),
+        cfg.aligned + cfg.unknown_target,
+        cfg.triples_target,
+    );
+    for (i, root) in roots.iter().enumerate() {
+        let mut name = render(root, cfg.source_lang, &mut rng);
+        if rng.gen_bool(cfg.name_noise.typo_prob) {
+            name = with_typos(&name, 1, &mut rng);
+        }
+        source.add_entity_with_label(&format!("{}/e{i}", cfg.source_lang.tag()), &name);
+    }
+    for (i, root) in roots.iter().enumerate() {
+        let effective_root;
+        let root_ref = if rng.gen_bool(cfg.name_noise.unrelated_prob) {
+            effective_root = concept_root(&mut rng);
+            &effective_root
+        } else {
+            root
+        };
+        let mut name = render(root_ref, cfg.target_lang, &mut rng);
+        if rng.gen_bool(cfg.name_noise.typo_prob) {
+            name = with_typos(&name, 1, &mut rng);
+        }
+        target.add_entity_with_label(&format!("{}/e{i}", cfg.target_lang.tag()), &name);
+    }
+    for i in 0..cfg.unknown_source {
+        let name = render(&concept_root(&mut rng), cfg.source_lang, &mut rng);
+        source.add_entity_with_label(
+            &format!("{}/u{i}", cfg.source_lang.tag()),
+            &name,
+        );
+    }
+    for i in 0..cfg.unknown_target {
+        let name = render(&concept_root(&mut rng), cfg.target_lang, &mut rng);
+        target.add_entity_with_label(
+            &format!("{}/u{i}", cfg.target_lang.tag()),
+            &name,
+        );
+    }
+
+    // --- source structure: community-aware preferential attachment --------
+    let communities = cfg.communities.max(1);
+    // Aligned entities share their community across both sides (same id on
+    // each side); unknown entities are spread round-robin.
+    let comm_of = |e: u32| -> usize {
+        if (e as usize) < cfg.aligned {
+            (e as usize * communities / cfg.aligned).min(communities - 1)
+        } else {
+            (e as usize - cfg.aligned) % communities
+        }
+    };
+    let n_src = cfg.aligned + cfg.unknown_source;
+    let mut endpoint_pool: Vec<u32> = (0..n_src as u32).collect(); // PA pool
+    let mut comm_pool: Vec<Vec<u32>> = vec![Vec::new(); communities];
+    for e in 0..n_src as u32 {
+        comm_pool[comm_of(e)].push(e);
+    }
+    let mut src_triples: Vec<(u32, u32, u32)> = Vec::with_capacity(cfg.triples_source);
+    for _ in 0..cfg.triples_source {
+        let h = pick_endpoint(&endpoint_pool, n_src, &mut rng);
+        let mut t = if rng.gen_bool(cfg.community_locality) {
+            let pool = &comm_pool[comm_of(h)];
+            pool[rng.gen_range(0..pool.len())]
+        } else {
+            pick_endpoint(&endpoint_pool, n_src, &mut rng)
+        };
+        if t == h {
+            t = (h + 1) % n_src as u32;
+        }
+        let r = zipf_relation(cfg.relations_source, &mut rng);
+        src_triples.push((h, r, t));
+        endpoint_pool.push(h);
+        endpoint_pool.push(t);
+        comm_pool[comm_of(h)].push(h);
+        comm_pool[comm_of(t)].push(t);
+    }
+
+    // --- target structure: noisy copy + fresh attachment -------------------
+    // Copy source edges between aligned endpoints with prob (1-h), rescaled
+    // so copies fill about (1-h) of the target triple budget.
+    let aligned_edges: Vec<&(u32, u32, u32)> = src_triples
+        .iter()
+        .filter(|&&(h, _, t)| (h as usize) < cfg.aligned && (t as usize) < cfg.aligned)
+        .collect();
+    let copy_budget =
+        ((cfg.triples_target as f64) * (1.0 - cfg.heterogeneity)).round() as usize;
+    let copy_prob = if aligned_edges.is_empty() {
+        0.0
+    } else {
+        (copy_budget as f64 / aligned_edges.len() as f64).min(1.0)
+    };
+    let n_tgt = cfg.aligned + cfg.unknown_target;
+    let mut tgt_triples: Vec<(u32, u32, u32)> = Vec::with_capacity(cfg.triples_target);
+    for &&(h, r, t) in &aligned_edges {
+        if rng.gen_bool(copy_prob) {
+            let tr = map_relation(r, cfg.relations_source, cfg.relations_target, &mut rng);
+            tgt_triples.push((h, tr, t));
+        }
+    }
+    // unknown target entities: ≥5 edges to aligned entities (the paper's
+    // unknown-entity construction), drawn inside the unknown's community.
+    let mut tgt_pool: Vec<u32> = (0..n_tgt as u32).collect();
+    let mut tgt_comm_pool: Vec<Vec<u32>> = vec![Vec::new(); communities];
+    for e in 0..n_tgt as u32 {
+        tgt_comm_pool[comm_of(e)].push(e);
+    }
+    tgt_pool.extend(tgt_triples.iter().flat_map(|&(h, _, t)| [h, t]));
+    for &(h, _, t) in &tgt_triples.clone() {
+        tgt_comm_pool[comm_of(h)].push(h);
+        tgt_comm_pool[comm_of(t)].push(t);
+    }
+    for u in cfg.aligned..n_tgt {
+        let c = comm_of(u as u32);
+        let lo = (c * cfg.aligned / communities) as u32;
+        let hi = (((c + 1) * cfg.aligned / communities) as u32).max(lo + 1);
+        for _ in 0..5 {
+            let nb = rng.gen_range(lo..hi.min(cfg.aligned as u32).max(lo + 1));
+            let r = zipf_relation(cfg.relations_target, &mut rng);
+            tgt_triples.push((u as u32, r, nb));
+            tgt_pool.push(u as u32);
+            tgt_pool.push(nb);
+            tgt_comm_pool[c].push(nb);
+        }
+    }
+    // fresh (community-aware) edges to meet the target triple budget
+    while tgt_triples.len() < cfg.triples_target {
+        let h = pick_endpoint(&tgt_pool, n_tgt, &mut rng);
+        let mut t = if rng.gen_bool(cfg.community_locality) {
+            let pool = &tgt_comm_pool[comm_of(h)];
+            pool[rng.gen_range(0..pool.len())]
+        } else {
+            pick_endpoint(&tgt_pool, n_tgt, &mut rng)
+        };
+        if t == h {
+            t = (h + 1) % n_tgt as u32;
+        }
+        let r = zipf_relation(cfg.relations_target, &mut rng);
+        tgt_triples.push((h, r, t));
+        tgt_pool.push(h);
+        tgt_pool.push(t);
+        tgt_comm_pool[comm_of(h)].push(h);
+        tgt_comm_pool[comm_of(t)].push(t);
+    }
+    tgt_triples.truncate(cfg.triples_target.max(cfg.unknown_target * 5));
+
+    // --- materialise ------------------------------------------------------
+    for r in 0..cfg.relations_source {
+        source.add_relation(&format!("{}/r{r}", cfg.source_lang.tag()));
+    }
+    for r in 0..cfg.relations_target {
+        target.add_relation(&format!("{}/r{r}", cfg.target_lang.tag()));
+    }
+    for (h, r, t) in src_triples {
+        source
+            .add_triple(Triple::new(h, r, t))
+            .expect("generated source triple ids are in range");
+    }
+    for (h, r, t) in tgt_triples {
+        target
+            .add_triple(Triple::new(h, r, t))
+            .expect("generated target triple ids are in range");
+    }
+
+    let alignment: Vec<(EntityId, EntityId)> = (0..cfg.aligned as u32)
+        .map(|i| (EntityId(i), EntityId(i)))
+        .collect();
+    KgPair::new(source, target, alignment)
+}
+
+/// Preferential attachment: mostly sample from the endpoint pool (degree
+/// biased), sometimes uniformly (keeps low-degree entities reachable).
+#[inline]
+fn pick_endpoint(pool: &[u32], n: usize, rng: &mut SmallRng) -> u32 {
+    if pool.is_empty() || rng.gen_bool(0.25) {
+        rng.gen_range(0..n as u32)
+    } else {
+        pool[rng.gen_range(0..pool.len())]
+    }
+}
+
+/// Zipf-ish relation draw: relation popularity falls off quadratically.
+#[inline]
+fn zipf_relation(num_relations: usize, rng: &mut SmallRng) -> u32 {
+    let u: f64 = rng.gen::<f64>();
+    let idx = (u * u * num_relations as f64) as usize;
+    idx.min(num_relations - 1) as u32
+}
+
+/// Maps a source relation onto the target vocabulary, mostly consistently
+/// (so copied structure stays relationally coherent) with 10 % noise.
+#[inline]
+fn map_relation(r: u32, n_src: usize, n_tgt: usize, rng: &mut SmallRng) -> u32 {
+    if rng.gen_bool(0.1) {
+        zipf_relation(n_tgt, rng)
+    } else {
+        ((r as usize * n_tgt) / n_src.max(1)) as u32 % n_tgt as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use largeea_kg::KgStats;
+
+    fn small_cfg() -> PairGenConfig {
+        PairGenConfig {
+            aligned: 300,
+            unknown_source: 60,
+            unknown_target: 30,
+            relations_source: 20,
+            relations_target: 15,
+            triples_source: 1200,
+            triples_target: 900,
+            heterogeneity: 0.3,
+            communities: 4,
+            community_locality: 0.85,
+            name_noise: NameNoise::default(),
+            source_lang: Language::En,
+            target_lang: Language::Fr,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let pair = generate_pair(&small_cfg());
+        assert_eq!(pair.source.num_entities(), 360);
+        assert_eq!(pair.target.num_entities(), 330);
+        assert_eq!(pair.source.num_triples(), 1200);
+        assert!(pair.target.num_triples() >= 900);
+        assert_eq!(pair.alignment.len(), 300);
+        assert!(pair.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_pair(&small_cfg());
+        let b = generate_pair(&small_cfg());
+        assert_eq!(a.source.num_triples(), b.source.num_triples());
+        assert_eq!(a.source.triples(), b.source.triples());
+        assert_eq!(
+            a.target.entity_label(EntityId(5)),
+            b.target.entity_label(EntityId(5))
+        );
+        let mut c = small_cfg();
+        c.seed = 43;
+        let c = generate_pair(&c);
+        assert_ne!(a.source.triples(), c.source.triples());
+    }
+
+    #[test]
+    fn unknown_targets_have_five_plus_neighbors() {
+        let pair = generate_pair(&small_cfg());
+        let adj = pair.target.adjacency();
+        for u in 300..330u32 {
+            assert!(
+                adj.degree(EntityId(u)) >= 5,
+                "unknown entity {u} has degree {}",
+                adj.degree(EntityId(u))
+            );
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let pair = generate_pair(&small_cfg());
+        let stats = KgStats::of(&pair.source);
+        // preferential attachment → max degree far above mean
+        assert!(
+            stats.max_degree as f64 > stats.mean_degree * 4.0,
+            "max {} mean {}",
+            stats.max_degree,
+            stats.mean_degree
+        );
+    }
+
+    #[test]
+    fn heterogeneity_zero_copies_structure() {
+        let mut cfg = small_cfg();
+        cfg.heterogeneity = 0.0;
+        cfg.unknown_source = 0;
+        cfg.unknown_target = 0;
+        cfg.triples_target = cfg.triples_source;
+        let pair = generate_pair(&cfg);
+        // count aligned-endpoint edges shared across KGs
+        let src_edges: std::collections::HashSet<(u32, u32)> = pair
+            .source
+            .triples()
+            .iter()
+            .map(|t| (t.head.0, t.tail.0))
+            .collect();
+        let shared = pair
+            .target
+            .triples()
+            .iter()
+            .filter(|t| src_edges.contains(&(t.head.0, t.tail.0)))
+            .count();
+        assert!(
+            shared as f64 > pair.target.num_triples() as f64 * 0.5,
+            "only {shared}/{} target edges mirror the source",
+            pair.target.num_triples()
+        );
+    }
+
+    #[test]
+    fn heterogeneity_one_mostly_fresh() {
+        let mut cfg = small_cfg();
+        cfg.heterogeneity = 1.0;
+        let pair = generate_pair(&cfg);
+        let src_edges: std::collections::HashSet<(u32, u32)> = pair
+            .source
+            .triples()
+            .iter()
+            .map(|t| (t.head.0, t.tail.0))
+            .collect();
+        let shared = pair
+            .target
+            .triples()
+            .iter()
+            .filter(|t| src_edges.contains(&(t.head.0, t.tail.0)))
+            .count();
+        assert!(
+            (shared as f64) < pair.target.num_triples() as f64 * 0.2,
+            "{shared} shared edges despite full heterogeneity"
+        );
+    }
+
+    #[test]
+    fn labels_attached_to_all_entities() {
+        let pair = generate_pair(&small_cfg());
+        for e in pair.source.entity_ids() {
+            assert!(!pair.source.entity_label(e).is_empty());
+        }
+        for e in pair.target.entity_ids() {
+            assert!(!pair.target.entity_label(e).is_empty());
+        }
+    }
+
+    #[test]
+    fn aligned_labels_usually_share_subwords() {
+        // sanity: the hash-encoder premise — most aligned pairs share a
+        // normalised 3-gram
+        let pair = generate_pair(&small_cfg());
+        let mut sharing = 0;
+        for &(s, t) in pair.alignment.iter().take(200) {
+            let a = largeea_text::normalize_name(pair.source.entity_label(s));
+            let b = largeea_text::normalize_name(pair.target.entity_label(t));
+            let sa = largeea_text::shingles(&a, 3);
+            let sb = largeea_text::shingles(&b, 3);
+            if sa.intersection(&sb).next().is_some() {
+                sharing += 1;
+            }
+        }
+        assert!(sharing > 140, "only {sharing}/200 aligned pairs share a 3-gram");
+    }
+}

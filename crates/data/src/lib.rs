@@ -1,0 +1,34 @@
+//! Synthetic benchmark generator for the LargeEA reproduction.
+//!
+//! The paper evaluates on DBpedia-derived cross-lingual pairs (IDS15K,
+//! IDS100K and the newly built DBP1M). Those dumps are multi-gigabyte and
+//! gated behind DBpedia extraction; this crate generates deterministic
+//! synthetic stand-ins that preserve every property the LargeEA pipeline is
+//! sensitive to:
+//!
+//! - **shape**: entity/relation/triple counts per side follow the paper's
+//!   Table 1 (scaled by a configurable factor), including DBP1M's asymmetry
+//!   (the English side is larger) and its *unknown entities* — entities with
+//!   no ground-truth equivalent but ≥ 5 aligned neighbours;
+//! - **structure**: preferential-attachment graphs with power-law degrees;
+//!   the target KG is a *correlated noisy copy* of the source over the
+//!   aligned entities, with a heterogeneity knob controlling how much the
+//!   two structures diverge (the paper's IDS-vs-DBP1M contrast);
+//! - **names**: entity labels come from per-language morphological rendering
+//!   of shared concept roots (see [`names`]), so translated labels share
+//!   subword material the way "London"/"Londres" do — with tunable fractions
+//!   of unrelated translations and typos that cap the name channel's
+//!   accuracy at realistic levels.
+//!
+//! Everything is a pure function of the config's seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod graphgen;
+pub mod names;
+pub mod presets;
+
+pub use graphgen::{generate_pair, NameNoise, PairGenConfig};
+pub use names::Language;
+pub use presets::{DatasetSpec, Preset};

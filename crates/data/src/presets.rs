@@ -1,0 +1,341 @@
+//! The six benchmark presets of the paper's Table 1, parameterised by a
+//! scale factor.
+//!
+//! At `scale = 1.0` each preset reproduces Table 1's entity / relation /
+//! triple counts exactly (including DBP1M's asymmetric sides and unknown
+//! entities). Experiments run at reduced scales (the harness defaults are
+//! recorded per experiment in EXPERIMENTS.md): entity and triple counts
+//! shrink linearly, relation vocabularies shrink with √scale (they grow
+//! sub-linearly with KG size in reality).
+
+use crate::graphgen::{generate_pair, NameNoise, PairGenConfig};
+use crate::names::Language;
+use largeea_kg::KgPair;
+
+/// One of the paper's six datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// IDS15K English–French.
+    Ids15kEnFr,
+    /// IDS15K English–German.
+    Ids15kEnDe,
+    /// IDS100K English–French.
+    Ids100kEnFr,
+    /// IDS100K English–German.
+    Ids100kEnDe,
+    /// DBP1M English–French.
+    Dbp1mEnFr,
+    /// DBP1M English–German.
+    Dbp1mEnDe,
+    /// DBP15K French–English (Sun et al. 2017) — the classic EA benchmark
+    /// the paper cites as predecessor; denser and more hub-heavy than IDS.
+    Dbp15kFrEn,
+    /// DWY100K DBpedia–Wikidata (Sun et al. 2018) — monolingual cross-KB
+    /// alignment, near-identical names, very rich structure.
+    Dwy100kDbpWd,
+}
+
+/// A preset pinned to a scale, ready to generate.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Which benchmark.
+    pub preset: Preset,
+    /// Linear scale factor on entities/triples.
+    pub scale: f64,
+    /// The derived generator configuration.
+    pub config: PairGenConfig,
+}
+
+/// Raw Table 1 shape of one benchmark side pair.
+struct Shape {
+    aligned: usize,
+    unknown_source: usize,
+    unknown_target: usize,
+    relations: (usize, usize),
+    triples: (usize, usize),
+    heterogeneity: f64,
+    source_lang: Language,
+    target_lang: Language,
+}
+
+impl Preset {
+    /// The paper's six evaluation datasets, in Table 1 order.
+    pub fn all() -> [Preset; 6] {
+        [
+            Preset::Ids15kEnFr,
+            Preset::Ids15kEnDe,
+            Preset::Ids100kEnFr,
+            Preset::Ids100kEnDe,
+            Preset::Dbp1mEnFr,
+            Preset::Dbp1mEnDe,
+        ]
+    }
+
+    /// Every preset, including the predecessor benchmarks the paper cites
+    /// (DBP15K, DWY100K) that are not part of its own evaluation.
+    pub fn extended() -> [Preset; 8] {
+        [
+            Preset::Ids15kEnFr,
+            Preset::Ids15kEnDe,
+            Preset::Ids100kEnFr,
+            Preset::Ids100kEnDe,
+            Preset::Dbp1mEnFr,
+            Preset::Dbp1mEnDe,
+            Preset::Dbp15kFrEn,
+            Preset::Dwy100kDbpWd,
+        ]
+    }
+
+    /// The paper's display name, e.g. `"IDS15K(EN-FR)"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Ids15kEnFr => "IDS15K(EN-FR)",
+            Preset::Ids15kEnDe => "IDS15K(EN-DE)",
+            Preset::Ids100kEnFr => "IDS100K(EN-FR)",
+            Preset::Ids100kEnDe => "IDS100K(EN-DE)",
+            Preset::Dbp1mEnFr => "DBP1M(EN-FR)",
+            Preset::Dbp1mEnDe => "DBP1M(EN-DE)",
+            Preset::Dbp15kFrEn => "DBP15K(FR-EN)",
+            Preset::Dwy100kDbpWd => "DWY100K(DBP-WD)",
+        }
+    }
+
+    /// The paper's default mini-batch count for this dataset
+    /// (K = 5 / 10 / 20 for IDS15K / IDS100K / DBP1M).
+    pub fn default_k(self) -> usize {
+        match self {
+            Preset::Ids15kEnFr | Preset::Ids15kEnDe | Preset::Dbp15kFrEn => 5,
+            Preset::Ids100kEnFr | Preset::Ids100kEnDe | Preset::Dwy100kDbpWd => 10,
+            Preset::Dbp1mEnFr | Preset::Dbp1mEnDe => 20,
+        }
+    }
+
+    /// Whether this is one of the two large-scale DBP1M datasets.
+    pub fn is_large(self) -> bool {
+        matches!(self, Preset::Dbp1mEnFr | Preset::Dbp1mEnDe)
+    }
+
+    fn shape(self) -> Shape {
+        match self {
+            // IDS: symmetric sides, no unknown entities, rich structure.
+            Preset::Ids15kEnFr => Shape {
+                aligned: 15_000,
+                unknown_source: 0,
+                unknown_target: 0,
+                relations: (267, 210),
+                triples: (47_334, 40_864),
+                heterogeneity: 0.3,
+                source_lang: Language::En,
+                target_lang: Language::Fr,
+            },
+            Preset::Ids15kEnDe => Shape {
+                aligned: 15_000,
+                unknown_source: 0,
+                unknown_target: 0,
+                relations: (215, 131),
+                triples: (47_676, 50_419),
+                heterogeneity: 0.3,
+                source_lang: Language::En,
+                target_lang: Language::De,
+            },
+            Preset::Ids100kEnFr => Shape {
+                aligned: 100_000,
+                unknown_source: 0,
+                unknown_target: 0,
+                relations: (400, 300),
+                triples: (309_607, 258_285),
+                heterogeneity: 0.3,
+                source_lang: Language::En,
+                target_lang: Language::Fr,
+            },
+            Preset::Ids100kEnDe => Shape {
+                aligned: 100_000,
+                unknown_source: 0,
+                unknown_target: 0,
+                relations: (381, 196),
+                triples: (335_359, 336_240),
+                heterogeneity: 0.3,
+                source_lang: Language::En,
+                target_lang: Language::De,
+            },
+            // DBP1M: ~1M aligned pairs, the remainder unknown; the English
+            // side is larger and structure diverges more (paper §3.3).
+            Preset::Dbp1mEnFr => Shape {
+                aligned: 1_000_000,
+                unknown_source: 877_793,
+                unknown_target: 365_118,
+                relations: (603, 380),
+                triples: (7_031_172, 2_997_457),
+                heterogeneity: 0.55,
+                source_lang: Language::En,
+                target_lang: Language::Fr,
+            },
+            Preset::Dbp1mEnDe => Shape {
+                aligned: 1_000_000,
+                unknown_source: 625_999,
+                unknown_target: 112_970,
+                relations: (597, 241),
+                triples: (6_213_639, 1_994_876),
+                heterogeneity: 0.55,
+                source_lang: Language::En,
+                target_lang: Language::De,
+            },
+            // Published DBP15K(FR-EN) statistics (Sun et al. 2017): denser,
+            // hub-heavier graphs than IDS (the sampling bias IDS fixed).
+            Preset::Dbp15kFrEn => Shape {
+                aligned: 15_000,
+                unknown_source: 4_661,
+                unknown_target: 4_993,
+                relations: (903, 1_208),
+                triples: (105_998, 115_722),
+                heterogeneity: 0.25,
+                source_lang: Language::Fr,
+                target_lang: Language::En,
+            },
+            // DWY100K DBP-WD (Sun et al. 2018): monolingual cross-KB pair —
+            // near-identical names, very aligned structure.
+            Preset::Dwy100kDbpWd => Shape {
+                aligned: 100_000,
+                unknown_source: 0,
+                unknown_target: 0,
+                relations: (330, 220),
+                triples: (463_294, 448_774),
+                heterogeneity: 0.15,
+                source_lang: Language::En,
+                target_lang: Language::En,
+            },
+        }
+    }
+
+    /// Pins this preset to `scale` (0 < scale ≤ 1).
+    pub fn spec(self, scale: f64) -> DatasetSpec {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1]");
+        let s = self.shape();
+        let lin = |x: usize| ((x as f64 * scale).round() as usize).max(2);
+        let sqrt = |x: usize| ((x as f64 * scale.sqrt()).round() as usize).max(8);
+        let config = PairGenConfig {
+            aligned: lin(s.aligned),
+            unknown_source: (s.unknown_source as f64 * scale).round() as usize,
+            unknown_target: (s.unknown_target as f64 * scale).round() as usize,
+            relations_source: sqrt(s.relations.0),
+            relations_target: sqrt(s.relations.1),
+            triples_source: lin(s.triples.0),
+            triples_target: lin(s.triples.1),
+            heterogeneity: s.heterogeneity,
+            // Community granularity grows with KG size (DBpedia topic
+            // clusters); DBP1M's structure is noisier (weaker locality).
+            communities: (lin(s.aligned) / 350).clamp(4, 256),
+            community_locality: if self.is_large() { 0.75 } else { 0.85 },
+            name_noise: NameNoise::default(),
+            source_lang: s.source_lang,
+            target_lang: s.target_lang,
+            seed: 0xDB9 ^ (self as u64),
+        };
+        DatasetSpec {
+            preset: self,
+            scale,
+            config,
+        }
+    }
+}
+
+impl DatasetSpec {
+    /// Generates the KG pair.
+    pub fn generate(&self) -> KgPair {
+        generate_pair(&self.config)
+    }
+
+    /// Generates the reversed-direction pair (the paper's `L → EN` rows).
+    pub fn generate_reversed(&self) -> KgPair {
+        self.generate().reversed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table1_counts() {
+        let spec = Preset::Ids15kEnFr.spec(1.0);
+        assert_eq!(spec.config.aligned, 15_000);
+        assert_eq!(spec.config.triples_source, 47_334);
+        assert_eq!(spec.config.relations_source, 267);
+        let spec = Preset::Dbp1mEnDe.spec(1.0);
+        assert_eq!(spec.config.aligned + spec.config.unknown_source, 1_625_999);
+        assert_eq!(spec.config.aligned + spec.config.unknown_target, 1_112_970);
+    }
+
+    #[test]
+    fn scaling_shrinks_linearly_and_sqrt() {
+        let spec = Preset::Ids100kEnFr.spec(0.01);
+        assert_eq!(spec.config.aligned, 1000);
+        assert_eq!(spec.config.triples_source, 3096);
+        assert_eq!(spec.config.relations_source, 40); // 400 * 0.1
+    }
+
+    #[test]
+    fn generated_pair_shapes() {
+        let pair = Preset::Ids15kEnFr.spec(0.02).generate();
+        assert_eq!(pair.source.num_entities(), 300);
+        assert_eq!(pair.target.num_entities(), 300);
+        assert_eq!(pair.alignment.len(), 300);
+        assert!(pair.validate().is_ok());
+    }
+
+    #[test]
+    fn dbp1m_has_unknowns_and_asymmetry() {
+        let pair = Preset::Dbp1mEnFr.spec(0.002).generate();
+        assert!(pair.source.num_entities() > pair.target.num_entities());
+        let (us, ut) = pair.unknown_fraction();
+        assert!(us > 0.3, "source unknown fraction {us}");
+        assert!(ut > 0.1, "target unknown fraction {ut}");
+    }
+
+    #[test]
+    fn default_k_follows_paper() {
+        assert_eq!(Preset::Ids15kEnFr.default_k(), 5);
+        assert_eq!(Preset::Ids100kEnDe.default_k(), 10);
+        assert_eq!(Preset::Dbp1mEnFr.default_k(), 20);
+    }
+
+    #[test]
+    fn names_are_paper_style() {
+        assert_eq!(Preset::Ids15kEnFr.name(), "IDS15K(EN-FR)");
+        assert_eq!(Preset::all().len(), 6);
+        assert_eq!(Preset::extended().len(), 8);
+    }
+
+    #[test]
+    fn predecessor_benchmarks_generate() {
+        let dbp15k = Preset::Dbp15kFrEn.spec(0.01).generate();
+        // FR is the source side of DBP15K(FR-EN)
+        assert_eq!(dbp15k.source.name(), "FR");
+        assert_eq!(dbp15k.target.name(), "EN");
+        assert!(dbp15k.source.num_entities() > dbp15k.alignment.len());
+        assert!(dbp15k.validate().is_ok());
+
+        let dwy = Preset::Dwy100kDbpWd.spec(0.005).generate();
+        assert_eq!(dwy.source.num_entities(), dwy.target.num_entities());
+        // monolingual: labels of aligned pairs should be very similar
+        let (s, t) = dwy.alignment[0];
+        let a = largeea_kg::KnowledgeGraph::entity_label(&dwy.source, s);
+        let b = largeea_kg::KnowledgeGraph::entity_label(&dwy.target, t);
+        assert!(!a.is_empty() && !b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must lie")]
+    fn zero_scale_rejected() {
+        Preset::Ids15kEnFr.spec(0.0);
+    }
+
+    #[test]
+    fn reversed_direction_swaps_sides() {
+        let spec = Preset::Ids15kEnDe.spec(0.01);
+        let fwd = spec.generate();
+        let rev = spec.generate_reversed();
+        assert_eq!(rev.source.name(), fwd.target.name());
+        assert_eq!(rev.alignment.len(), fwd.alignment.len());
+    }
+}

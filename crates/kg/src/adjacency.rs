@@ -1,0 +1,154 @@
+//! CSR adjacency over the undirected entity graph.
+
+use crate::ids::{EntityId, RelationId};
+use crate::triple::Triple;
+
+/// Compressed-sparse-row adjacency of a KG's entities.
+///
+/// Each triple `(h, r, t)` contributes two half-edges: `h → t` and `t → h`,
+/// both labelled `r`, so `neighbors(e)` yields every entity reachable in one
+/// hop regardless of direction — the view GNN aggregation and graph
+/// partitioning both want. Parallel edges are preserved (multiplicity often
+/// encodes strength of association, which METIS-CPS exploits as weight).
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    offsets: Vec<usize>,
+    targets: Vec<EntityId>,
+    relations: Vec<RelationId>,
+}
+
+impl Adjacency {
+    /// Builds the undirected adjacency for `num_entities` entities from a
+    /// triple list. Self-loops contribute a single half-edge.
+    pub fn undirected(num_entities: usize, triples: &[Triple]) -> Self {
+        let mut degree = vec![0usize; num_entities];
+        for t in triples {
+            degree[t.head.idx()] += 1;
+            if !t.is_loop() {
+                degree[t.tail.idx()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(num_entities + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..num_entities].to_vec();
+        let mut targets = vec![EntityId(0); acc];
+        let mut relations = vec![RelationId(0); acc];
+        for t in triples {
+            let c = &mut cursor[t.head.idx()];
+            targets[*c] = t.tail;
+            relations[*c] = t.relation;
+            *c += 1;
+            if !t.is_loop() {
+                let c = &mut cursor[t.tail.idx()];
+                targets[*c] = t.head;
+                relations[*c] = t.relation;
+                *c += 1;
+            }
+        }
+        Self {
+            offsets,
+            targets,
+            relations,
+        }
+    }
+
+    /// Number of entities (rows).
+    pub fn num_entities(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored half-edges.
+    pub fn num_half_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `e` in the undirected view.
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.offsets[e.idx() + 1] - self.offsets[e.idx()]
+    }
+
+    /// Neighbours of `e` (with multiplicity).
+    pub fn neighbors(&self, e: EntityId) -> &[EntityId] {
+        &self.targets[self.offsets[e.idx()]..self.offsets[e.idx() + 1]]
+    }
+
+    /// `(neighbor, relation)` pairs incident to `e`.
+    pub fn edges(&self, e: EntityId) -> impl Iterator<Item = (EntityId, RelationId)> + '_ {
+        let range = self.offsets[e.idx()]..self.offsets[e.idx() + 1];
+        range
+            .clone()
+            .map(move |i| (self.targets[i], self.relations[i]))
+    }
+
+    /// Mean degree across all entities (0 for the empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_entities() == 0 {
+            return 0.0;
+        }
+        self.num_half_edges() as f64 / self.num_entities() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples() -> Vec<Triple> {
+        vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(2, 1, 0),
+            Triple::new(3, 1, 3), // self-loop
+        ]
+    }
+
+    #[test]
+    fn degrees_count_both_directions() {
+        let adj = Adjacency::undirected(4, &triples());
+        assert_eq!(adj.degree(EntityId(0)), 2);
+        assert_eq!(adj.degree(EntityId(1)), 2);
+        assert_eq!(adj.degree(EntityId(2)), 2);
+        assert_eq!(adj.degree(EntityId(3)), 1); // self-loop once
+        assert_eq!(adj.num_half_edges(), 7);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let adj = Adjacency::undirected(4, &triples());
+        assert!(adj.neighbors(EntityId(0)).contains(&EntityId(1)));
+        assert!(adj.neighbors(EntityId(1)).contains(&EntityId(0)));
+    }
+
+    #[test]
+    fn edges_carry_relations() {
+        let adj = Adjacency::undirected(4, &triples());
+        let e0: Vec<_> = adj.edges(EntityId(0)).collect();
+        assert!(e0.contains(&(EntityId(1), RelationId(0))));
+        assert!(e0.contains(&(EntityId(2), RelationId(1))));
+    }
+
+    #[test]
+    fn isolated_entities_have_zero_degree() {
+        let adj = Adjacency::undirected(5, &triples());
+        assert_eq!(adj.degree(EntityId(4)), 0);
+        assert!(adj.neighbors(EntityId(4)).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adj = Adjacency::undirected(0, &[]);
+        assert_eq!(adj.num_entities(), 0);
+        assert_eq!(adj.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn mean_degree_counts_half_edges() {
+        let adj = Adjacency::undirected(4, &triples());
+        assert!((adj.mean_degree() - 7.0 / 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Index newtypes for entities and relations.
+//!
+//! Ids are dense `u32` indices local to one [`KnowledgeGraph`]: the entity
+//! with id `i` is the `i`-th entity interned into that graph. Keeping them
+//! dense lets downstream crates use them directly as row indices into
+//! embedding matrices and similarity matrices without hash lookups.
+//!
+//! [`KnowledgeGraph`]: crate::KnowledgeGraph
+
+use std::fmt;
+
+/// Dense index of an entity within one knowledge graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityId(pub u32);
+
+/// Dense index of a relation within one knowledge graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelationId(pub u32);
+
+impl EntityId {
+    /// The id as a `usize`, for indexing into per-entity arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelationId {
+    /// The id as a `usize`, for indexing into per-relation arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for EntityId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        EntityId(v)
+    }
+}
+
+impl From<u32> for RelationId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        RelationId(v)
+    }
+}
+
+impl fmt::Debug for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_id_roundtrip() {
+        let e = EntityId::from(7u32);
+        assert_eq!(e.idx(), 7);
+        assert_eq!(format!("{e:?}"), "e7");
+        assert_eq!(e.to_string(), "7");
+    }
+
+    #[test]
+    fn relation_id_roundtrip() {
+        let r = RelationId::from(3u32);
+        assert_eq!(r.idx(), 3);
+        assert_eq!(format!("{r:?}"), "r3");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(EntityId(1) < EntityId(2));
+        assert!(RelationId(0) < RelationId(9));
+    }
+}

@@ -1,0 +1,122 @@
+//! String interning with stable, insertion-ordered ids.
+
+use std::collections::HashMap;
+
+/// Interns strings to dense `u32` ids.
+///
+/// Ids are assigned in insertion order, so iterating [`Interner::iter`]
+/// yields strings in id order. This keeps every derived array (names,
+/// embeddings, partitions) aligned by index.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty interner with capacity for `n` strings.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            by_name: HashMap::with_capacity(n),
+            names: Vec::with_capacity(n),
+        }
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.by_name.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Looks up the id of `name` without interning it.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves `id` back to its string. Panics if `id` was never assigned.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Resolves `id` back to its string, or `None` if out of range.
+    pub fn try_resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_order() {
+        let mut it = Interner::new();
+        assert_eq!(it.intern("a"), 0);
+        assert_eq!(it.intern("b"), 1);
+        assert_eq!(it.intern("a"), 0);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(1), "b");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut it = Interner::new();
+        assert_eq!(it.get("x"), None);
+        it.intern("x");
+        assert_eq!(it.get("x"), Some(0));
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_id_ordered() {
+        let mut it = Interner::with_capacity(3);
+        for s in ["z", "y", "x"] {
+            it.intern(s);
+        }
+        let order: Vec<_> = it.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(order, vec!["z", "y", "x"]);
+    }
+
+    #[test]
+    fn try_resolve_out_of_range() {
+        let it = Interner::new();
+        assert_eq!(it.try_resolve(0), None);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut it = Interner::new();
+        assert!(it.is_empty());
+        it.intern("");
+        assert!(!it.is_empty());
+        assert_eq!(it.resolve(0), "");
+    }
+}

@@ -1,0 +1,294 @@
+//! OpenEA-style text IO.
+//!
+//! The on-disk layout mirrors the OpenEA / LargeEA release so real benchmark
+//! dumps (DBP15K, IDS, DBP1M) can be dropped in unchanged:
+//!
+//! ```text
+//! <dir>/rel_triples_1    head \t relation \t tail      (source KG)
+//! <dir>/rel_triples_2    head \t relation \t tail      (target KG)
+//! <dir>/ent_links        source_entity \t target_entity
+//! <dir>/ent_labels_1     entity_key \t label            (optional)
+//! <dir>/ent_labels_2     entity_key \t label            (optional)
+//! ```
+//!
+//! The `ent_labels_*` side-files are an extension of ours: OpenEA encodes
+//! names inside entity URIs, while generated benchmarks keep keys and
+//! display labels separate. Loaders ignore the files when absent (keys then
+//! double as labels, the DBpedia convention).
+//!
+//! Readers are line-oriented and streaming; malformed lines produce a
+//! [`KgError::Parse`] carrying the file name and line number.
+
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::error::KgError;
+use crate::graph::KnowledgeGraph;
+use crate::pair::KgPair;
+
+/// Parses a triple file from any reader. `source_name` is used in errors.
+pub fn read_triples<R: BufRead>(
+    reader: R,
+    source_name: &str,
+    kg_name: &str,
+) -> Result<KnowledgeGraph, KgError> {
+    let mut kg = KnowledgeGraph::new(kg_name);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(h), Some(r), Some(t), None) => {
+                kg.add_triple_by_name(h, r, t);
+            }
+            _ => {
+                return Err(KgError::Parse {
+                    source_name: source_name.to_owned(),
+                    line: lineno + 1,
+                    message: format!("expected 3 tab-separated fields, got {line:?}"),
+                });
+            }
+        }
+    }
+    Ok(kg)
+}
+
+/// Parses an `ent_links` file (two tab-separated entity keys per line) and
+/// resolves the keys against the two KGs.
+pub fn read_links<R: BufRead>(
+    reader: R,
+    source_name: &str,
+    source: &KnowledgeGraph,
+    target: &KnowledgeGraph,
+) -> Result<Vec<(crate::EntityId, crate::EntityId)>, KgError> {
+    let mut links = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (Some(a), Some(b), None) = (fields.next(), fields.next(), fields.next()) else {
+            return Err(KgError::Parse {
+                source_name: source_name.to_owned(),
+                line: lineno + 1,
+                message: format!("expected 2 tab-separated fields, got {line:?}"),
+            });
+        };
+        let sa = source
+            .entity_id(a)
+            .ok_or_else(|| KgError::UnknownAlignmentEntity {
+                name: a.to_owned(),
+                side: "source",
+            })?;
+        let tb = target
+            .entity_id(b)
+            .ok_or_else(|| KgError::UnknownAlignmentEntity {
+                name: b.to_owned(),
+                side: "target",
+            })?;
+        links.push((sa, tb));
+    }
+    Ok(links)
+}
+
+/// Like [`read_links`], but interns entities that no triple mentions
+/// (isolated entities are representable in `ent_links` but not in the
+/// triple files, so loading must re-create them).
+pub fn read_links_interning<R: BufRead>(
+    reader: R,
+    source_name: &str,
+    source: &mut KnowledgeGraph,
+    target: &mut KnowledgeGraph,
+) -> Result<Vec<(crate::EntityId, crate::EntityId)>, KgError> {
+    let mut links = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (Some(a), Some(b), None) = (fields.next(), fields.next(), fields.next()) else {
+            return Err(KgError::Parse {
+                source_name: source_name.to_owned(),
+                line: lineno + 1,
+                message: format!("expected 2 tab-separated fields, got {line:?}"),
+            });
+        };
+        links.push((source.add_entity(a), target.add_entity(b)));
+    }
+    Ok(links)
+}
+
+/// Loads a full [`KgPair`] from an OpenEA-layout directory.
+pub fn load_pair(dir: &Path, source_name: &str, target_name: &str) -> Result<KgPair, KgError> {
+    let t1 = dir.join("rel_triples_1");
+    let t2 = dir.join("rel_triples_2");
+    let links = dir.join("ent_links");
+    let mut source = read_triples(
+        BufReader::new(File::open(&t1)?),
+        &t1.display().to_string(),
+        source_name,
+    )?;
+    let mut target = read_triples(
+        BufReader::new(File::open(&t2)?),
+        &t2.display().to_string(),
+        target_name,
+    )?;
+    let alignment = read_links_interning(
+        BufReader::new(File::open(&links)?),
+        &links.display().to_string(),
+        &mut source,
+        &mut target,
+    )?;
+    apply_labels(dir.join("ent_labels_1"), &mut source)?;
+    apply_labels(dir.join("ent_labels_2"), &mut target)?;
+    Ok(KgPair::new(source, target, alignment))
+}
+
+/// Applies an optional `key \t label` side-file to a KG; missing file = ok.
+fn apply_labels(path: std::path::PathBuf, kg: &mut KnowledgeGraph) -> Result<(), KgError> {
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (Some(key), Some(label), None) = (fields.next(), fields.next(), fields.next()) else {
+            return Err(KgError::Parse {
+                source_name: path.display().to_string(),
+                line: lineno + 1,
+                message: format!("expected 2 tab-separated fields, got {line:?}"),
+            });
+        };
+        if let Some(id) = kg.entity_id(key) {
+            kg.set_entity_label(id, label);
+        }
+    }
+    Ok(())
+}
+
+/// Writes one KG's triples in the OpenEA text format.
+pub fn write_triples<W: Write>(kg: &KnowledgeGraph, writer: W) -> Result<(), KgError> {
+    let mut w = BufWriter::new(writer);
+    for t in kg.triples() {
+        writeln!(
+            w,
+            "{}\t{}\t{}",
+            kg.entity_key(t.head),
+            kg.relation_name(t.relation),
+            kg.entity_key(t.tail)
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves a full [`KgPair`] into `dir` using the OpenEA layout (plus the
+/// `ent_labels_*` side-files when any label differs from its key).
+pub fn save_pair(pair: &KgPair, dir: &Path) -> Result<(), KgError> {
+    fs::create_dir_all(dir)?;
+    write_triples(&pair.source, File::create(dir.join("rel_triples_1"))?)?;
+    write_triples(&pair.target, File::create(dir.join("rel_triples_2"))?)?;
+    let mut w = BufWriter::new(File::create(dir.join("ent_links"))?);
+    for &(s, t) in &pair.alignment {
+        writeln!(
+            w,
+            "{}\t{}",
+            pair.source.entity_key(s),
+            pair.target.entity_key(t)
+        )?;
+    }
+    w.flush()?;
+    write_labels(&pair.source, dir.join("ent_labels_1"))?;
+    write_labels(&pair.target, dir.join("ent_labels_2"))?;
+    Ok(())
+}
+
+/// Writes the `key \t label` side-file if any entity has a distinct label.
+fn write_labels(kg: &KnowledgeGraph, path: std::path::PathBuf) -> Result<(), KgError> {
+    let any = kg
+        .entity_ids()
+        .any(|e| kg.entity_key(e) != kg.entity_label(e));
+    if !any {
+        return Ok(());
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    for e in kg.entity_ids() {
+        writeln!(w, "{}\t{}", kg.entity_key(e), kg.entity_label(e))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_triples_parses_tsv() {
+        let data = "a\tr\tb\nb\tr\tc\n";
+        let kg = read_triples(Cursor::new(data), "mem", "EN").unwrap();
+        assert_eq!(kg.num_entities(), 3);
+        assert_eq!(kg.num_triples(), 2);
+    }
+
+    #[test]
+    fn read_triples_skips_blank_lines() {
+        let data = "a\tr\tb\n\nb\tr\tc\n";
+        let kg = read_triples(Cursor::new(data), "mem", "EN").unwrap();
+        assert_eq!(kg.num_triples(), 2);
+    }
+
+    #[test]
+    fn read_triples_reports_line_numbers() {
+        let data = "a\tr\tb\nbad line\n";
+        let err = read_triples(Cursor::new(data), "mem", "EN").unwrap_err();
+        assert!(err.to_string().contains("mem:2"), "{err}");
+    }
+
+    #[test]
+    fn read_links_resolves_both_sides() {
+        let s = read_triples(Cursor::new("a\tr\tb\n"), "s", "EN").unwrap();
+        let t = read_triples(Cursor::new("x\tr\ty\n"), "t", "FR").unwrap();
+        let links = read_links(Cursor::new("a\tx\nb\ty\n"), "l", &s, &t).unwrap();
+        assert_eq!(links.len(), 2);
+    }
+
+    #[test]
+    fn read_links_rejects_unknown_entity() {
+        let s = read_triples(Cursor::new("a\tr\tb\n"), "s", "EN").unwrap();
+        let t = read_triples(Cursor::new("x\tr\ty\n"), "t", "FR").unwrap();
+        let err = read_links(Cursor::new("a\tmissing\n"), "l", &s, &t).unwrap_err();
+        assert!(err.to_string().contains("target"));
+    }
+
+    #[test]
+    fn roundtrip_through_tempdir() {
+        let mut s = KnowledgeGraph::new("EN");
+        s.add_triple_by_name("a", "r", "b");
+        let mut t = KnowledgeGraph::new("FR");
+        t.add_triple_by_name("x", "q", "y");
+        let a = (s.entity_id("a").unwrap(), t.entity_id("x").unwrap());
+        let pair = KgPair::new(s, t, vec![a]);
+
+        let dir = std::env::temp_dir().join(format!("largeea_io_test_{}", std::process::id()));
+        save_pair(&pair, &dir).unwrap();
+        let loaded = load_pair(&dir, "EN", "FR").unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(loaded.source.num_triples(), 1);
+        assert_eq!(loaded.target.num_triples(), 1);
+        assert_eq!(loaded.alignment.len(), 1);
+        assert_eq!(loaded.source.entity_key(loaded.alignment[0].0), "a");
+    }
+}

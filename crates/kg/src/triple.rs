@@ -1,0 +1,69 @@
+//! The `(head, relation, tail)` triple type.
+
+use crate::ids::{EntityId, RelationId};
+
+/// One directed edge of a knowledge graph: `head --relation--> tail`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// Source entity of the edge.
+    pub head: EntityId,
+    /// Relation labelling the edge.
+    pub relation: RelationId,
+    /// Target entity of the edge.
+    pub tail: EntityId,
+}
+
+impl Triple {
+    /// Creates a triple from raw indices.
+    #[inline]
+    pub fn new(head: u32, relation: u32, tail: u32) -> Self {
+        Self {
+            head: EntityId(head),
+            relation: RelationId(relation),
+            tail: EntityId(tail),
+        }
+    }
+
+    /// Whether the triple is a self-loop (`head == tail`).
+    #[inline]
+    pub fn is_loop(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// The triple with head and tail swapped (inverse direction).
+    #[inline]
+    pub fn reversed(&self) -> Self {
+        Self {
+            head: self.tail,
+            relation: self.relation,
+            tail: self.head,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_fields() {
+        let t = Triple::new(1, 2, 3);
+        assert_eq!(t.head, EntityId(1));
+        assert_eq!(t.relation, RelationId(2));
+        assert_eq!(t.tail, EntityId(3));
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(Triple::new(5, 0, 5).is_loop());
+        assert!(!Triple::new(5, 0, 6).is_loop());
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let t = Triple::new(1, 2, 3);
+        let r = t.reversed();
+        assert_eq!(r, Triple::new(3, 2, 1));
+        assert_eq!(r.reversed(), t);
+    }
+}

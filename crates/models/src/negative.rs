@@ -1,0 +1,229 @@
+//! Negative sampling for the triplet loss.
+//!
+//! RREA's trick — and the paper's stated choice — is *nearest-neighbour*
+//! sampling: the hardest negatives are the entities currently closest to
+//! the anchor in embedding space. Random sampling is kept as the cheap
+//! baseline (ablation D5 in DESIGN.md).
+
+use crate::batch_graph::BatchGraph;
+use largeea_sim::{topk_search, Metric};
+use largeea_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How negatives are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegStrategy {
+    /// Uniform over the other side's entities.
+    Random,
+    /// Nearest neighbours of the anchor in the current embedding space.
+    Nearest,
+}
+
+/// Negatives per training pair. `corrupt_target[p]` replaces the pair's
+/// target; `corrupt_source[p]` replaces its source. All ids are batch
+/// locals (targets already offset).
+#[derive(Debug)]
+pub struct Negatives {
+    /// Replacement target locals, per positive pair.
+    pub corrupt_target: Vec<Vec<u32>>,
+    /// Replacement source locals, per positive pair.
+    pub corrupt_source: Vec<Vec<u32>>,
+}
+
+/// Draws `n_neg` negatives per training pair and corruption side.
+///
+/// Falls back to the anchor's own side partner when a side has a single
+/// entity (degenerate batches) so callers never index an empty list.
+pub fn sample_negatives(
+    bg: &BatchGraph,
+    embeddings: &Matrix,
+    n_neg: usize,
+    strategy: NegStrategy,
+    seed: u64,
+) -> Negatives {
+    let n_neg = n_neg.max(1);
+    match strategy {
+        NegStrategy::Random => random_negatives(bg, n_neg, seed),
+        NegStrategy::Nearest => nearest_negatives(bg, embeddings, n_neg, seed),
+    }
+}
+
+fn random_negatives(bg: &BatchGraph, n_neg: usize, seed: u64) -> Negatives {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut corrupt_target = Vec::with_capacity(bg.train_pairs.len());
+    let mut corrupt_source = Vec::with_capacity(bg.train_pairs.len());
+    for &(s, t) in &bg.train_pairs {
+        corrupt_target.push(draw(
+            &mut rng,
+            n_neg,
+            bg.n_source as u32,
+            bg.n_total() as u32,
+            t,
+        ));
+        corrupt_source.push(draw(&mut rng, n_neg, 0, bg.n_source as u32, s));
+    }
+    Negatives {
+        corrupt_target,
+        corrupt_source,
+    }
+}
+
+fn draw(rng: &mut SmallRng, n: usize, lo: u32, hi: u32, exclude: u32) -> Vec<u32> {
+    let span = hi.saturating_sub(lo);
+    if span <= 1 {
+        return vec![exclude; n.max(1)]; // degenerate: nothing else to draw
+    }
+    (0..n)
+        .map(|_| loop {
+            let c = lo + rng.gen_range(0..span);
+            if c != exclude {
+                break c;
+            }
+        })
+        .collect()
+}
+
+fn nearest_negatives(bg: &BatchGraph, emb: &Matrix, n_neg: usize, seed: u64) -> Negatives {
+    if bg.train_pairs.is_empty() {
+        return Negatives {
+            corrupt_target: vec![],
+            corrupt_source: vec![],
+        };
+    }
+    if bg.n_source <= 1 || bg.n_target <= 1 {
+        return random_negatives(bg, n_neg, seed);
+    }
+    // Slice out the two sides once.
+    let src_rows: Vec<u32> = bg.source_locals();
+    let tgt_rows: Vec<u32> = bg.target_locals();
+    let src_emb = emb.gather_rows(&src_rows);
+    let tgt_emb = emb.gather_rows(&tgt_rows);
+
+    let anchors_s: Vec<u32> = bg.train_pairs.iter().map(|&(s, _)| s).collect();
+    let anchors_t: Vec<u32> = bg
+        .train_pairs
+        .iter()
+        .map(|&(_, t)| t - bg.n_source as u32)
+        .collect();
+    let qs = emb.gather_rows(&anchors_s);
+    let qt = emb.gather_rows(
+        &anchors_t
+            .iter()
+            .map(|&t| t + bg.n_source as u32)
+            .collect::<Vec<_>>(),
+    );
+
+    // +2: the true partner may rank first, and one spare for ties.
+    let hits_t = topk_search(&qs, &tgt_emb, n_neg + 2, Metric::Manhattan);
+    let hits_s = topk_search(&qt, &src_emb, n_neg + 2, Metric::Manhattan);
+
+    let mut corrupt_target = Vec::with_capacity(bg.train_pairs.len());
+    let mut corrupt_source = Vec::with_capacity(bg.train_pairs.len());
+    for (pi, &(s, t)) in bg.train_pairs.iter().enumerate() {
+        let mut ct: Vec<u32> = hits_t[pi]
+            .iter()
+            .map(|&(id, _)| id + bg.n_source as u32)
+            .filter(|&c| c != t)
+            .take(n_neg)
+            .collect();
+        if ct.is_empty() {
+            ct.push(t); // degenerate single-candidate side
+        }
+        corrupt_target.push(ct);
+        let mut cs: Vec<u32> = hits_s[pi]
+            .iter()
+            .map(|&(id, _)| id)
+            .filter(|&c| c != s)
+            .take(n_neg)
+            .collect();
+        if cs.is_empty() {
+            cs.push(s);
+        }
+        corrupt_source.push(cs);
+    }
+    Negatives {
+        corrupt_target,
+        corrupt_source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use largeea_kg::{AlignmentSeeds, EntityId, KgPair, KnowledgeGraph};
+    use largeea_partition::MiniBatches;
+
+    fn small_bg() -> BatchGraph {
+        let mut s = KnowledgeGraph::new("EN");
+        let mut t = KnowledgeGraph::new("FR");
+        for i in 0..6 {
+            s.add_entity(&format!("s{i}"));
+            t.add_entity(&format!("t{i}"));
+        }
+        s.add_triple_by_name("s0", "r", "s1");
+        t.add_triple_by_name("t0", "r", "t1");
+        let alignment: Vec<_> = (0..6u32).map(|i| (EntityId(i), EntityId(i))).collect();
+        let pair = KgPair::new(s, t, alignment.clone());
+        let seeds = AlignmentSeeds {
+            train: alignment[..3].to_vec(),
+            test: alignment[3..].to_vec(),
+        };
+        let mb = MiniBatches::from_assignments(&pair, &seeds, &[0; 6], &[0; 6], 1);
+        BatchGraph::from_mini_batch(&pair, &mb.batches[0])
+    }
+
+    #[test]
+    fn random_negatives_exclude_true_partner() {
+        let bg = small_bg();
+        let emb = Matrix::zeros(bg.n_total(), 4);
+        let negs = sample_negatives(&bg, &emb, 8, NegStrategy::Random, 3);
+        for (pi, &(s, t)) in bg.train_pairs.iter().enumerate() {
+            assert!(negs.corrupt_target[pi].iter().all(|&c| c != t));
+            assert!(negs.corrupt_source[pi].iter().all(|&c| c != s));
+            // ranges respected
+            assert!(negs.corrupt_target[pi]
+                .iter()
+                .all(|&c| (c as usize) >= bg.n_source));
+            assert!(negs.corrupt_source[pi]
+                .iter()
+                .all(|&c| (c as usize) < bg.n_source));
+        }
+    }
+
+    #[test]
+    fn nearest_negatives_pick_closest_non_partner() {
+        let bg = small_bg();
+        // embeddings where target local 6+2 is closest to source 0's partner region
+        let mut emb = Matrix::zeros(bg.n_total(), 2);
+        for i in 0..bg.n_total() {
+            emb[(i, 0)] = i as f32;
+        }
+        // anchor s=0 (value 0); targets are 6..12 with values 6..12; true t=6
+        let negs = sample_negatives(&bg, &emb, 2, NegStrategy::Nearest, 1);
+        // nearest non-partner target to s=0 is local 7
+        assert_eq!(negs.corrupt_target[0][0], 7);
+    }
+
+    #[test]
+    fn counts_respected() {
+        let bg = small_bg();
+        let emb = Matrix::zeros(bg.n_total(), 4);
+        for strat in [NegStrategy::Random, NegStrategy::Nearest] {
+            let negs = sample_negatives(&bg, &emb, 3, strat, 5);
+            assert_eq!(negs.corrupt_target.len(), bg.train_pairs.len());
+            for v in &negs.corrupt_target {
+                assert!(!v.is_empty() && v.len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let bg = small_bg();
+        let emb = Matrix::zeros(bg.n_total(), 4);
+        let a = sample_negatives(&bg, &emb, 4, NegStrategy::Random, 11);
+        let b = sample_negatives(&bg, &emb, 4, NegStrategy::Random, 11);
+        assert_eq!(a.corrupt_target, b.corrupt_target);
+    }
+}

@@ -1,0 +1,175 @@
+//! Relational Reflection Entity Alignment (Mao et al., CIKM 2020).
+//!
+//! RREA's core idea: transform a neighbour's embedding with a
+//! relation-specific *reflection* before aggregating,
+//!
+//! ```text
+//! M_r x = x − 2 (x·r̂) r̂        (r̂ the unit-normalised relation vector)
+//! ```
+//!
+//! Reflections are orthogonal, so messages keep their norm and embeddings
+//! stay well-conditioned on the unit sphere — the property that makes RREA
+//! the strongest purely structural model in the paper's comparison.
+//!
+//! This implementation runs two reflection-aggregation hops with residual
+//! connections and mean aggregation over directed messages (each triple
+//! contributes a forward and an inverse message; inverse messages get their
+//! own relation embedding, as in the reference implementation). The
+//! reference model additionally uses graph attention in place of mean
+//! aggregation; that simplification is recorded in DESIGN.md.
+
+use crate::batch_graph::BatchGraph;
+use crate::trainer::{EaModel, ForwardPass};
+use largeea_tensor::init::xavier_uniform;
+use largeea_tensor::optim::{ParamId, ParamStore};
+use largeea_tensor::{SpOp, Tape, Var};
+use std::rc::Rc;
+
+/// RREA model state for one mini-batch.
+pub struct Rrea {
+    n: usize,
+    dim: usize,
+    agg: Rc<SpOp>,
+    rels: Rc<Vec<u32>>,
+    tails: Rc<Vec<u32>>,
+    store: ParamStore,
+    ent: ParamId,
+    rel: ParamId,
+}
+
+impl Rrea {
+    /// Builds the model for `bg` with embedding size `dim`.
+    pub fn new(bg: &BatchGraph, dim: usize, seed: u64) -> Self {
+        let (agg, _heads, rels, tails) = bg.messages();
+        let n = bg.n_total();
+        let mut store = ParamStore::new();
+        let ent = store.register("entities", xavier_uniform(n, dim, seed));
+        // forward + inverse relation embeddings
+        let rel = store.register(
+            "relations",
+            xavier_uniform(bg.num_relations * 2, dim, seed.wrapping_add(1)),
+        );
+        Self {
+            n,
+            dim,
+            agg,
+            rels,
+            tails,
+            store,
+            ent,
+            rel,
+        }
+    }
+
+    /// One reflection-aggregation hop: gathers each message's source
+    /// embedding, reflects it through its relation, and mean-aggregates
+    /// onto the head.
+    fn hop(&self, tape: &mut Tape, h: Var, rel_norm: Var) -> Var {
+        let et = tape.gather_rows(h, Rc::clone(&self.tails));
+        let rg = tape.gather_rows(rel_norm, Rc::clone(&self.rels));
+        let dot = tape.row_dot(et, rg);
+        let proj = tape.mul_broadcast_col(rg, dot);
+        let proj2 = tape.scale(proj, 2.0);
+        let msg = tape.sub(et, proj2);
+        tape.spmm(&self.agg, msg)
+    }
+}
+
+impl EaModel for Rrea {
+    fn n_entities(&self) -> usize {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward(&self, tape: &mut Tape) -> ForwardPass {
+        let ent = tape.param(self.store.get(self.ent).clone());
+        let rel = tape.param(self.store.get(self.rel).clone());
+        let rel_norm = tape.l2_normalize_rows(rel, 1e-9);
+
+        let h0 = tape.l2_normalize_rows(ent, 1e-9);
+        let m1 = self.hop(tape, h0, rel_norm);
+        let h1 = tape.l2_normalize_rows(m1, 1e-9);
+        let m2 = self.hop(tape, h1, rel_norm);
+        let h2 = tape.l2_normalize_rows(m2, 1e-9);
+        // RREA concatenates the outputs of every depth (`[h0; h1; h2]`),
+        // keeping each hop's signal in its own column block: an unseeded
+        // entity's random h0 adds a near-constant offset to every candidate
+        // distance while the neighbour-driven h1/h2 blocks discriminate.
+        let h01 = tape.hstack(h0, h1);
+        let cat = tape.hstack(h01, h2);
+        let out = tape.l2_normalize_rows(cat, 1e-9);
+
+        ForwardPass {
+            embeddings: out,
+            params: vec![(self.ent, ent), (self.rel, rel)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use largeea_kg::{AlignmentSeeds, EntityId, KgPair, KnowledgeGraph};
+    use largeea_partition::MiniBatches;
+
+    fn bg() -> BatchGraph {
+        let mut s = KnowledgeGraph::new("EN");
+        s.add_triple_by_name("a", "r1", "b");
+        s.add_triple_by_name("b", "r2", "c");
+        let mut t = KnowledgeGraph::new("FR");
+        t.add_triple_by_name("x", "q", "y");
+        let pair = KgPair::new(s, t, vec![(EntityId(0), EntityId(0))]);
+        let seeds = AlignmentSeeds {
+            train: vec![(EntityId(0), EntityId(0))],
+            test: vec![],
+        };
+        let mb = MiniBatches::from_assignments(&pair, &seeds, &[0, 0, 0], &[0, 0], 1);
+        BatchGraph::from_mini_batch(&pair, &mb.batches[0])
+    }
+
+    #[test]
+    fn forward_shapes_and_unit_rows() {
+        let bg = bg();
+        let model = Rrea::new(&bg, 16, 1);
+        let mut tape = Tape::new();
+        let fp = model.forward(&mut tape);
+        let emb = tape.value(fp.embeddings);
+        // concatenated 3-depth output
+        assert_eq!(emb.shape(), (5, 48));
+        for r in 0..5 {
+            let n: f32 = emb.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-3, "row {r} norm {n}");
+        }
+    }
+
+    #[test]
+    fn relation_table_covers_inverses() {
+        let bg = bg();
+        let model = Rrea::new(&bg, 8, 2);
+        // 3 relations → 6 embeddings (forward + inverse)
+        assert_eq!(model.store().get(model.rel).rows(), 6);
+    }
+
+    #[test]
+    fn reflection_preserves_norm() {
+        // reflect a unit vector through another unit vector: norm stays 1
+        let bg = bg();
+        let model = Rrea::new(&bg, 8, 3);
+        let mut tape = Tape::new();
+        let fp = model.forward(&mut tape);
+        // implicitly tested via unit rows above; check a middle value sane
+        let emb = tape.value(fp.embeddings);
+        assert!(emb.max_abs() <= 1.0 + 1e-4);
+    }
+}

@@ -1,0 +1,183 @@
+//! Heavy-edge-matching coarsening (multilevel phase 1).
+//!
+//! Vertices are visited in a seeded random order; each unmatched vertex is
+//! matched with its unmatched neighbour across the *heaviest positive* edge
+//! (zero-weight edges — METIS-CPS phase 2's "release" edges — are never
+//! contracted, so the partitioner stays free to cut them). Matched pairs
+//! collapse into coarse vertices whose weight is the pair's sum; coarse edge
+//! weights accumulate all fine edges between the clusters.
+
+use crate::graph::PartGraph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One coarsening step: the coarse graph and the fine→coarse vertex map.
+#[derive(Debug)]
+pub struct CoarseLevel {
+    /// The coarsened graph.
+    pub graph: PartGraph,
+    /// `map[fine_vertex] = coarse_vertex`.
+    pub map: Vec<u32>,
+}
+
+/// Runs one round of heavy-edge matching, producing the next-coarser level.
+pub fn coarsen_once(g: &PartGraph, seed: u64) -> CoarseLevel {
+    let nv = g.nv();
+    let mut order: Vec<u32> = (0..nv as u32).collect();
+    order.shuffle(&mut SmallRng::seed_from_u64(seed));
+
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; nv];
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u32, f64)> = None;
+        for (n, w) in g.neighbors(v) {
+            if n != v && mate[n as usize] == UNMATCHED && w > 0.0 {
+                if best.map_or(true, |(_, bw)| w > bw) {
+                    best = Some((n, w));
+                }
+            }
+        }
+        match best {
+            Some((n, _)) => {
+                mate[v as usize] = n;
+                mate[n as usize] = v;
+            }
+            None => mate[v as usize] = v, // matched with itself
+        }
+    }
+
+    // Assign coarse ids: one per matched pair / singleton, smallest fine id
+    // decides, keeping the numbering deterministic.
+    let mut map = vec![u32::MAX; nv];
+    let mut next = 0u32;
+    for v in 0..nv as u32 {
+        if map[v as usize] != u32::MAX {
+            continue;
+        }
+        let m = mate[v as usize];
+        map[v as usize] = next;
+        if m != v {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+
+    // Coarse vertex weights and edges.
+    let mut vwgt = vec![0u64; next as usize];
+    for v in 0..nv as u32 {
+        vwgt[map[v as usize] as usize] += g.vwgt(v);
+    }
+    let mut edges = Vec::with_capacity(g.ne());
+    for v in 0..nv as u32 {
+        let cv = map[v as usize];
+        for (n, w) in g.neighbors(v) {
+            let cn = map[n as usize];
+            if cv < cn {
+                edges.push((cv, cn, w));
+            }
+        }
+    }
+    let graph = PartGraph::from_edges(next as usize, edges).with_vertex_weights(vwgt);
+    CoarseLevel { graph, map }
+}
+
+/// Coarsens repeatedly until the graph has at most `target_nv` vertices or
+/// a round shrinks it by less than ~10 % (diminishing returns). Returns the
+/// levels from finest to coarsest.
+pub fn coarsen_to(g: &PartGraph, target_nv: usize, seed: u64) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut current_nv = g.nv();
+    let mut round = 0u64;
+    while current_nv > target_nv {
+        let level = {
+            let src = levels.last().map(|l| &l.graph).unwrap_or(g);
+            coarsen_once(src, seed.wrapping_add(round))
+        };
+        let new_nv = level.graph.nv();
+        let shrunk_enough = (new_nv as f64) < current_nv as f64 * 0.9;
+        levels.push(level);
+        if !shrunk_enough {
+            break;
+        }
+        current_nv = new_nv;
+        round += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> PartGraph {
+        PartGraph::from_edges(
+            n,
+            (0..n as u32).map(|i| (i, (i + 1) % n as u32, 1.0)),
+        )
+    }
+
+    #[test]
+    fn coarsen_roughly_halves() {
+        let g = ring(100);
+        let lvl = coarsen_once(&g, 1);
+        assert!(lvl.graph.nv() <= 60, "got {}", lvl.graph.nv());
+        assert!(lvl.graph.nv() >= 50);
+    }
+
+    #[test]
+    fn vertex_weights_conserved() {
+        let g = ring(64);
+        let lvl = coarsen_once(&g, 2);
+        assert_eq!(lvl.graph.total_vwgt(), 64);
+    }
+
+    #[test]
+    fn map_is_total_and_in_range() {
+        let g = ring(33);
+        let lvl = coarsen_once(&g, 3);
+        for &c in &lvl.map {
+            assert!((c as usize) < lvl.graph.nv());
+        }
+        assert_eq!(lvl.map.len(), 33);
+    }
+
+    #[test]
+    fn heaviest_edge_preferred() {
+        // 0-1 (w=10), 1-2 (w=1): vertex 1 must match 0 whenever 0 available
+        let g = PartGraph::from_edges(3, vec![(0, 1, 10.0), (1, 2, 1.0)]);
+        let lvl = coarsen_once(&g, 0);
+        assert_eq!(lvl.map[0], lvl.map[1]);
+        assert_ne!(lvl.map[1], lvl.map[2]);
+    }
+
+    #[test]
+    fn zero_weight_edges_never_contracted() {
+        let g = PartGraph::from_edges(2, vec![(0, 1, 0.0)]);
+        let lvl = coarsen_once(&g, 0);
+        assert_ne!(lvl.map[0], lvl.map[1]);
+        assert_eq!(lvl.graph.nv(), 2);
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let g = ring(256);
+        let levels = coarsen_to(&g, 20, 7);
+        assert!(!levels.is_empty());
+        let last = &levels.last().unwrap().graph;
+        assert!(last.nv() <= 40, "coarsest has {} vertices", last.nv());
+        assert_eq!(last.total_vwgt(), 256);
+    }
+
+    #[test]
+    fn coarsen_isolated_vertices() {
+        let g = PartGraph::from_edges(5, vec![(0, 1, 1.0)]);
+        let lvl = coarsen_once(&g, 1);
+        // isolated vertices stay as singletons
+        assert_eq!(lvl.graph.nv(), 4);
+        assert_eq!(lvl.graph.total_vwgt(), 5);
+    }
+}

@@ -1,0 +1,332 @@
+//! METIS-CPS: the collaborative partition strategy (paper §2.2.1).
+//!
+//! Workflow:
+//! 1. partition the source KG `G_s` into `K` parts with the multilevel
+//!    partitioner;
+//! 2. group the training seeds by source part — each group's target-side
+//!    equivalents `L_t^i` *should* end up in one target part;
+//! 3. re-weight the target KG's partition graph:
+//!    - **Phase 1 (attract):** pick `q` pivot entities per group and add
+//!      virtual star edges from each pivot to every other group member, then
+//!      set every edge inside the group's connected subgraph `CG^i` to
+//!      `w′ ≫ 1` — the partitioner will not cut such edges;
+//!    - **Phase 2 (release):** zero the weight of every target edge whose
+//!      endpoints belong to *different* seed groups — the partitioner is
+//!      free to cut them;
+//! 4. partition the re-weighted target graph;
+//! 5. pair source parts with target parts by maximum seed overlap (greedy
+//!    maximum matching on the co-occurrence counts).
+//!
+//! The virtual edges exist only inside the partition graph; the KG itself is
+//! never modified.
+
+use crate::batches::MiniBatches;
+use crate::graph::PartGraph;
+use crate::kway::{partition_kway, PartitionConfig};
+use largeea_kg::{AlignmentSeeds, KgPair};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration for [`metis_cps`].
+#[derive(Debug, Clone, Copy)]
+pub struct CpsConfig {
+    /// Number of mini-batches `K`.
+    pub k: usize,
+    /// Virtual/group edge weight `w′ ≫ 1`.
+    pub virtual_edge_weight: f64,
+    /// Number of pivot entities `q` per seed group (the paper uses 1).
+    pub q: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Partitioner imbalance tolerance.
+    pub imbalance: f64,
+}
+
+impl CpsConfig {
+    /// Paper defaults for `k` batches: `q = 1`, `w′ = 1000`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            virtual_edge_weight: 1000.0,
+            q: 1,
+            seed: 0xC95,
+            imbalance: 1.05,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn partition_config(&self) -> PartitionConfig {
+        PartitionConfig::new(self.k)
+            .with_seed(self.seed)
+            .with_imbalance(self.imbalance)
+    }
+}
+
+/// Runs METIS-CPS on `pair` with the given training seeds, producing `K`
+/// mini-batches.
+pub fn metis_cps(pair: &KgPair, seeds: &AlignmentSeeds, cfg: &CpsConfig) -> MiniBatches {
+    assert!(cfg.k >= 1, "k must be positive");
+    assert!(cfg.q >= 1, "q must be positive");
+
+    // Step 1: partition the source KG.
+    let source_graph = PartGraph::from_kg(&pair.source);
+    let source_part = partition_kway(&source_graph, &cfg.partition_config());
+
+    // Step 2: group targets of training seeds by source part.
+    // group_of[target_entity] = seed-group id (u32::MAX = not a seed target)
+    const NO_GROUP: u32 = u32::MAX;
+    let mut group_of = vec![NO_GROUP; pair.target.num_entities()];
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); cfg.k];
+    for &(s, t) in &seeds.train {
+        let g = source_part.assignment[s.idx()];
+        group_of[t.idx()] = g;
+        groups[g as usize].push(t.0);
+    }
+
+    // Build the target edge map so phases 1/2 can re-weight existing edges.
+    let mut edges: HashMap<(u32, u32), f64> = HashMap::new();
+    for t in pair.target.triples() {
+        let (a, b) = (t.head.0, t.tail.0);
+        if a == b {
+            continue;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        *edges.entry(key).or_insert(0.0) += 1.0;
+    }
+
+    // Phase 1: attract — virtual star edges + weight reset inside CG^i.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ PIVOT_RNG_SALT);
+    for members in groups.iter().filter(|m| m.len() >= 2) {
+        // existing edges inside the group get w'
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                let key = if a < b { (a, b) } else { (b, a) };
+                if let Some(w) = edges.get_mut(&key) {
+                    *w = cfg.virtual_edge_weight;
+                }
+            }
+        }
+        // q pivots connect to everyone (virtual edges)
+        for _ in 0..cfg.q.min(members.len()) {
+            let pivot = members[rng.gen_range(0..members.len())];
+            for &b in members {
+                if b == pivot {
+                    continue;
+                }
+                let key = if pivot < b { (pivot, b) } else { (b, pivot) };
+                edges.insert(key, cfg.virtual_edge_weight);
+            }
+        }
+    }
+
+    // Phase 2: release — zero weight across different seed groups.
+    for (&(a, b), w) in edges.iter_mut() {
+        let (ga, gb) = (group_of[a as usize], group_of[b as usize]);
+        if ga != NO_GROUP && gb != NO_GROUP && ga != gb {
+            *w = 0.0;
+        }
+    }
+
+    // Step 4: partition the re-weighted target graph.
+    let target_graph = PartGraph::from_edges(
+        pair.target.num_entities(),
+        edges.into_iter().map(|((a, b), w)| (a, b, w)),
+    );
+    let target_part = partition_kway(
+        &target_graph,
+        &cfg.partition_config().with_seed(cfg.seed.wrapping_add(1)),
+    );
+
+    // Step 5: pair source parts with target parts by seed co-occurrence.
+    let remap = match_parts(
+        cfg.k,
+        seeds
+            .train
+            .iter()
+            .map(|&(s, t)| (source_part.assignment[s.idx()], target_part.assignment[t.idx()])),
+    );
+    let target_assignment: Vec<u32> = target_part
+        .assignment
+        .iter()
+        .map(|&p| remap[p as usize])
+        .collect();
+
+    MiniBatches::from_assignments(
+        pair,
+        seeds,
+        &source_part.assignment,
+        &target_assignment,
+        cfg.k,
+    )
+}
+
+/// Salt decoupling the pivot-selection RNG from the partitioner RNG.
+const PIVOT_RNG_SALT: u64 = 0x9D39_247E_3377_6D41;
+
+/// Greedy maximum matching of target parts onto source parts by descending
+/// co-occurrence count. Unmatched target parts take the leftover source
+/// part ids. Returns `remap[target_part] = batch (= source part) id`.
+fn match_parts(k: usize, pairs: impl Iterator<Item = (u32, u32)>) -> Vec<u32> {
+    let mut counts = vec![vec![0usize; k]; k]; // [source][target]
+    for (s, t) in pairs {
+        counts[s as usize][t as usize] += 1;
+    }
+    let mut entries: Vec<(usize, u32, u32)> = Vec::with_capacity(k * k);
+    for (s, row) in counts.iter().enumerate() {
+        for (t, &c) in row.iter().enumerate() {
+            entries.push((c, s as u32, t as u32));
+        }
+    }
+    entries.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut remap = vec![u32::MAX; k];
+    let mut source_used = vec![false; k];
+    for (_, s, t) in entries {
+        if remap[t as usize] == u32::MAX && !source_used[s as usize] {
+            remap[t as usize] = s;
+            source_used[s as usize] = true;
+        }
+    }
+    // leftovers (no seeds at all): assign remaining source ids in order
+    let mut free: Vec<u32> = (0..k as u32).filter(|&s| !source_used[s as usize]).collect();
+    for slot in remap.iter_mut() {
+        if *slot == u32::MAX {
+            *slot = free.pop().expect("one free source part per unmatched target part");
+        }
+    }
+    remap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use largeea_kg::{EntityId, KnowledgeGraph};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a pair of KGs with `c` planted communities of size `n` where
+    /// target community layout mirrors the source, plus cross edges.
+    fn community_pair(c: usize, n: usize, seed: u64) -> (KgPair, AlignmentSeeds) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut s = KnowledgeGraph::new("EN");
+        let mut t = KnowledgeGraph::new("FR");
+        let total = c * n;
+        for i in 0..total {
+            s.add_entity(&format!("s{i}"));
+            t.add_entity(&format!("t{i}"));
+        }
+        let add_edges = |kg: &mut KnowledgeGraph, prefix: &str, rng: &mut SmallRng| {
+            for ci in 0..c {
+                let base = ci * n;
+                for i in 0..n {
+                    for _ in 0..3 {
+                        let j = rng.gen_range(0..n);
+                        if i != j {
+                            kg.add_triple_by_name(
+                                &format!("{prefix}{}", base + i),
+                                "r",
+                                &format!("{prefix}{}", base + j),
+                            );
+                        }
+                    }
+                }
+                // one weak inter-community edge
+                if ci + 1 < c {
+                    kg.add_triple_by_name(
+                        &format!("{prefix}{}", base),
+                        "r",
+                        &format!("{prefix}{}", base + n),
+                    );
+                }
+            }
+        };
+        add_edges(&mut s, "s", &mut rng);
+        add_edges(&mut t, "t", &mut rng);
+        let alignment: Vec<_> = (0..total as u32)
+            .map(|i| (EntityId(i), EntityId(i)))
+            .collect();
+        let pair = KgPair::new(s, t, alignment);
+        let seeds = pair.split_seeds(0.2, seed);
+        (pair, seeds)
+    }
+
+    #[test]
+    fn cps_keeps_most_seeds_together() {
+        let (pair, seeds) = community_pair(3, 60, 5);
+        let mb = metis_cps(&pair, &seeds, &CpsConfig::new(3));
+        let r = mb.retention(&seeds);
+        assert!(
+            r.train > 0.8,
+            "train retention {} too low for planted communities",
+            r.train
+        );
+        assert!(r.test > 0.5, "test retention {} too low", r.test);
+    }
+
+    #[test]
+    fn cps_batches_cover_all_entities() {
+        let (pair, seeds) = community_pair(2, 40, 7);
+        let mb = metis_cps(&pair, &seeds, &CpsConfig::new(2));
+        let ns: usize = mb.batches.iter().map(|b| b.source_entities.len()).sum();
+        let nt: usize = mb.batches.iter().map(|b| b.target_entities.len()).sum();
+        assert_eq!(ns, pair.source.num_entities());
+        assert_eq!(nt, pair.target.num_entities());
+    }
+
+    #[test]
+    fn cps_beats_random_expectation() {
+        let (pair, seeds) = community_pair(4, 40, 11);
+        let mb = metis_cps(&pair, &seeds, &CpsConfig::new(4));
+        let r = mb.retention(&seeds);
+        // random assignment would co-locate ~1/k = 25 %
+        assert!(r.total > 0.5, "total retention {}", r.total);
+    }
+
+    #[test]
+    fn cps_with_k1_trivially_retains_everything() {
+        let (pair, seeds) = community_pair(2, 20, 3);
+        let mb = metis_cps(&pair, &seeds, &CpsConfig::new(1));
+        let r = mb.retention(&seeds);
+        assert_eq!(r.total, 1.0);
+        assert_eq!(mb.edge_cut_rate(&pair), 0.0);
+    }
+
+    #[test]
+    fn cps_handles_empty_seed_set() {
+        let (pair, _) = community_pair(2, 30, 9);
+        let empty = AlignmentSeeds::default();
+        let mb = metis_cps(&pair, &empty, &CpsConfig::new(2));
+        assert_eq!(mb.k(), 2);
+    }
+
+    #[test]
+    fn cps_is_deterministic() {
+        let (pair, seeds) = community_pair(2, 30, 13);
+        let cfg = CpsConfig::new(2).with_seed(77);
+        let a = metis_cps(&pair, &seeds, &cfg);
+        let b = metis_cps(&pair, &seeds, &cfg);
+        assert_eq!(a.source_membership, b.source_membership);
+        assert_eq!(a.target_membership, b.target_membership);
+    }
+
+    #[test]
+    fn match_parts_prefers_heavy_overlap() {
+        // source part 0 overlaps target part 1 heavily and vice versa
+        let pairs = vec![(0u32, 1u32), (0, 1), (0, 1), (1, 0), (1, 0), (0, 0)];
+        let remap = match_parts(2, pairs.into_iter());
+        assert_eq!(remap, vec![1, 0]); // target part 0 → batch 1, part 1 → batch 0
+    }
+
+    #[test]
+    fn match_parts_fills_unmatched() {
+        let remap = match_parts(3, std::iter::empty());
+        let mut sorted = remap.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+}

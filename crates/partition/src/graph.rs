@@ -1,0 +1,183 @@
+//! The weighted undirected graph consumed by the partitioner.
+
+use largeea_kg::KnowledgeGraph;
+use std::collections::HashMap;
+
+/// An undirected graph with vertex weights and `f64` edge weights, stored in
+/// CSR form (each edge appears in both endpoint's adjacency).
+///
+/// Duplicate input edges are merged by summing weights, so a KG's parallel
+/// triples naturally strengthen the tie between their endpoints — exactly
+/// the signal METIS-CPS manipulates.
+#[derive(Debug, Clone)]
+pub struct PartGraph {
+    xadj: Vec<usize>,
+    adjncy: Vec<u32>,
+    ewgt: Vec<f64>,
+    vwgt: Vec<u64>,
+}
+
+impl PartGraph {
+    /// Builds from an edge list over `nv` vertices with unit vertex weights.
+    /// Edges are symmetrised and duplicates merged (weights summed);
+    /// self-loops are dropped (they never affect a cut).
+    pub fn from_edges(nv: usize, edges: impl IntoIterator<Item = (u32, u32, f64)>) -> Self {
+        let mut merged: HashMap<(u32, u32), f64> = HashMap::new();
+        for (u, v, w) in edges {
+            assert!((u as usize) < nv && (v as usize) < nv, "edge endpoint out of range");
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            *merged.entry(key).or_insert(0.0) += w;
+        }
+        // Sort for deterministic CSR layout: adjacency order feeds the
+        // partitioner's tie-breaking, so HashMap order must not leak in.
+        let mut merged: Vec<((u32, u32), f64)> = merged.into_iter().collect();
+        merged.sort_unstable_by_key(|&(k, _)| k);
+        let mut degree = vec![0usize; nv];
+        for &((u, v), _) in &merged {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut xadj = Vec::with_capacity(nv + 1);
+        xadj.push(0);
+        let mut acc = 0;
+        for d in &degree {
+            acc += d;
+            xadj.push(acc);
+        }
+        let mut cursor = xadj[..nv].to_vec();
+        let mut adjncy = vec![0u32; acc];
+        let mut ewgt = vec![0.0f64; acc];
+        for &((u, v), w) in &merged {
+            let cu = &mut cursor[u as usize];
+            adjncy[*cu] = v;
+            ewgt[*cu] = w;
+            *cu += 1;
+            let cv = &mut cursor[v as usize];
+            adjncy[*cv] = u;
+            ewgt[*cv] = w;
+            *cv += 1;
+        }
+        Self {
+            xadj,
+            adjncy,
+            ewgt,
+            vwgt: vec![1; nv],
+        }
+    }
+
+    /// Builds the unit-weight partition graph of a KG (one edge per triple;
+    /// parallel triples accumulate weight, matching the paper's
+    /// `w(e_i, e_j) = 1` per edge convention).
+    pub fn from_kg(kg: &KnowledgeGraph) -> Self {
+        Self::from_edges(
+            kg.num_entities(),
+            kg.triples().iter().map(|t| (t.head.0, t.tail.0, 1.0)),
+        )
+    }
+
+    /// Builds with explicit vertex weights.
+    pub fn with_vertex_weights(mut self, vwgt: Vec<u64>) -> Self {
+        assert_eq!(vwgt.len(), self.nv(), "vertex weight length mismatch");
+        self.vwgt = vwgt;
+        self
+    }
+
+    /// Number of vertices.
+    pub fn nv(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn ne(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Weight of vertex `v`.
+    #[inline]
+    pub fn vwgt(&self, v: u32) -> u64 {
+        self.vwgt[v as usize]
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vwgt(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// `(neighbor, edge_weight)` pairs of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let r = self.xadj[v as usize]..self.xadj[v as usize + 1];
+        self.adjncy[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.ewgt[r].iter().copied())
+    }
+
+    /// Degree of `v` (distinct neighbours).
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_ewgt(&self) -> f64 {
+        self.ewgt.iter().sum::<f64>() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_symmetrises_and_merges() {
+        let g = PartGraph::from_edges(3, vec![(0, 1, 1.0), (1, 0, 2.0), (1, 2, 1.0)]);
+        assert_eq!(g.nv(), 3);
+        assert_eq!(g.ne(), 2);
+        let w01 = g.neighbors(0).find(|&(n, _)| n == 1).unwrap().1;
+        assert_eq!(w01, 3.0);
+        // symmetric view
+        let w10 = g.neighbors(1).find(|&(n, _)| n == 0).unwrap().1;
+        assert_eq!(w10, 3.0);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = PartGraph::from_edges(2, vec![(0, 0, 5.0), (0, 1, 1.0)]);
+        assert_eq!(g.ne(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn from_kg_accumulates_parallel_triples() {
+        let mut kg = KnowledgeGraph::new("EN");
+        kg.add_triple_by_name("a", "r1", "b");
+        kg.add_triple_by_name("a", "r2", "b");
+        let g = PartGraph::from_kg(&kg);
+        assert_eq!(g.ne(), 1);
+        let w = g.neighbors(0).next().unwrap().1;
+        assert_eq!(w, 2.0);
+    }
+
+    #[test]
+    fn weights_default_to_unit() {
+        let g = PartGraph::from_edges(4, vec![(0, 1, 1.0)]);
+        assert_eq!(g.total_vwgt(), 4);
+        assert_eq!(g.vwgt(3), 1);
+    }
+
+    #[test]
+    fn total_ewgt_counts_each_edge_once() {
+        let g = PartGraph::from_edges(3, vec![(0, 1, 2.0), (1, 2, 3.0)]);
+        assert_eq!(g.total_ewgt(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        PartGraph::from_edges(2, vec![(0, 5, 1.0)]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Initial partitioning of the coarsest graph (multilevel phase 2):
+//! recursive bisection via greedy graph growing + Fiduccia–Mattheyses
+//! refinement.
+
+use crate::graph::PartGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Recursively partitions `g` into `k` parts, returning one part id per
+/// vertex. Intended for the *coarsest* graph (a few hundred vertices);
+/// complexity is quadratic-ish in `nv` per bisection.
+pub fn initial_partition(g: &PartGraph, k: usize, seed: u64) -> Vec<u32> {
+    assert!(k >= 1, "k must be positive");
+    let mut assignment = vec![0u32; g.nv()];
+    recurse(g, &(0..g.nv() as u32).collect::<Vec<_>>(), k, 0, seed, &mut assignment);
+    assignment
+}
+
+/// Splits `vertices` (ids into the original graph `g`) into `k` parts with
+/// ids starting at `part_offset`.
+fn recurse(
+    g: &PartGraph,
+    vertices: &[u32],
+    k: usize,
+    part_offset: u32,
+    seed: u64,
+    assignment: &mut [u32],
+) {
+    if k == 1 || vertices.len() <= 1 {
+        for &v in vertices {
+            assignment[v as usize] = part_offset;
+        }
+        // Degenerate: more parts than vertices — spread what we have.
+        if k > 1 {
+            for (i, &v) in vertices.iter().enumerate() {
+                assignment[v as usize] = part_offset + (i as u32 % k as u32);
+            }
+        }
+        return;
+    }
+    let k_left = k / 2;
+    let k_right = k - k_left;
+    let total: u64 = vertices.iter().map(|&v| g.vwgt(v)).sum();
+    let target_left = (total as f64 * k_left as f64 / k as f64).round() as u64;
+
+    let side = bisect(g, vertices, target_left, seed);
+    let mut left = Vec::with_capacity(vertices.len());
+    let mut right = Vec::with_capacity(vertices.len());
+    for (&v, &is_left) in vertices.iter().zip(&side) {
+        if is_left {
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    recurse(g, &left, k_left, part_offset, seed.wrapping_add(1), assignment);
+    recurse(
+        g,
+        &right,
+        k_right,
+        part_offset + k_left as u32,
+        seed.wrapping_add(2),
+        assignment,
+    );
+}
+
+/// Greedy graph growing on the sub-vertex-set, then FM refinement.
+/// Returns `true` for vertices placed on the left side.
+fn bisect(g: &PartGraph, vertices: &[u32], target_left: u64, seed: u64) -> Vec<bool> {
+    let n = vertices.len();
+    // local index lookup (u32::MAX = not in this subproblem)
+    let mut local = vec![u32::MAX; g.nv()];
+    for (i, &v) in vertices.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let start = pseudo_peripheral(g, vertices, &local, rng.gen_range(0..n));
+
+    // Greedy growing: add the frontier vertex with maximum attachment.
+    let mut in_left = vec![false; n];
+    let mut attach = vec![0.0f64; n]; // edge weight into the region
+    let mut visited = vec![false; n];
+    let mut left_weight = 0u64;
+    let mut current = Some(start);
+    while left_weight < target_left {
+        let u = match current.take() {
+            Some(u) => u,
+            None => {
+                // frontier selection: max attachment among unvisited
+                let mut best: Option<(usize, f64)> = None;
+                for i in 0..n {
+                    if !visited[i] {
+                        let better = match best {
+                            None => true,
+                            Some((_, bw)) => {
+                                attach[i] > bw + 1e-12
+                            }
+                        };
+                        if better && (attach[i] > 0.0 || best.is_none()) {
+                            best = Some((i, attach[i]));
+                        }
+                    }
+                }
+                match best {
+                    Some((i, _)) => i,
+                    None => break,
+                }
+            }
+        };
+        visited[u] = true;
+        in_left[u] = true;
+        left_weight += g.vwgt(vertices[u]);
+        for (nb, w) in g.neighbors(vertices[u]) {
+            let li = local[nb as usize];
+            if li != u32::MAX && !visited[li as usize] {
+                attach[li as usize] += w;
+            }
+        }
+    }
+
+    fm_refine(g, vertices, &local, &mut in_left, target_left);
+    in_left
+}
+
+/// BFS twice from `start_idx` to find a pseudo-peripheral vertex (a vertex
+/// roughly on the graph's boundary — good seeds for region growing).
+fn pseudo_peripheral(g: &PartGraph, vertices: &[u32], local: &[u32], start_idx: usize) -> usize {
+    let mut far = start_idx;
+    for _ in 0..2 {
+        let mut seen = vec![false; vertices.len()];
+        let mut queue = std::collections::VecDeque::from([far]);
+        seen[far] = true;
+        let mut last = far;
+        while let Some(u) = queue.pop_front() {
+            last = u;
+            for (nb, _) in g.neighbors(vertices[u]) {
+                let li = local[nb as usize];
+                if li != u32::MAX && !seen[li as usize] {
+                    seen[li as usize] = true;
+                    queue.push_back(li as usize);
+                }
+            }
+        }
+        far = last;
+    }
+    far
+}
+
+/// One-sided FM: passes of single-vertex moves with rollback to the best
+/// prefix. Balance tolerance is ±max(5 % of total, heaviest vertex).
+fn fm_refine(
+    g: &PartGraph,
+    vertices: &[u32],
+    local: &[u32],
+    in_left: &mut [bool],
+    target_left: u64,
+) {
+    let n = vertices.len();
+    if n <= 2 {
+        return;
+    }
+    let total: u64 = vertices.iter().map(|&v| g.vwgt(v)).sum();
+    let max_vwgt = vertices.iter().map(|&v| g.vwgt(v)).max().unwrap_or(1);
+    let tol = ((total as f64 * 0.05) as u64).max(max_vwgt);
+
+    let gain_of = |u: usize, in_left: &[bool]| -> f64 {
+        let mut external = 0.0;
+        let mut internal = 0.0;
+        for (nb, w) in g.neighbors(vertices[u]) {
+            let li = local[nb as usize];
+            if li == u32::MAX {
+                continue;
+            }
+            if in_left[li as usize] == in_left[u] {
+                internal += w;
+            } else {
+                external += w;
+            }
+        }
+        external - internal
+    };
+
+    for _pass in 0..8 {
+        let mut locked = vec![false; n];
+        let mut left_weight: u64 = (0..n)
+            .filter(|&i| in_left[i])
+            .map(|i| g.vwgt(vertices[i]))
+            .sum();
+        let mut moves: Vec<usize> = Vec::new();
+        let mut cum_gain = 0.0f64;
+        let mut best_gain = 0.0f64;
+        let mut best_prefix = 0usize;
+
+        for _ in 0..n {
+            // pick the best movable vertex
+            let mut best: Option<(usize, f64)> = None;
+            for u in 0..n {
+                if locked[u] {
+                    continue;
+                }
+                let w = g.vwgt(vertices[u]);
+                let new_left = if in_left[u] {
+                    left_weight - w
+                } else {
+                    left_weight + w
+                };
+                if new_left.abs_diff(target_left) > tol.max(left_weight.abs_diff(target_left)) {
+                    continue; // would worsen balance beyond tolerance
+                }
+                let gain = gain_of(u, in_left);
+                if best.map_or(true, |(_, bg)| gain > bg) {
+                    best = Some((u, gain));
+                }
+            }
+            let Some((u, gain)) = best else { break };
+            let w = g.vwgt(vertices[u]);
+            if in_left[u] {
+                left_weight -= w;
+            } else {
+                left_weight += w;
+            }
+            in_left[u] = !in_left[u];
+            locked[u] = true;
+            moves.push(u);
+            cum_gain += gain;
+            if cum_gain > best_gain + 1e-9 {
+                best_gain = cum_gain;
+                best_prefix = moves.len();
+            }
+        }
+        // rollback past the best prefix
+        for &u in &moves[best_prefix..] {
+            in_left[u] = !in_left[u];
+        }
+        if best_gain <= 1e-9 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two dense clusters joined by one light edge — the canonical case.
+    fn two_clusters() -> PartGraph {
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                edges.push((i, j, 1.0));
+                edges.push((i + 6, j + 6, 1.0));
+            }
+        }
+        edges.push((0, 6, 0.1));
+        PartGraph::from_edges(12, edges)
+    }
+
+    fn cut(g: &PartGraph, a: &[u32]) -> f64 {
+        let mut c = 0.0;
+        for v in 0..g.nv() as u32 {
+            for (n, w) in g.neighbors(v) {
+                if v < n && a[v as usize] != a[n as usize] {
+                    c += w;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn bisection_finds_the_weak_link() {
+        let g = two_clusters();
+        let a = initial_partition(&g, 2, 42);
+        assert!((cut(&g, &a) - 0.1).abs() < 1e-9, "cut = {}", cut(&g, &a));
+        // parts are the two cliques
+        for i in 1..6 {
+            assert_eq!(a[i], a[0]);
+            assert_eq!(a[i + 6], a[6]);
+        }
+        assert_ne!(a[0], a[6]);
+    }
+
+    #[test]
+    fn k_parts_cover_and_balance() {
+        // ring of 40
+        let g = PartGraph::from_edges(40, (0..40u32).map(|i| (i, (i + 1) % 40, 1.0)));
+        for k in [2, 3, 4, 5] {
+            let a = initial_partition(&g, k, 7);
+            let mut sizes = vec![0u64; k];
+            for &p in &a {
+                assert!((p as usize) < k, "part id {p} out of range for k={k}");
+                sizes[p as usize] += 1;
+            }
+            let ideal = 40.0 / k as f64;
+            for (p, &s) in sizes.iter().enumerate() {
+                assert!(
+                    (s as f64) > 0.4 * ideal && (s as f64) < 1.9 * ideal,
+                    "k={k} part {p} has size {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k1_is_trivial() {
+        let g = two_clusters();
+        let a = initial_partition(&g, 1, 0);
+        assert!(a.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = PartGraph::from_edges(6, vec![(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)]);
+        let a = initial_partition(&g, 3, 9);
+        let distinct: std::collections::BTreeSet<u32> = a.iter().copied().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn more_parts_than_vertices() {
+        let g = PartGraph::from_edges(2, vec![(0, 1, 1.0)]);
+        let a = initial_partition(&g, 4, 0);
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|&p| p < 4));
+        assert_ne!(a[0], a[1]);
+    }
+}

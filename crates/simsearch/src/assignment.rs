@@ -1,0 +1,202 @@
+//! Maximum-weight 1-to-1 assignment via the auction algorithm
+//! (Bertsekas 1988).
+//!
+//! [`SparseSimMatrix::greedy_one_to_one`] is fast but can lose weight to
+//! ordering effects; the auction algorithm drives an ε-optimal assignment:
+//! unassigned rows repeatedly *bid* for their best-value column (value =
+//! score − price), prices rise by the bid increment, and the process
+//! terminates with a matching whose total weight is within `n·ε` of
+//! optimal. Rows whose best net value drops below zero leave the market —
+//! so the result is a maximum-*weight* matching, not a forced perfect one,
+//! which is what EA decoding wants (not every source entity has a
+//! counterpart).
+//!
+//! [`SparseSimMatrix::greedy_one_to_one`]: crate::SparseSimMatrix::greedy_one_to_one
+
+use crate::sparse_sim::SparseSimMatrix;
+use std::collections::VecDeque;
+
+/// Computes an ε-optimal maximum-weight 1-to-1 assignment over the stored
+/// entries of `m`. Only entries with positive score participate (a match
+/// with negative score is worse than no match).
+///
+/// `epsilon` trades precision for speed; within `n·ε` of the optimum.
+/// Returns `(row, col)` pairs sorted by row.
+pub fn auction_assignment(m: &SparseSimMatrix, epsilon: f32) -> Vec<(u32, u32)> {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let n_rows = m.n_rows();
+    let mut price = vec![0.0f32; m.n_cols()];
+    let mut row_of = vec![u32::MAX; m.n_cols()];
+    let mut col_of = vec![u32::MAX; n_rows];
+    let mut queue: VecDeque<u32> = (0..n_rows as u32)
+        .filter(|&r| !m.row(r as usize).is_empty())
+        .collect();
+
+    // Each pop either assigns a row or retires it; evictions re-enqueue.
+    // Prices only rise, so total work is bounded by Σ score-range / ε.
+    while let Some(r) = queue.pop_front() {
+        // best and second-best net value among positive-score candidates
+        let mut best: Option<(u32, f32)> = None;
+        let mut second = f32::NEG_INFINITY;
+        for &(c, s) in m.row(r as usize) {
+            if s <= 0.0 {
+                continue;
+            }
+            let v = s - price[c as usize];
+            match best {
+                None => best = Some((c, v)),
+                Some((bc, bv)) => {
+                    if v > bv {
+                        second = bv;
+                        best = Some((c, v));
+                    } else if v > second {
+                        second = v;
+                    }
+                    let _ = bc;
+                }
+            }
+        }
+        let Some((c, v)) = best else { continue };
+        if v < 0.0 {
+            continue; // staying unmatched beats any available column
+        }
+        // bid: raise the price so the runner-up would be indifferent
+        let increment = if second.is_finite() { v - second } else { v } + epsilon;
+        price[c as usize] += increment;
+        // evict the previous owner
+        let prev = row_of[c as usize];
+        if prev != u32::MAX {
+            col_of[prev as usize] = u32::MAX;
+            queue.push_back(prev);
+        }
+        row_of[c as usize] = r;
+        col_of[r as usize] = c;
+    }
+
+    let mut out: Vec<(u32, u32)> = col_of
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c != u32::MAX)
+        .map(|(r, &c)| (r as u32, c))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Total score of an assignment under `m` (missing entries count 0).
+pub fn assignment_weight(m: &SparseSimMatrix, pairs: &[(u32, u32)]) -> f64 {
+    pairs
+        .iter()
+        .filter_map(|&(r, c)| m.get(r as usize, c))
+        .map(|s| s as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(scores: &[&[f32]]) -> SparseSimMatrix {
+        let rows = scores.len();
+        let cols = scores.first().map_or(0, |r| r.len());
+        let mut m = SparseSimMatrix::new(rows, cols);
+        for (r, row) in scores.iter().enumerate() {
+            for (c, &s) in row.iter().enumerate() {
+                if s != 0.0 {
+                    m.insert(r, c as u32, s);
+                }
+            }
+        }
+        m
+    }
+
+    /// Brute-force optimal assignment weight over all injective mappings.
+    fn brute_force_optimum(m: &SparseSimMatrix) -> f64 {
+        fn go(m: &SparseSimMatrix, r: usize, used: &mut Vec<bool>) -> f64 {
+            if r == m.n_rows() {
+                return 0.0;
+            }
+            // option: leave row r unmatched
+            let mut best = go(m, r + 1, used);
+            for &(c, s) in m.row(r) {
+                if s > 0.0 && !used[c as usize] {
+                    used[c as usize] = true;
+                    best = best.max(s as f64 + go(m, r + 1, used));
+                    used[c as usize] = false;
+                }
+            }
+            best
+        }
+        go(m, 0, &mut vec![false; m.n_cols()])
+    }
+
+    #[test]
+    fn beats_greedy_on_the_classic_trap() {
+        // greedy takes (0,0)=10 then row 1 gets 1; optimal is 9 + 8 = 17
+        let m = dense(&[&[10.0, 9.0], &[8.0, 1.0]]);
+        let greedy = m.greedy_one_to_one();
+        let auction = auction_assignment(&m, 1e-3);
+        let gw = assignment_weight(&m, &greedy);
+        let aw = assignment_weight(&m, &auction);
+        assert!(aw > gw, "auction {aw} should beat greedy {gw}");
+        assert_eq!(auction, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        let cases: Vec<SparseSimMatrix> = vec![
+            dense(&[&[1.0, 2.0, 3.0], &[3.0, 1.0, 2.0], &[2.0, 3.0, 1.0]]),
+            dense(&[&[5.0, 0.0], &[5.0, 0.0]]), // contested column
+            dense(&[&[1.0]]),
+            dense(&[&[0.5, 0.4], &[0.4, 0.5], &[0.3, 0.3]]), // more rows than cols
+        ];
+        for (i, m) in cases.iter().enumerate() {
+            let auction = auction_assignment(m, 1e-4);
+            let aw = assignment_weight(m, &auction);
+            let opt = brute_force_optimum(m);
+            assert!(
+                (aw - opt).abs() <= 1e-2 * (1.0 + opt),
+                "case {i}: auction {aw} vs optimal {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_is_injective() {
+        let m = dense(&[
+            &[0.9, 0.8, 0.1],
+            &[0.9, 0.7, 0.2],
+            &[0.8, 0.9, 0.3],
+        ]);
+        let pairs = auction_assignment(&m, 1e-3);
+        let mut rows: Vec<u32> = pairs.iter().map(|&(r, _)| r).collect();
+        let mut cols: Vec<u32> = pairs.iter().map(|&(_, c)| c).collect();
+        let (rl, cl) = (rows.len(), cols.len());
+        rows.dedup();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(rows.len(), rl);
+        assert_eq!(cols.len(), cl);
+    }
+
+    #[test]
+    fn negative_scores_stay_unmatched() {
+        let mut m = SparseSimMatrix::new(2, 2);
+        m.insert(0, 0, -1.0);
+        m.insert(1, 1, 2.0);
+        let pairs = auction_assignment(&m, 1e-3);
+        assert_eq!(pairs, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = SparseSimMatrix::new(3, 3);
+        assert!(auction_assignment(&m, 1e-3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        auction_assignment(&SparseSimMatrix::new(1, 1), 0.0);
+    }
+}

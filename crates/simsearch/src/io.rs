@@ -1,0 +1,138 @@
+//! Binary persistence for sparse similarity matrices.
+//!
+//! The channel outputs (`M_s`, `M_n`) and the fused matrix `M` are the
+//! natural checkpoint boundaries of a LargeEA run: the structure channel in
+//! particular represents hours of training at full scale, and the paper's
+//! "all training results are stored locally" mini-batch story implies
+//! exactly this kind of artefact. Layout (little-endian):
+//!
+//! ```text
+//! magic "LEAS1\0" | n_rows u64 | n_cols u64
+//! per row: len u64 | len × (col u32, score f32)
+//! ```
+
+use crate::sparse_sim::SparseSimMatrix;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 6] = b"LEAS1\0";
+
+/// Writes `m` in the binary sparse-similarity format.
+pub fn write_sparse_sim<W: Write>(m: &SparseSimMatrix, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(m.n_rows() as u64).to_le_bytes())?;
+    w.write_all(&(m.n_cols() as u64).to_le_bytes())?;
+    let mut buf = Vec::new();
+    for r in 0..m.n_rows() {
+        let row = m.row(r);
+        buf.clear();
+        buf.extend_from_slice(&(row.len() as u64).to_le_bytes());
+        for &(c, s) in row {
+            buf.extend_from_slice(&c.to_le_bytes());
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads a matrix previously written by [`write_sparse_sim`].
+pub fn read_sparse_sim<R: Read>(mut r: R) -> io::Result<SparseSimMatrix> {
+    let mut magic = [0u8; 6];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a LEAS1 sparse-similarity file",
+        ));
+    }
+    let mut n = [0u8; 8];
+    r.read_exact(&mut n)?;
+    let n_rows = u64::from_le_bytes(n) as usize;
+    r.read_exact(&mut n)?;
+    let n_cols = u64::from_le_bytes(n) as usize;
+    let mut m = SparseSimMatrix::new(n_rows, n_cols);
+    let mut entry = [0u8; 8];
+    for row in 0..n_rows {
+        r.read_exact(&mut n)?;
+        let len = u64::from_le_bytes(n) as usize;
+        for _ in 0..len {
+            r.read_exact(&mut entry)?;
+            let col = u32::from_le_bytes([entry[0], entry[1], entry[2], entry[3]]);
+            let score = f32::from_le_bytes([entry[4], entry[5], entry[6], entry[7]]);
+            if (col as usize) >= n_cols {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("column {col} out of range in row {row}"),
+                ));
+            }
+            m.insert(row, col, score);
+        }
+    }
+    Ok(m)
+}
+
+/// Convenience: write to a file path.
+pub fn save_sparse_sim(m: &SparseSimMatrix, path: &std::path::Path) -> io::Result<()> {
+    write_sparse_sim(m, io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+/// Convenience: read from a file path.
+pub fn load_sparse_sim(path: &std::path::Path) -> io::Result<SparseSimMatrix> {
+    read_sparse_sim(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseSimMatrix {
+        let mut m = SparseSimMatrix::new(4, 6);
+        m.insert(0, 1, 0.5);
+        m.insert(0, 5, -2.25);
+        m.insert(2, 0, 1e-8);
+        m
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_sparse_sim(&m, &mut buf).unwrap();
+        assert_eq!(read_sparse_sim(&buf[..]).unwrap(), m);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let m = SparseSimMatrix::new(0, 0);
+        let mut buf = Vec::new();
+        write_sparse_sim(&m, &mut buf).unwrap();
+        let back = read_sparse_sim(&buf[..]).unwrap();
+        assert_eq!(back.n_rows(), 0);
+    }
+
+    #[test]
+    fn rejects_corrupt_column() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_sparse_sim(&m, &mut buf).unwrap();
+        // corrupt first row's first entry column to an absurd value
+        let col_offset = 6 + 8 + 8 + 8; // magic + dims + row len
+        buf[col_offset..col_offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_sparse_sim(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        assert!(read_sparse_sim(&b"LEAM1\0junkjunkjunk"[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = sample();
+        let path = std::env::temp_dir().join(format!("leas_test_{}.bin", std::process::id()));
+        save_sparse_sim(&m, &path).unwrap();
+        let back = load_sparse_sim(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(m, back);
+    }
+}

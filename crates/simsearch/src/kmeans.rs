@@ -1,0 +1,173 @@
+//! Lloyd's k-means with k-means++ seeding — the coarse quantiser behind
+//! [`crate::ivf`].
+
+use largeea_tensor::parallel::par_map_blocks;
+use largeea_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// K-means result: centroids and per-point assignment.
+#[derive(Debug)]
+pub struct KMeans {
+    /// `k × dim` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster id per input row.
+    pub assignment: Vec<u32>,
+}
+
+#[inline]
+fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means on the rows of `data`.
+///
+/// Seeding is k-means++ (each new seed drawn proportional to squared
+/// distance from the chosen set), then at most `iters` Lloyd rounds with
+/// early exit when assignments stabilise. Empty clusters are re-seeded
+/// from the point farthest from its centroid, so exactly `k` non-degenerate
+/// centroids come back whenever `data` has ≥ `k` distinct rows.
+pub fn kmeans(data: &Matrix, k: usize, iters: usize, seed: u64) -> KMeans {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(k >= 1, "k must be positive");
+    assert!(n >= k, "need at least k points, got {n} < {k}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // --- k-means++ seeding -------------------------------------------------
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut dist2: Vec<f32> = (0..n).map(|i| sq_l2(data.row(i), centroids.row(0))).collect();
+    for c in 1..k {
+        let total: f64 = dist2.iter().map(|&x| x as f64).sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in dist2.iter().enumerate() {
+                target -= w as f64;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(pick));
+        for i in 0..n {
+            let nd = sq_l2(data.row(i), centroids.row(c));
+            if nd < dist2[i] {
+                dist2[i] = nd;
+            }
+        }
+    }
+
+    // --- Lloyd iterations ---------------------------------------------------
+    let mut assignment = vec![0u32; n];
+    for _ in 0..iters {
+        // assign (parallel over point blocks)
+        let blocks = par_map_blocks(n, 256, |range| {
+            let mut out = Vec::with_capacity(range.len());
+            for i in range {
+                let row = data.row(i);
+                let mut best = (0u32, f32::INFINITY);
+                for c in 0..k {
+                    let dd = sq_l2(row, centroids.row(c));
+                    if dd < best.1 {
+                        best = (c as u32, dd);
+                    }
+                }
+                out.push(best.0);
+            }
+            out
+        });
+        let new_assignment: Vec<u32> = blocks.into_iter().flatten().collect();
+        let changed = new_assignment != assignment;
+        assignment = new_assignment;
+
+        // update
+        let mut counts = vec![0usize; k];
+        let mut sums = Matrix::zeros(k, d);
+        for (i, &c) in assignment.iter().enumerate() {
+            counts[c as usize] += 1;
+            let dst = sums.row_mut(c as usize);
+            for (acc, &x) in dst.iter_mut().zip(data.row(i)) {
+                *acc += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f32;
+                let row = sums.row(c).to_vec();
+                for (dst, x) in centroids.row_mut(c).iter_mut().zip(row) {
+                    *dst = x * inv;
+                }
+            } else {
+                // re-seed the empty cluster at the worst-served point
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_l2(data.row(a), centroids.row(assignment[a] as usize));
+                        let db = sq_l2(data.row(b), centroids.row(assignment[b] as usize));
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("n >= k >= 1");
+                let row = data.row(far).to_vec();
+                centroids.row_mut(c).copy_from_slice(&row);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    KMeans {
+        centroids,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data = Matrix::from_fn(90, 2, |r, _| {
+            [(0.0f32), 10.0, 20.0][r / 30] + rng.gen::<f32>() - 0.5
+        });
+        let km = kmeans(&data, 3, 20, 1);
+        // all points of one blob share a cluster
+        for blob in 0..3 {
+            let first = km.assignment[blob * 30];
+            for i in 0..30 {
+                assert_eq!(km.assignment[blob * 30 + i], first, "blob {blob}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let data = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32 * 3.0);
+        let km = kmeans(&data, 4, 10, 2);
+        let mut a = km.assignment.clone();
+        a.sort_unstable();
+        a.dedup();
+        assert_eq!(a.len(), 4, "every point its own cluster");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = Matrix::from_fn(50, 3, |r, c| ((r * 7 + c * 13) % 11) as f32);
+        let a = kmeans(&data, 5, 15, 9);
+        let b = kmeans(&data, 5, 15, 9);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k points")]
+    fn too_few_points_rejected() {
+        kmeans(&Matrix::zeros(2, 2), 5, 5, 0);
+    }
+}

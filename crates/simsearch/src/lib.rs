@@ -1,0 +1,28 @@
+//! Similarity-search substrate for LargeEA.
+//!
+//! The paper leans on two pieces of similarity machinery, both rebuilt here:
+//!
+//! - [`topk`] — exact blocked top-k nearest-neighbour search over dense
+//!   embedding matrices (the Faiss substitute). The paper runs Faiss in
+//!   flat/exact mode over segment pairs; [`topk::segmented_topk`] reproduces
+//!   that segment-at-a-time structure, which is what bounds memory to
+//!   `O(k · |E_s|)` instead of `O(|E_s| · |E_t|)`.
+//! - [`sparse_sim`] — [`SparseSimMatrix`], the top-k row-sparse similarity
+//!   matrix every channel produces and the fusion step combines
+//!   (`M = M_s + M_n`), with mutual-top-1 extraction for the name-based
+//!   data augmentation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assignment;
+pub mod io;
+pub mod ivf;
+pub mod kmeans;
+pub mod sparse_sim;
+pub mod topk;
+
+pub use assignment::{assignment_weight, auction_assignment};
+pub use ivf::IvfIndex;
+pub use sparse_sim::SparseSimMatrix;
+pub use topk::{segmented_topk, topk_search, Metric};

@@ -1,0 +1,260 @@
+//! Exact blocked top-k similarity search — the Faiss substitute.
+
+use largeea_tensor::parallel::par_map_blocks;
+use largeea_tensor::Matrix;
+
+/// Similarity metric for the search. All variants are expressed as
+/// *similarities* (larger is better); distances are negated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Negative Manhattan (L1) distance — the paper's metric for both SENS
+    /// and the structure channel.
+    Manhattan,
+    /// Inner product; equals cosine similarity when rows are L2-normalised.
+    InnerProduct,
+}
+
+impl Metric {
+    /// Similarity between two equal-length vectors.
+    #[inline]
+    pub fn similarity(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::Manhattan => -a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f32>(),
+            Metric::InnerProduct => a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>(),
+        }
+    }
+}
+
+/// A bounded max-similarity collector: keeps the `k` best `(id, score)`
+/// entries seen, implemented as a small binary min-heap on score.
+struct TopK {
+    k: usize,
+    heap: Vec<(f32, u32)>, // min-heap by score
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: Vec::with_capacity(k + 1),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, id: u32, score: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push((score, id));
+            let mut i = self.heap.len() - 1;
+            while i > 0 {
+                let p = (i - 1) / 2;
+                if self.heap[p].0 <= self.heap[i].0 {
+                    break;
+                }
+                self.heap.swap(p, i);
+                i = p;
+            }
+        } else if score > self.heap[0].0 {
+            self.heap[0] = (score, id);
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut min = i;
+                if l < self.heap.len() && self.heap[l].0 < self.heap[min].0 {
+                    min = l;
+                }
+                if r < self.heap.len() && self.heap[r].0 < self.heap[min].0 {
+                    min = r;
+                }
+                if min == i {
+                    break;
+                }
+                self.heap.swap(i, min);
+                i = min;
+            }
+        }
+    }
+
+    /// Drains into `(id, score)` pairs sorted by descending score
+    /// (ties broken by ascending id for determinism).
+    fn into_sorted(self) -> Vec<(u32, f32)> {
+        let mut v: Vec<(u32, f32)> = self.heap.into_iter().map(|(s, i)| (i, s)).collect();
+        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// For each row of `queries`, finds the `k` most similar rows of `base`
+/// under `metric`. Exact (no approximation), parallel over query blocks.
+///
+/// Returns one descending-sorted `(base_row, score)` list per query row.
+pub fn topk_search(
+    queries: &Matrix,
+    base: &Matrix,
+    k: usize,
+    metric: Metric,
+) -> Vec<Vec<(u32, f32)>> {
+    assert_eq!(
+        queries.cols(),
+        base.cols(),
+        "query/base dimensionality mismatch"
+    );
+    assert!(k >= 1, "k must be at least 1");
+    let blocks = par_map_blocks(queries.rows(), 64, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        for q in range {
+            let qrow = queries.row(q);
+            let mut top = TopK::new(k);
+            for b in 0..base.rows() {
+                top.push(b as u32, metric.similarity(qrow, base.row(b)));
+            }
+            out.push(top.into_sorted());
+        }
+        out
+    });
+    blocks.into_iter().flatten().collect()
+}
+
+/// Segment-at-a-time top-k search mirroring the paper's SENS memory layout:
+/// both matrices are split into `num_segments` row ranges; each query
+/// segment is searched against one base segment at a time and the per-pair
+/// results are merged, so only `O(segment² )` candidate scores are ever live
+/// while the retained output stays `O(k · |queries|)`.
+///
+/// Functionally identical to [`topk_search`] (both are exact); exists so the
+/// experiment harness can reproduce and account for the paper's memory
+/// claim.
+pub fn segmented_topk(
+    queries: &Matrix,
+    base: &Matrix,
+    k: usize,
+    metric: Metric,
+    num_segments: usize,
+) -> Vec<Vec<(u32, f32)>> {
+    assert!(num_segments >= 1, "need at least one segment");
+    let q_seg = queries.rows().div_ceil(num_segments).max(1);
+    let b_seg = base.rows().div_ceil(num_segments).max(1);
+    let mut merged: Vec<TopK> = (0..queries.rows()).map(|_| TopK::new(k)).collect();
+
+    for b_start in (0..base.rows()).step_by(b_seg) {
+        let b_end = (b_start + b_seg).min(base.rows());
+        for q_start in (0..queries.rows()).step_by(q_seg) {
+            let q_end = (q_start + q_seg).min(queries.rows());
+            // per segment-pair: compute scores and fold into the collectors
+            let block = par_map_blocks(q_end - q_start, 32, |range| {
+                let mut out = Vec::with_capacity(range.len());
+                for qi in range {
+                    let q = q_start + qi;
+                    let qrow = queries.row(q);
+                    let mut local = TopK::new(k);
+                    for b in b_start..b_end {
+                        local.push(b as u32, metric.similarity(qrow, base.row(b)));
+                    }
+                    out.push((q, local.into_sorted()));
+                }
+                out
+            });
+            for (q, hits) in block.into_iter().flatten() {
+                for (id, score) in hits {
+                    merged[q].push(id, score);
+                }
+            }
+        }
+    }
+    merged.into_iter().map(TopK::into_sorted).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Matrix {
+        Matrix::from_vec(
+            4,
+            2,
+            vec![
+                0.0, 0.0, // 0
+                1.0, 0.0, // 1
+                0.0, 2.0, // 2
+                3.0, 3.0, // 3
+            ],
+        )
+    }
+
+    #[test]
+    fn manhattan_nearest_is_self() {
+        let b = base();
+        let res = topk_search(&b, &b, 1, Metric::Manhattan);
+        for (i, hits) in res.iter().enumerate() {
+            assert_eq!(hits[0].0 as usize, i);
+            assert_eq!(hits[0].1, 0.0);
+        }
+    }
+
+    #[test]
+    fn topk_is_sorted_descending() {
+        let q = Matrix::from_vec(1, 2, vec![0.9, 0.1]);
+        let res = topk_search(&q, &base(), 3, Metric::Manhattan);
+        let hits = &res[0];
+        assert_eq!(hits.len(), 3);
+        assert!(hits.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(hits[0].0, 1); // (1,0) is nearest
+    }
+
+    #[test]
+    fn k_larger_than_base_returns_all() {
+        let q = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let res = topk_search(&q, &base(), 10, Metric::Manhattan);
+        assert_eq!(res[0].len(), 4);
+    }
+
+    #[test]
+    fn inner_product_prefers_aligned() {
+        let q = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let res = topk_search(&q, &base(), 1, Metric::InnerProduct);
+        assert_eq!(res[0][0].0, 3);
+    }
+
+    #[test]
+    fn segmented_matches_plain_search() {
+        // pseudo-random matrices
+        let mut s = 1u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f32 / u32::MAX as f32) - 0.5
+        };
+        let q = Matrix::from_fn(37, 8, |_, _| next());
+        let b = Matrix::from_fn(53, 8, |_, _| next());
+        for segs in [1, 2, 3, 7] {
+            let plain = topk_search(&q, &b, 5, Metric::Manhattan);
+            let seg = segmented_topk(&q, &b, 5, Metric::Manhattan, segs);
+            assert_eq!(plain, seg, "segments={segs}");
+        }
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        let q = Matrix::from_vec(1, 1, vec![0.0]);
+        let b = Matrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]);
+        let res = topk_search(&q, &b, 3, Metric::Manhattan);
+        let ids: Vec<u32> = res[0].iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn dim_mismatch_panics() {
+        topk_search(
+            &Matrix::zeros(1, 2),
+            &Matrix::zeros(1, 3),
+            1,
+            Metric::Manhattan,
+        );
+    }
+
+    #[test]
+    fn empty_base_gives_empty_hits() {
+        let res = topk_search(&Matrix::zeros(2, 4), &Matrix::zeros(0, 4), 3, Metric::Manhattan);
+        assert!(res.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,764 @@
+//! Reverse-mode tape autograd.
+//!
+//! The EA models in this workspace (GCN-Align, RREA and the re-implemented
+//! baselines) need a small, fixed set of differentiable operations. Rather
+//! than hand-deriving each model's gradients we provide a tape: forward
+//! calls on [`Tape`] record one operation per node, [`Tape::backward`]
+//! walks the tape in reverse accumulating gradients. Matrices are the only
+//! tensor rank; "vectors" are `n × 1` matrices.
+//!
+//! A fresh tape is built every optimisation step (define-by-run); learnable
+//! parameters live outside the tape in an [`optim::ParamStore`] and are
+//! loaded in as gradient-requiring leaves.
+//!
+//! [`optim::ParamStore`]: crate::optim::ParamStore
+
+use crate::matrix::Matrix;
+use crate::sparse::SparseMatrix;
+use std::rc::Rc;
+
+/// A sparse operand for [`Tape::spmm`]: the matrix plus its precomputed
+/// transpose (needed by the backward pass). Build once per mini-batch.
+#[derive(Debug, Clone)]
+pub struct SpOp {
+    /// Forward operand.
+    pub mat: SparseMatrix,
+    /// `mat` transposed, used to back-propagate through `spmm`.
+    pub trans: SparseMatrix,
+}
+
+impl SpOp {
+    /// Wraps `mat`, computing its transpose eagerly.
+    pub fn new(mat: SparseMatrix) -> Rc<Self> {
+        let trans = mat.transpose();
+        Rc::new(Self { mat, trans })
+    }
+
+    /// Wraps a structurally symmetric matrix without recomputing the
+    /// transpose (GCN-normalised adjacency is symmetric).
+    pub fn symmetric(mat: SparseMatrix) -> Rc<Self> {
+        let trans = mat.clone();
+        Rc::new(Self { mat, trans })
+    }
+}
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug)]
+enum Op {
+    Leaf,
+    MatMul(Var, Var),
+    Spmm(Rc<SpOp>, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    MulElem(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Relu(Var),
+    Tanh(Var),
+    GatherRows(Var, Rc<Vec<u32>>),
+    L2NormRows(Var, f32),
+    RowL1(Var, Var),
+    RowDot(Var, Var),
+    MulBroadcastCol(Var, Var),
+    SumAll(Var),
+    MeanAll(Var),
+    HStack(Var, Var),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+    grad: Option<Matrix>,
+    requires_grad: bool,
+}
+
+/// The gradient tape. See the [module docs](self) for the usage model.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, op: Op, value: Matrix, requires_grad: bool) -> Var {
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+            requires_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Adds a gradient-requiring leaf (a learnable parameter's value).
+    pub fn param(&mut self, value: Matrix) -> Var {
+        self.push(Op::Leaf, value, true)
+    }
+
+    /// Adds a constant leaf (inputs, fixed features).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(Op::Leaf, value, false)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of `v`, if any was produced by
+    /// [`Tape::backward`].
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Dense product. See [`Matrix::matmul`].
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::MatMul(a, b), value, rg)
+    }
+
+    /// Sparse × dense product (GNN propagation step).
+    pub fn spmm(&mut self, s: &Rc<SpOp>, d: Var) -> Var {
+        let value = s.mat.spmm(self.value(d));
+        let rg = self.rg(d);
+        self.push(Op::Spmm(Rc::clone(s), d), value, rg)
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "add shapes");
+        let mut value = self.value(a).clone();
+        value.add_assign(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::Add(a, b), value, rg)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::Sub(a, b), value, rg)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "mul shapes");
+        let value = Matrix::from_vec(
+            self.value(a).rows(),
+            self.value(a).cols(),
+            self.value(a)
+                .as_slice()
+                .iter()
+                .zip(self.value(b).as_slice())
+                .map(|(x, y)| x * y)
+                .collect(),
+        );
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::MulElem(a, b), value, rg)
+    }
+
+    /// Multiplication by a scalar constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let mut value = self.value(a).clone();
+        value.scale(c);
+        let rg = self.rg(a);
+        self.push(Op::Scale(a, c), value, rg)
+    }
+
+    /// Addition of a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let mut value = self.value(a).clone();
+        for x in value.as_mut_slice() {
+            *x += c;
+        }
+        let rg = self.rg(a);
+        self.push(Op::AddScalar(a), value, rg)
+    }
+
+    /// Rectified linear unit, element-wise.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let mut value = self.value(a).clone();
+        for x in value.as_mut_slice() {
+            if *x < 0.0 {
+                *x = 0.0;
+            }
+        }
+        let rg = self.rg(a);
+        self.push(Op::Relu(a), value, rg)
+    }
+
+    /// Hyperbolic tangent, element-wise.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let mut value = self.value(a).clone();
+        for x in value.as_mut_slice() {
+            *x = x.tanh();
+        }
+        let rg = self.rg(a);
+        self.push(Op::Tanh(a), value, rg)
+    }
+
+    /// Selects rows by index (embedding lookup). Backward scatter-adds.
+    pub fn gather_rows(&mut self, a: Var, indices: Rc<Vec<u32>>) -> Var {
+        let value = self.value(a).gather_rows(&indices);
+        let rg = self.rg(a);
+        self.push(Op::GatherRows(a, indices), value, rg)
+    }
+
+    /// Row-wise L2 normalisation `x ← x / (‖x‖ + eps)`.
+    pub fn l2_normalize_rows(&mut self, a: Var, eps: f32) -> Var {
+        let mut value = self.value(a).clone();
+        value.l2_normalize_rows(eps);
+        let rg = self.rg(a);
+        self.push(Op::L2NormRows(a, eps), value, rg)
+    }
+
+    /// Per-row Manhattan distance between two equal-shaped matrices,
+    /// producing an `n × 1` column.
+    pub fn row_l1(&mut self, a: Var, b: Var) -> Var {
+        let (ma, mb) = (self.value(a), self.value(b));
+        assert_eq!(ma.shape(), mb.shape(), "row_l1 shapes");
+        let value = Matrix::from_vec(
+            ma.rows(),
+            1,
+            (0..ma.rows()).map(|i| ma.manhattan(i, mb, i)).collect(),
+        );
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::RowL1(a, b), value, rg)
+    }
+
+    /// Per-row dot product, producing an `n × 1` column.
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        let (ma, mb) = (self.value(a), self.value(b));
+        assert_eq!(ma.shape(), mb.shape(), "row_dot shapes");
+        let value = Matrix::from_vec(
+            ma.rows(),
+            1,
+            (0..ma.rows()).map(|i| ma.row_dot(i, mb, i)).collect(),
+        );
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::RowDot(a, b), value, rg)
+    }
+
+    /// Broadcast-multiplies each row of `a` (`n × d`) by the matching scalar
+    /// of column `b` (`n × 1`). Used by RREA's reflection `x − 2(x·r)r`.
+    pub fn mul_broadcast_col(&mut self, a: Var, b: Var) -> Var {
+        let (ma, mb) = (self.value(a), self.value(b));
+        assert_eq!(mb.cols(), 1, "broadcast column must be n×1");
+        assert_eq!(ma.rows(), mb.rows(), "broadcast row mismatch");
+        let mut value = ma.clone();
+        for i in 0..value.rows() {
+            let s = mb[(i, 0)];
+            for x in value.row_mut(i) {
+                *x *= s;
+            }
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::MulBroadcastCol(a, b), value, rg)
+    }
+
+    /// Horizontally concatenates two equal-row-count matrices (multi-hop
+    /// GNN outputs keep each hop in its own column block).
+    pub fn hstack(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hstack(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::HStack(a, b), value, rg)
+    }
+
+    /// Sum of all elements, as a `1 × 1` matrix.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s: f32 = self.value(a).as_slice().iter().sum();
+        let rg = self.rg(a);
+        self.push(Op::SumAll(a), Matrix::from_vec(1, 1, vec![s]), rg)
+    }
+
+    /// Mean of all elements, as a `1 × 1` matrix.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let len = self.value(a).as_slice().len().max(1);
+        let s: f32 = self.value(a).as_slice().iter().sum::<f32>() / len as f32;
+        let rg = self.rg(a);
+        self.push(Op::MeanAll(a), Matrix::from_vec(1, 1, vec![s]), rg)
+    }
+
+    /// Extracts the scalar of a `1 × 1` node (e.g. the loss value).
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "scalar() expects a 1x1 node");
+        m[(0, 0)]
+    }
+
+    /// Runs the backward pass from `loss` (must be `1 × 1`), accumulating
+    /// gradients into every gradient-requiring node.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward() expects a scalar loss"
+        );
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        self.nodes[loss.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..self.nodes.len()).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let Some(g) = self.nodes[i].grad.take() else {
+                continue;
+            };
+            self.propagate(i, &g);
+            self.nodes[i].grad = Some(g);
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, delta: Matrix) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn propagate(&mut self, i: usize, g: &Matrix) {
+        // Ops are matched by value patterns that borrow immutably, then
+        // accumulate() mutates; clone the light op metadata first.
+        match &self.nodes[i].op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = g.matmul(&self.value(b).transpose());
+                let db = self.value(a).transpose().matmul(g);
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::Spmm(s, d) => {
+                let (s, d) = (Rc::clone(s), *d);
+                let dd = s.trans.spmm(g);
+                self.accumulate(d, dd);
+            }
+            Op::Add(a, b) => {
+                let (a, b) = (*a, *b);
+                self.accumulate(a, g.clone());
+                self.accumulate(b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                let (a, b) = (*a, *b);
+                self.accumulate(a, g.clone());
+                let mut neg = g.clone();
+                neg.scale(-1.0);
+                self.accumulate(b, neg);
+            }
+            Op::MulElem(a, b) => {
+                let (a, b) = (*a, *b);
+                let da = hadamard(g, self.value(b));
+                let db = hadamard(g, self.value(a));
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::Scale(a, c) => {
+                let (a, c) = (*a, *c);
+                let mut da = g.clone();
+                da.scale(c);
+                self.accumulate(a, da);
+            }
+            Op::AddScalar(a) => {
+                let a = *a;
+                self.accumulate(a, g.clone());
+            }
+            Op::Relu(a) => {
+                let a = *a;
+                let y = &self.nodes[i].value;
+                let mut da = g.clone();
+                for (d, &out) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    if out <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+                self.accumulate(a, da);
+            }
+            Op::Tanh(a) => {
+                let a = *a;
+                let y = &self.nodes[i].value;
+                let mut da = g.clone();
+                for (d, &out) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *d *= 1.0 - out * out;
+                }
+                self.accumulate(a, da);
+            }
+            Op::GatherRows(a, idx) => {
+                let (a, idx) = (*a, Rc::clone(idx));
+                let src = self.value(a);
+                let mut da = Matrix::zeros(src.rows(), src.cols());
+                for (gi, &row) in idx.iter().enumerate() {
+                    let dst = da.row_mut(row as usize);
+                    for (d, &s) in dst.iter_mut().zip(g.row(gi)) {
+                        *d += s;
+                    }
+                }
+                self.accumulate(a, da);
+            }
+            Op::L2NormRows(a, eps) => {
+                let (a, eps) = (*a, *eps);
+                let x = self.value(a);
+                let mut da = Matrix::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    let xr = x.row(r);
+                    let gr = g.row(r);
+                    let n = xr.iter().map(|v| v * v).sum::<f32>().sqrt();
+                    let s = n + eps;
+                    let gx_dot: f32 = gr.iter().zip(xr).map(|(gv, xv)| gv * xv).sum();
+                    let coef = if n > 1e-20 { gx_dot / (n * s * s) } else { 0.0 };
+                    for ((d, &gv), &xv) in da.row_mut(r).iter_mut().zip(gr).zip(xr) {
+                        *d = gv / s - xv * coef;
+                    }
+                }
+                self.accumulate(a, da);
+            }
+            Op::RowL1(a, b) => {
+                let (a, b) = (*a, *b);
+                let (ma, mb) = (self.value(a), self.value(b));
+                let mut da = Matrix::zeros(ma.rows(), ma.cols());
+                let mut db = Matrix::zeros(ma.rows(), ma.cols());
+                for r in 0..ma.rows() {
+                    let gi = g[(r, 0)];
+                    for (((d_a, d_b), &x), &y) in da
+                        .row_mut(r)
+                        .iter_mut()
+                        .zip(db.row_mut(r).iter_mut())
+                        .zip(ma.row(r))
+                        .zip(mb.row(r))
+                    {
+                        let s = gi * (x - y).signum_or_zero();
+                        *d_a = s;
+                        *d_b = -s;
+                    }
+                }
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::RowDot(a, b) => {
+                let (a, b) = (*a, *b);
+                let (ma, mb) = (self.value(a), self.value(b));
+                let mut da = Matrix::zeros(ma.rows(), ma.cols());
+                let mut db = Matrix::zeros(ma.rows(), ma.cols());
+                for r in 0..ma.rows() {
+                    let gi = g[(r, 0)];
+                    for (((d_a, d_b), &x), &y) in da
+                        .row_mut(r)
+                        .iter_mut()
+                        .zip(db.row_mut(r).iter_mut())
+                        .zip(ma.row(r))
+                        .zip(mb.row(r))
+                    {
+                        *d_a = gi * y;
+                        *d_b = gi * x;
+                    }
+                }
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::MulBroadcastCol(a, b) => {
+                let (a, b) = (*a, *b);
+                let (ma, mb) = (self.value(a), self.value(b));
+                let mut da = Matrix::zeros(ma.rows(), ma.cols());
+                let mut db = Matrix::zeros(mb.rows(), 1);
+                for r in 0..ma.rows() {
+                    let s = mb[(r, 0)];
+                    let mut acc = 0.0;
+                    for ((d, &gv), &xv) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(ma.row(r)) {
+                        *d = gv * s;
+                        acc += gv * xv;
+                    }
+                    db[(r, 0)] = acc;
+                }
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::SumAll(a) => {
+                let a = *a;
+                let shape = self.value(a).shape();
+                let s = g[(0, 0)];
+                let da = Matrix::from_vec(shape.0, shape.1, vec![s; shape.0 * shape.1]);
+                self.accumulate(a, da);
+            }
+            Op::HStack(a, b) => {
+                let (a, b) = (*a, *b);
+                let ca = self.value(a).cols();
+                let cb = self.value(b).cols();
+                let rows = g.rows();
+                let mut da = Matrix::zeros(rows, ca);
+                let mut db = Matrix::zeros(rows, cb);
+                for r in 0..rows {
+                    da.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
+                    db.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
+                }
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::MeanAll(a) => {
+                let a = *a;
+                let shape = self.value(a).shape();
+                let len = (shape.0 * shape.1).max(1);
+                let s = g[(0, 0)] / len as f32;
+                let da = Matrix::from_vec(shape.0, shape.1, vec![s; shape.0 * shape.1]);
+                self.accumulate(a, da);
+            }
+        }
+    }
+}
+
+trait SignumOrZero {
+    fn signum_or_zero(self) -> f32;
+}
+
+impl SignumOrZero for f32 {
+    #[inline]
+    fn signum_or_zero(self) -> f32 {
+        if self > 0.0 {
+            1.0
+        } else if self < 0.0 {
+            -1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    Matrix::from_vec(
+        a.rows(),
+        a.cols(),
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x * y)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks d(loss)/d(param[idx]) against the tape's gradient.
+    fn finite_diff_check(build: impl Fn(&mut Tape, Var) -> Var, param: Matrix) {
+        let mut tape = Tape::new();
+        let p = tape.param(param.clone());
+        let loss = build(&mut tape, p);
+        tape.backward(loss);
+        let analytic = tape.grad(p).expect("param grad").clone();
+
+        let eps = 1e-3f32;
+        for idx in 0..param.as_slice().len() {
+            let mut plus = param.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut tp = Tape::new();
+            let vp = tp.param(plus);
+            let lp = build(&mut tp, vp);
+            let fp = tp.scalar(lp);
+
+            let mut minus = param.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let mut tm = Tape::new();
+            let vm = tm.param(minus);
+            let lm = build(&mut tm, vm);
+            let fm = tm.scalar(lm);
+
+            let numeric = (fp - fm) / (2.0 * eps);
+            let got = analytic.as_slice()[idx];
+            assert!(
+                (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs().max(got.abs())),
+                "idx {idx}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    fn seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f32 / u32::MAX as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let w = seeded(3, 2, 7);
+        finite_diff_check(
+            |t, p| {
+                let x = t.constant(seeded(4, 3, 1));
+                let y = t.matmul(x, p);
+                t.sum_all(y)
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn grad_spmm() {
+        let sp = SpOp::new(SparseMatrix::from_coo(
+            3,
+            3,
+            vec![(0, 1, 2.0), (1, 2, -1.0), (2, 0, 0.5)],
+        ));
+        finite_diff_check(
+            |t, p| {
+                let y = t.spmm(&sp, p);
+                t.sum_all(y)
+            },
+            seeded(3, 2, 9),
+        );
+    }
+
+    #[test]
+    fn grad_relu_chain() {
+        finite_diff_check(
+            |t, p| {
+                let x = t.constant(seeded(2, 3, 3));
+                let h = t.matmul(x, p);
+                let h = t.relu(h);
+                t.sum_all(h)
+            },
+            seeded(3, 2, 11),
+        );
+    }
+
+    #[test]
+    fn grad_tanh() {
+        finite_diff_check(
+            |t, p| {
+                let h = t.tanh(p);
+                t.sum_all(h)
+            },
+            seeded(2, 2, 5),
+        );
+    }
+
+    #[test]
+    fn grad_l2_normalize() {
+        finite_diff_check(
+            |t, p| {
+                let n = t.l2_normalize_rows(p, 1e-6);
+                let c = t.constant(seeded(2, 3, 17));
+                let m = t.mul_elem(n, c);
+                t.sum_all(m)
+            },
+            seeded(2, 3, 13),
+        );
+    }
+
+    #[test]
+    fn grad_gather_and_row_l1() {
+        // Margin-style loss: relu(margin + d_pos); exercises gather + L1.
+        finite_diff_check(
+            |t, p| {
+                let idx_a = Rc::new(vec![0u32, 2]);
+                let idx_b = Rc::new(vec![1u32, 3]);
+                let a = t.gather_rows(p, idx_a);
+                let b = t.gather_rows(p, idx_b);
+                let d = t.row_l1(a, b);
+                let d = t.add_scalar(d, 0.3);
+                let d = t.relu(d);
+                t.sum_all(d)
+            },
+            seeded(4, 3, 19),
+        );
+    }
+
+    #[test]
+    fn grad_row_dot_and_broadcast() {
+        // Reflection-ish computation: y = x - 2 (x·r) r
+        finite_diff_check(
+            |t, p| {
+                let r = t.l2_normalize_rows(p, 1e-9);
+                let x = t.constant(seeded(3, 4, 23));
+                let xd = t.row_dot(x, r);
+                let proj = t.mul_broadcast_col(r, xd);
+                let proj2 = t.scale(proj, 2.0);
+                let y = t.sub(x, proj2);
+                let yy = t.mul_elem(y, y);
+                t.sum_all(yy)
+            },
+            seeded(3, 4, 29),
+        );
+    }
+
+    #[test]
+    fn grad_hstack() {
+        finite_diff_check(
+            |t, p| {
+                let c = t.constant(seeded(3, 2, 41));
+                let h = t.hstack(p, c);
+                let h2 = t.hstack(c, p);
+                let m = t.mul_elem(h, h2);
+                t.sum_all(m)
+            },
+            seeded(3, 2, 37),
+        );
+    }
+
+    #[test]
+    fn grad_mean_all() {
+        finite_diff_check(
+            |t, p| {
+                let y = t.mul_elem(p, p);
+                t.mean_all(y)
+            },
+            seeded(3, 3, 31),
+        );
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let mut t = Tape::new();
+        let c = t.constant(seeded(2, 2, 1));
+        let p = t.param(seeded(2, 2, 2));
+        let y = t.mul_elem(c, p);
+        let l = t.sum_all(y);
+        t.backward(l);
+        assert!(t.grad(c).is_none());
+        assert!(t.grad(p).is_some());
+    }
+
+    #[test]
+    fn grad_accumulates_over_shared_subexpression() {
+        // loss = sum(p) + sum(p) → grad = 2 everywhere
+        let mut t = Tape::new();
+        let p = t.param(Matrix::zeros(2, 2));
+        let a = t.sum_all(p);
+        let b = t.sum_all(p);
+        let l = t.add(a, b);
+        t.backward(l);
+        assert!(t.grad(p).unwrap().as_slice().iter().all(|&g| g == 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar() {
+        let mut t = Tape::new();
+        let p = t.param(Matrix::zeros(2, 2));
+        t.backward(p);
+    }
+
+    #[test]
+    fn scalar_extracts_value() {
+        let mut t = Tape::new();
+        let p = t.param(Matrix::from_vec(1, 2, vec![2.0, 3.0]));
+        let s = t.sum_all(p);
+        assert_eq!(t.scalar(s), 5.0);
+    }
+}

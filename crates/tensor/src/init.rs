@@ -1,0 +1,52 @@
+//! Seeded weight initialisers.
+
+use crate::matrix::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Standard for GCN weight matrices.
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+}
+
+/// Normal initialisation with the given standard deviation (Box–Muller).
+pub fn normal(rows: usize, cols: usize, std: f32, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        // Box–Muller transform from two uniforms.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bounds() {
+        let m = xavier_uniform(50, 30, 1);
+        let a = (6.0f64 / 80.0).sqrt() as f32;
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        assert_eq!(xavier_uniform(4, 4, 7), xavier_uniform(4, 4, 7));
+        assert_ne!(xavier_uniform(4, 4, 7), xavier_uniform(4, 4, 8));
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let m = normal(100, 100, 0.5, 3);
+        let n = m.as_slice().len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = m.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,118 @@
+//! Binary persistence for matrices.
+//!
+//! Training large KGs proceeds one mini-batch at a time; checkpointing the
+//! per-batch embeddings (and the channel similarity matrices, see
+//! `largeea-sim`) lets a crashed or interrupted run resume without
+//! retraining. The format is a tiny explicit little-endian layout — no
+//! serde overhead on multi-hundred-MB buffers, no platform dependence:
+//!
+//! ```text
+//! magic "LEAM1\0"  | rows: u64 LE | cols: u64 LE | data: rows*cols f32 LE
+//! ```
+
+use crate::matrix::Matrix;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 6] = b"LEAM1\0";
+
+/// Writes `m` to `w` in the binary matrix format.
+pub fn write_matrix<W: Write>(m: &Matrix, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(m.rows() as u64).to_le_bytes())?;
+    w.write_all(&(m.cols() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(m.as_slice().len() * 4);
+    for &x in m.as_slice() {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+/// Reads a matrix previously written by [`write_matrix`].
+pub fn read_matrix<R: Read>(mut r: R) -> io::Result<Matrix> {
+    let mut magic = [0u8; 6];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a LEAM1 matrix file",
+        ));
+    }
+    let mut n = [0u8; 8];
+    r.read_exact(&mut n)?;
+    let rows = u64::from_le_bytes(n) as usize;
+    r.read_exact(&mut n)?;
+    let cols = u64::from_le_bytes(n) as usize;
+    let elems = rows.checked_mul(cols).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "matrix dimensions overflow")
+    })?;
+    let mut buf = vec![0u8; elems * 4];
+    r.read_exact(&mut buf)?;
+    let data = buf
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Convenience: write to a file path.
+pub fn save_matrix(m: &Matrix, path: &std::path::Path) -> io::Result<()> {
+    write_matrix(m, io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+/// Convenience: read from a file path.
+pub fn load_matrix(path: &std::path::Path) -> io::Result<Matrix> {
+    read_matrix(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let m = Matrix::from_fn(7, 3, |r, c| (r as f32) * 1.5 - c as f32 * 0.25);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let back = read_matrix(&buf[..]).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_special_values() {
+        let m = Matrix::from_vec(1, 4, vec![0.0, -0.0, f32::MIN_POSITIVE, 1e30]);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        assert_eq!(read_matrix(&buf[..]).unwrap(), m);
+
+        let empty = Matrix::zeros(0, 5);
+        let mut buf = Vec::new();
+        write_matrix(&empty, &mut buf).unwrap();
+        let back = read_matrix(&buf[..]).unwrap();
+        assert_eq!(back.shape(), (0, 5));
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let err = read_matrix(&b"NOTAMATRIX"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r + c) as f32);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_matrix(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = Matrix::from_fn(10, 10, |r, c| (r * 31 + c) as f32);
+        let path = std::env::temp_dir().join(format!("leam_test_{}.bin", std::process::id()));
+        save_matrix(&m, &path).unwrap();
+        let back = load_matrix(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,35 @@
+//! Linear-algebra and training substrate for the LargeEA reproduction.
+//!
+//! The paper trains GNN-based entity-alignment models with TensorFlow on a
+//! GPU. This crate is that substrate rebuilt in pure Rust:
+//!
+//! - [`Matrix`] — dense row-major `f32` matrix with parallel blocked kernels;
+//! - [`SparseMatrix`] — CSR sparse matrix with `spmm` (the GNN propagation
+//!   primitive) and construction from COO triplets;
+//! - [`autograd`] — a reverse-mode tape ([`Tape`]/[`Var`]) covering exactly
+//!   the operations the EA models need (matmul, spmm, gather, row-wise L1/L2,
+//!   ReLU, reflections, reductions), validated against finite differences;
+//! - [`optim`] — Adam and SGD over a [`ParamStore`];
+//! - [`init`] — seeded Xavier/normal initialisers;
+//! - [`parallel`] — scoped-thread blocked parallel map used by the hot
+//!   kernels.
+//!
+//! Determinism: all randomness is seeded, all parallel reductions are
+//! per-block with a fixed combination order, so training runs are exactly
+//! reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod autograd;
+pub mod init;
+pub mod io;
+pub mod matrix;
+pub mod optim;
+pub mod parallel;
+pub mod sparse;
+
+pub use autograd::{SpOp, Tape, Var};
+pub use matrix::Matrix;
+pub use optim::{Adam, AdamConfig, ParamStore, Sgd};
+pub use sparse::SparseMatrix;

@@ -1,0 +1,408 @@
+//! Dense row-major `f32` matrix with parallel blocked kernels.
+
+use crate::parallel::par_chunks_mut;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Minimum number of output elements before a kernel goes parallel.
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// A dense row-major matrix of `f32`.
+///
+/// Row-major layout keeps the GNN hot loops (`C[i,:] += A[i,k] * B[k,:]`)
+/// sequential in memory; parallelism is over disjoint output-row blocks, so
+/// results are bit-identical regardless of thread count.
+///
+/// ```
+/// use largeea_tensor::Matrix;
+///
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+/// assert_eq!(a.matmul(&i), a);
+/// assert_eq!(a[(1, 0)], 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from an existing buffer (length must be `rows*cols`).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix element-wise from `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Bytes of the backing buffer — used by the memory accounting that
+    /// stands in for the paper's GPU-memory metric.
+    #[inline]
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The whole backing slice, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable backing slice, row-major.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix product `self @ other` (parallel over output-row blocks).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} @ {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let cols = other.cols;
+        let k_dim = self.cols;
+        let a = &self.data;
+        let b = &other.data;
+        par_chunks_mut(&mut out.data, PAR_THRESHOLD, |block, start| {
+            let row0 = start / cols;
+            let nrows = block.len() / cols;
+            for (ri, out_row) in block.chunks_mut(cols).enumerate() {
+                let i = row0 + ri;
+                debug_assert!(ri < nrows);
+                let a_row = &a[i * k_dim..(i + 1) * k_dim];
+                for (k, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[k * cols..(k + 1) * cols];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// `self += other` element-wise.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` element-wise (axpy).
+    pub fn add_scaled_assign(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// L2-normalises each row in place: `x ← x / (‖x‖₂ + ε)`.
+    ///
+    /// Matches the paper's entity-embedding normalisation (ε guards the
+    /// all-zero row).
+    pub fn l2_normalize_rows(&mut self, eps: f32) {
+        let cols = self.cols;
+        par_chunks_mut(&mut self.data, PAR_THRESHOLD, |block, _| {
+            for row in block.chunks_mut(cols) {
+                let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+                let inv = 1.0 / (norm + eps);
+                for x in row {
+                    *x *= inv;
+                }
+            }
+        });
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Manhattan (L1) distance between row `i` of `self` and row `j` of
+    /// `other` — the paper's similarity metric for both channels.
+    pub fn manhattan(&self, i: usize, other: &Matrix, j: usize) -> f32 {
+        debug_assert_eq!(self.cols, other.cols);
+        self.row(i)
+            .iter()
+            .zip(other.row(j))
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+
+    /// Dot product between row `i` of `self` and row `j` of `other`.
+    pub fn row_dot(&self, i: usize, other: &Matrix, j: usize) -> f32 {
+        debug_assert_eq!(self.cols, other.cols);
+        self.row(i)
+            .iter()
+            .zip(other.row(j))
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Copies the rows of `self` selected by `indices` into a new matrix.
+    pub fn gather_rows(&self, indices: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src as usize));
+        }
+        out
+    }
+
+    /// Vertically stacks `self` on top of `other` (column counts must match).
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack column mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix::from_vec(self.rows + other.rows, self.cols, data)
+    }
+
+    /// Horizontally concatenates `self` with `other` (row counts must match).
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Maximum absolute element (0 for the empty matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_parallel_matches_sequential() {
+        let a = Matrix::from_fn(130, 70, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(70, 90, |r, c| ((r * 17 + c * 3) % 11) as f32 - 5.0);
+        let c = a.matmul(&b);
+        // sequential reference
+        let mut expect = Matrix::zeros(130, 90);
+        for i in 0..130 {
+            for k in 0..70 {
+                for j in 0..90 {
+                    expect[(i, j)] += a[(i, k)] * b[(k, j)];
+                }
+            }
+        }
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        m(2, 3, &[0.; 6]).matmul(&m(2, 3, &[0.; 6]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(0, 1)], 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let mut a = m(2, 2, &[3., 4., 0., 0.]);
+        a.l2_normalize_rows(1e-12);
+        assert!((a.row(0).iter().map(|x| x * x).sum::<f32>() - 1.0).abs() < 1e-5);
+        assert_eq!(a.row(1), &[0.0, 0.0]); // eps guards zero rows
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = m(1, 3, &[1., 2., 3.]);
+        let b = m(1, 3, &[2., 0., 3.]);
+        assert_eq!(a.manhattan(0, &b, 0), 3.0);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.as_slice(), &[5., 6., 1., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = m(1, 2, &[1., 2.]);
+        let b = m(1, 2, &[3., 4.]);
+        assert_eq!(a.vstack(&b).as_slice(), &[1., 2., 3., 4.]);
+        assert_eq!(a.hstack(&b).as_slice(), &[1., 2., 3., 4.]);
+        assert_eq!(a.hstack(&b).shape(), (1, 4));
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = m(1, 3, &[1., 1., 1.]);
+        let b = m(1, 3, &[1., 2., 3.]);
+        a.add_scaled_assign(&b, 2.0);
+        assert_eq!(a.as_slice(), &[3., 5., 7.]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn nbytes_tracks_buffer() {
+        assert_eq!(Matrix::zeros(10, 10).nbytes(), 400);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(a.as_slice(), &[0., 1., 2., 10., 11., 12.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_checks_length() {
+        Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Scoped-thread parallel helpers for blocked kernels.
+//!
+//! The hot kernels (matmul, spmm, top-k search) split work by output-row
+//! blocks. Blocks are disjoint, so plain `std::thread::scope` suffices — no
+//! work stealing, no unsafe, deterministic output regardless of thread
+//! count. Thread count comes from `LARGEEA_THREADS` or the machine's
+//! available parallelism.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for blocked kernels.
+///
+/// Resolution order: `LARGEEA_THREADS` env var (if a positive integer), then
+/// `std::thread::available_parallelism()`, then 1.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("LARGEEA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Applies `f` to each chunk of `data` (split into at most [`num_threads`]
+/// contiguous chunks) in parallel. `f` receives the chunk and the index of
+/// its first element.
+///
+/// Falls back to a sequential call for small inputs (below `min_len`) to
+/// avoid thread-spawn overhead dominating.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    min_len: usize,
+    f: impl Fn(&mut [T], usize) + Sync,
+) {
+    let threads = num_threads();
+    if threads <= 1 || data.len() < min_len {
+        f(data, 0);
+        return;
+    }
+    let chunk = data.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (i, block) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || f(block, i * chunk));
+        }
+    });
+}
+
+/// Parallel map over index ranges: splits `0..n` into blocks, runs `f(range)`
+/// on each, and returns the per-block results in block order.
+pub fn par_map_blocks<R: Send>(
+    n: usize,
+    min_len: usize,
+    f: impl Fn(std::ops::Range<usize>) -> R + Sync,
+) -> Vec<R> {
+    let threads = num_threads();
+    if threads <= 1 || n < min_len {
+        if n == 0 {
+            return Vec::new();
+        }
+        return vec![f(0..n)];
+    }
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<_> = (0..n)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(n))
+        .collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = &f;
+                s.spawn(move || f(r))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element() {
+        let mut v = vec![0u64; 10_000];
+        par_chunks_mut(&mut v, 16, |chunk, start| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (start + i) as u64;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_small_input_sequential() {
+        let mut v = vec![1, 2, 3];
+        par_chunks_mut(&mut v, 1000, |chunk, start| {
+            assert_eq!(start, 0);
+            assert_eq!(chunk.len(), 3);
+        });
+    }
+
+    #[test]
+    fn par_map_blocks_covers_range() {
+        let blocks = par_map_blocks(1000, 1, |r| r.len());
+        assert_eq!(blocks.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn par_map_blocks_empty() {
+        let blocks = par_map_blocks(0, 1, |_| 1usize);
+        assert!(blocks.is_empty());
+    }
+
+    #[test]
+    fn par_map_blocks_preserves_block_order() {
+        let blocks = par_map_blocks(100, 1, |r| r.start);
+        let mut sorted = blocks.clone();
+        sorted.sort_unstable();
+        assert_eq!(blocks, sorted);
+    }
+}

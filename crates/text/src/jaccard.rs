@@ -1,0 +1,65 @@
+//! Exact Jaccard similarity over character shingles.
+
+use std::collections::BTreeSet;
+
+/// The set of character `k`-shingles of a string (as hashable strings).
+/// Strings shorter than `k` yield the whole string as a single shingle.
+pub fn shingles(text: &str, k: usize) -> BTreeSet<String> {
+    assert!(k >= 1, "shingle size must be >= 1");
+    let chars: Vec<char> = text.chars().collect();
+    if chars.is_empty() {
+        return BTreeSet::new();
+    }
+    if chars.len() <= k {
+        return BTreeSet::from([text.to_owned()]);
+    }
+    chars.windows(k).map(|w| w.iter().collect()).collect()
+}
+
+/// Exact Jaccard similarity `|A ∩ B| / |A ∪ B|` (1.0 for two empty sets).
+pub fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shingles_of_short_and_long() {
+        assert_eq!(shingles("ab", 3), BTreeSet::from(["ab".to_owned()]));
+        let s = shingles("abcd", 3);
+        assert_eq!(s, BTreeSet::from(["abc".to_owned(), "bcd".to_owned()]));
+    }
+
+    #[test]
+    fn jaccard_bounds_and_identity() {
+        let a = shingles("paris", 3);
+        let b = shingles("paris", 3);
+        assert_eq!(jaccard(&a, &b), 1.0);
+        let c = shingles("tokyo", 3);
+        let j = jaccard(&a, &c);
+        assert!((0.0..1.0).contains(&j));
+    }
+
+    #[test]
+    fn jaccard_of_empties() {
+        let e = BTreeSet::new();
+        assert_eq!(jaccard(&e, &e), 1.0);
+        let a = shingles("x", 2);
+        assert_eq!(jaccard(&a, &e), 0.0);
+    }
+
+    #[test]
+    fn similar_strings_high_jaccard() {
+        let a = shingles("london", 3);
+        let b = shingles("londres", 3);
+        let c = shingles("reykjavik", 3);
+        assert!(jaccard(&a, &b) > jaccard(&a, &c));
+    }
+}

@@ -1,0 +1,164 @@
+//! Levenshtein edit distance and its normalised similarity — STNS's string
+//! metric.
+
+/// Levenshtein distance between two strings (unit costs), two-row DP.
+///
+/// `O(|a|·|b|)` time, `O(min)` space. Operates on chars, so multibyte
+/// characters count as single edits.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        if av.len() <= bv.len() {
+            (av, bv)
+        } else {
+            (bv, av)
+        }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Bounded Levenshtein distance (Ukkonen's band): returns `Some(d)` if
+/// `d ≤ max_d`, else `None`, visiting only the `2·max_d + 1` diagonal band.
+///
+/// STNS's LSH filter guarantees candidates are already similar, so a tight
+/// bound prunes the DP from `O(|a|·|b|)` to `O(max_d · min(|a|,|b|))` —
+/// the difference between feasible and not on million-entity vocabularies.
+pub fn levenshtein_bounded(a: &str, b: &str, max_d: usize) -> Option<usize> {
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        if av.len() <= bv.len() {
+            (av, bv)
+        } else {
+            (bv, av)
+        }
+    };
+    if long.len() - short.len() > max_d {
+        return None; // length gap alone exceeds the budget
+    }
+    if short.is_empty() {
+        return Some(long.len());
+    }
+    const BIG: usize = usize::MAX / 2;
+    let m = short.len();
+    let mut prev = vec![BIG; m + 1];
+    let mut cur = vec![BIG; m + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(max_d.min(m) + 1) {
+        *p = j;
+    }
+    for (i, &lc) in long.iter().enumerate() {
+        // band for this row: |i+1 - j| <= max_d
+        let lo = (i + 1).saturating_sub(max_d);
+        let hi = (i + 1 + max_d).min(m);
+        cur.fill(BIG);
+        if lo == 0 {
+            cur[0] = i + 1;
+        }
+        let mut row_min = BIG;
+        for j in lo.max(1)..=hi {
+            let sub = prev[j - 1] + usize::from(lc != short[j - 1]);
+            let del = prev[j].saturating_add(1);
+            let ins = cur[j - 1].saturating_add(1);
+            cur[j] = sub.min(del).min(ins);
+            row_min = row_min.min(cur[j]);
+        }
+        if lo == 0 {
+            row_min = row_min.min(cur[0]);
+        }
+        if row_min > max_d {
+            return None; // the whole band exceeded the budget
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[m];
+    (d <= max_d).then_some(d)
+}
+
+/// Normalised string similarity `1 − d/max(|a|,|b|)` ∈ [0, 1].
+/// Two empty strings are perfectly similar.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("über", "uber"), 1);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("london", "londres");
+        assert!(s > 0.5 && s < 1.0);
+    }
+
+    #[test]
+    fn bounded_agrees_with_exact_within_budget() {
+        let cases = [
+            ("kitten", "sitting"),
+            ("london", "londres"),
+            ("", "abc"),
+            ("same", "same"),
+            ("münchen", "munich"),
+        ];
+        for (a, b) in cases {
+            let exact = levenshtein(a, b);
+            for max_d in 0..=8 {
+                let bounded = levenshtein_bounded(a, b, max_d);
+                if exact <= max_d {
+                    assert_eq!(bounded, Some(exact), "{a} vs {b} max_d={max_d}");
+                } else {
+                    assert_eq!(bounded, None, "{a} vs {b} max_d={max_d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_rejects_on_length_gap_fast() {
+        assert_eq!(levenshtein_bounded("ab", "abcdefghij", 3), None);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("kitten", "sitting"), ("a", ""), ("münchen", "munich")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+}

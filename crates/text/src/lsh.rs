@@ -1,0 +1,158 @@
+//! Locality-sensitive hashing over MinHash signatures (banding scheme).
+//!
+//! STNS only needs candidate pairs whose Jaccard similarity clears a
+//! threshold θ; LSH banding finds them without comparing all `|E_s|·|E_t|`
+//! pairs. With `b` bands of `r` rows the probability a pair of similarity
+//! `s` collides in at least one band is `1 − (1 − s^r)^b`, an S-curve whose
+//! inflection sits near `(1/b)^{1/r}`; [`LshIndex::with_threshold`] picks
+//! `(b, r)` to put that inflection at θ, like datasketch does.
+
+use crate::hashing::mix;
+use crate::minhash::Signature;
+use std::collections::HashMap;
+
+/// An LSH index over MinHash signatures.
+#[derive(Debug)]
+pub struct LshIndex {
+    bands: usize,
+    rows: usize,
+    buckets: HashMap<(u32, u64), Vec<u32>>,
+}
+
+impl LshIndex {
+    /// Creates an index with an explicit banding layout.
+    /// `bands * rows` must equal the signature length used at insert time.
+    pub fn new(bands: usize, rows: usize) -> Self {
+        assert!(bands >= 1 && rows >= 1, "bands and rows must be positive");
+        Self {
+            bands,
+            rows,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Picks the banding layout whose collision S-curve has its threshold
+    /// closest to `theta`, among all factorisations of `num_perms`.
+    pub fn with_threshold(num_perms: usize, theta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&theta), "theta must lie in [0,1]");
+        let mut best = (1usize, num_perms, f64::INFINITY);
+        for rows in 1..=num_perms {
+            if num_perms % rows != 0 {
+                continue;
+            }
+            let bands = num_perms / rows;
+            let t = (1.0 / bands as f64).powf(1.0 / rows as f64);
+            let err = (t - theta).abs();
+            if err < best.2 {
+                best = (bands, rows, err);
+            }
+        }
+        Self::new(best.0, best.1)
+    }
+
+    /// Banding layout `(bands, rows)`.
+    pub fn layout(&self) -> (usize, usize) {
+        (self.bands, self.rows)
+    }
+
+    fn band_keys<'a>(&'a self, sig: &'a Signature) -> impl Iterator<Item = (u32, u64)> + 'a {
+        assert_eq!(
+            sig.len(),
+            self.bands * self.rows,
+            "signature length {} != bands*rows {}",
+            sig.len(),
+            self.bands * self.rows
+        );
+        sig.chunks(self.rows).enumerate().map(|(b, chunk)| {
+            let mut h = 0xcbf29ce484222325u64;
+            for &v in chunk {
+                h = mix(h ^ v, b as u64 + 1);
+            }
+            (b as u32, h)
+        })
+    }
+
+    /// Inserts `id` with its signature.
+    pub fn insert(&mut self, id: u32, sig: &Signature) {
+        let keys: Vec<_> = self.band_keys(sig).collect();
+        for key in keys {
+            self.buckets.entry(key).or_default().push(id);
+        }
+    }
+
+    /// All ids that share at least one band bucket with `sig`, deduplicated,
+    /// in ascending order.
+    pub fn candidates(&self, sig: &Signature) -> Vec<u32> {
+        let mut out = Vec::new();
+        for key in self.band_keys(sig) {
+            if let Some(ids) = self.buckets.get(&key) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of non-empty buckets (diagnostics).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::shingles;
+    use crate::minhash::MinHasher;
+
+    #[test]
+    fn threshold_layout_multiplies_back() {
+        let idx = LshIndex::with_threshold(128, 0.5);
+        let (b, r) = idx.layout();
+        assert_eq!(b * r, 128);
+        let t = (1.0 / b as f64).powf(1.0 / r as f64);
+        assert!((t - 0.5).abs() < 0.2, "threshold landed at {t}");
+    }
+
+    #[test]
+    fn near_duplicates_are_candidates() {
+        let mh = MinHasher::new(128, 9);
+        let mut idx = LshIndex::with_threshold(128, 0.5);
+        let names = ["london", "londres", "londonn", "reykjavik", "yokohama"];
+        for (i, n) in names.iter().enumerate() {
+            idx.insert(i as u32, &mh.signature(&shingles(n, 3)));
+        }
+        let cands = idx.candidates(&mh.signature(&shingles("london", 3)));
+        assert!(cands.contains(&0));
+        assert!(cands.contains(&2), "londonn should collide: {cands:?}");
+        assert!(!cands.contains(&3), "reykjavik should not collide");
+    }
+
+    #[test]
+    fn identical_strings_always_collide() {
+        let mh = MinHasher::new(64, 1);
+        let mut idx = LshIndex::with_threshold(64, 0.8);
+        let sig = mh.signature(&shingles("exact match", 3));
+        idx.insert(42, &sig);
+        assert_eq!(idx.candidates(&sig), vec![42]);
+    }
+
+    #[test]
+    fn candidates_deduplicated_and_sorted() {
+        let mh = MinHasher::new(32, 2);
+        let mut idx = LshIndex::new(8, 4);
+        let sig = mh.signature(&shingles("aaa", 2));
+        idx.insert(7, &sig);
+        idx.insert(3, &sig);
+        let c = idx.candidates(&sig);
+        assert_eq!(c, vec![3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature length")]
+    fn wrong_signature_length_panics() {
+        let mut idx = LshIndex::new(4, 4);
+        idx.insert(0, &vec![1, 2, 3]);
+    }
+}

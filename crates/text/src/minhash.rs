@@ -1,0 +1,125 @@
+//! MinHash signatures — the datasketch substitute used by STNS to avoid
+//! all-pairs Levenshtein.
+
+use crate::hashing::{fnv1a, mix};
+use std::collections::BTreeSet;
+
+/// A MinHash signature: one minimum per permutation.
+pub type Signature = Vec<u64>;
+
+/// Computes MinHash signatures whose component-wise equality rate is an
+/// unbiased estimator of Jaccard similarity.
+///
+/// Implemented as one base hash per shingle re-mixed with `num_perms`
+/// independent finalisers (the standard "one hash, many mixes" scheme).
+///
+/// ```
+/// use largeea_text::{shingles, MinHasher};
+///
+/// let mh = MinHasher::new(128, 7);
+/// let a = mh.signature(&shingles("london", 3));
+/// let b = mh.signature(&shingles("londres", 3));
+/// let c = mh.signature(&shingles("reykjavik", 3));
+/// assert!(mh.estimate(&a, &b) > mh.estimate(&a, &c));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    num_perms: usize,
+    seeds: Vec<u64>,
+}
+
+impl MinHasher {
+    /// Creates a hasher with `num_perms` permutations derived from `seed`.
+    pub fn new(num_perms: usize, seed: u64) -> Self {
+        assert!(num_perms >= 2, "need at least 2 permutations");
+        let seeds = (0..num_perms as u64)
+            .map(|i| mix(i.wrapping_add(0x5851F42D4C957F2D), seed))
+            .collect();
+        Self { num_perms, seeds }
+    }
+
+    /// Number of permutations (signature length).
+    pub fn num_perms(&self) -> usize {
+        self.num_perms
+    }
+
+    /// The signature of a shingle set. An empty set yields the all-`MAX`
+    /// signature, which matches nothing that is non-empty.
+    pub fn signature(&self, shingles: &BTreeSet<String>) -> Signature {
+        let mut sig = vec![u64::MAX; self.num_perms];
+        for sh in shingles {
+            let base = fnv1a(sh.as_bytes());
+            for (slot, &s) in sig.iter_mut().zip(&self.seeds) {
+                let h = mix(base, s);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        sig
+    }
+
+    /// Estimates Jaccard similarity from two signatures.
+    pub fn estimate(&self, a: &Signature, b: &Signature) -> f64 {
+        assert_eq!(a.len(), b.len(), "signature length mismatch");
+        let eq = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        eq as f64 / a.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::{jaccard, shingles};
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let mh = MinHasher::new(64, 7);
+        let s = shingles("entity alignment", 3);
+        let a = mh.signature(&s);
+        assert_eq!(mh.estimate(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let mh = MinHasher::new(256, 11);
+        let pairs = [
+            ("london", "londres"),
+            ("new york city", "york new"),
+            ("completely different", "nothing alike at all"),
+        ];
+        for (x, y) in pairs {
+            let sx = shingles(x, 3);
+            let sy = shingles(y, 3);
+            let truth = jaccard(&sx, &sy);
+            let est = mh.estimate(&mh.signature(&sx), &mh.signature(&sy));
+            assert!(
+                (truth - est).abs() < 0.15,
+                "{x} vs {y}: true {truth:.3} est {est:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_set_matches_nothing() {
+        let mh = MinHasher::new(32, 3);
+        let empty = mh.signature(&BTreeSet::new());
+        let full = mh.signature(&shingles("paris", 3));
+        assert_eq!(mh.estimate(&empty, &full), 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = MinHasher::new(16, 5).signature(&shingles("x y z", 2));
+        let b = MinHasher::new(16, 5).signature(&shingles("x y z", 2));
+        let c = MinHasher::new(16, 6).signature(&shingles("x y z", 2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn too_few_perms_rejected() {
+        MinHasher::new(1, 0);
+    }
+}

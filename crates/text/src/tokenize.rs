@@ -1,0 +1,58 @@
+//! Tokenisation: whitespace tokens and character n-grams (subword units).
+
+/// Splits a (normalised) name into whitespace-delimited tokens.
+pub fn tokens(name: &str) -> impl Iterator<Item = &str> {
+    name.split_whitespace()
+}
+
+/// Character n-grams of a token, with `^`/`$` boundary markers so prefixes
+/// and suffixes hash distinctly (the fastText convention). A token shorter
+/// than `n` yields its single padded form.
+pub fn char_ngrams(token: &str, n: usize) -> Vec<String> {
+    assert!(n >= 1, "n-gram size must be >= 1");
+    let padded: Vec<char> = std::iter::once('^')
+        .chain(token.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    if padded.len() <= n {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_split_on_whitespace() {
+        let t: Vec<_> = tokens("new york city").collect();
+        assert_eq!(t, vec!["new", "york", "city"]);
+        assert_eq!(tokens("").count(), 0);
+    }
+
+    #[test]
+    fn trigrams_with_boundaries() {
+        let g = char_ngrams("abc", 3);
+        assert_eq!(g, vec!["^ab", "abc", "bc$"]);
+    }
+
+    #[test]
+    fn short_token_single_gram() {
+        assert_eq!(char_ngrams("a", 3), vec!["^a$"]);
+        assert_eq!(char_ngrams("", 3), vec!["^$"]);
+    }
+
+    #[test]
+    fn unicode_tokens_work() {
+        let g = char_ngrams("hély", 3);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[0], "^hé");
+    }
+
+    #[test]
+    #[should_panic(expected = "n-gram size")]
+    fn zero_n_rejected() {
+        char_ngrams("abc", 0);
+    }
+}

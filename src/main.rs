@@ -1,0 +1,339 @@
+//! `largeea` — command-line entity alignment.
+//!
+//! ```text
+//! largeea generate  --preset ids15k-en-fr --scale 0.05 --out data/
+//! largeea stats     --data data/
+//! largeea partition --data data/ --k 5 --strategy cps
+//! largeea align     --data data/ --model rrea --k 5 --out predictions.tsv
+//! largeea eval      --data data/ --predictions predictions.tsv
+//! ```
+//!
+//! `--data` directories use the OpenEA layout (`rel_triples_1`,
+//! `rel_triples_2`, `ent_links`, optional `ent_labels_*`); `align` with
+//! `--unsupervised` runs the paper's zero-seed mode.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use largeea::core::pipeline::{LargeEa, LargeEaConfig};
+use largeea::core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
+use largeea::data::Preset;
+use largeea::kg::{io, AlignmentSeeds, EntityId, KgPair, KgStats};
+use largeea::models::{ModelKind, TrainConfig};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "largeea — LargeEA entity alignment (VLDB 2021, reproduced in Rust)
+
+USAGE:
+  largeea generate  --preset <name> [--scale f] [--seed-ratio f] --out <dir>
+  largeea stats     --data <dir>
+  largeea partition --data <dir> [--k n] [--strategy cps|vps] [--seed-ratio f]
+  largeea align     --data <dir> [--model gcn|rrea|mtranse] [--k n]
+                    [--epochs n] [--dim n] [--seed-ratio f] [--unsupervised]
+                    [--csls n] [--rounds n] [--analysis] [--out <file>] [--sim-out <file>]
+  largeea eval      --data <dir> --predictions <file>
+
+PRESETS: ids15k-en-fr  ids15k-en-de  ids100k-en-fr  ids100k-en-de
+         dbp1m-en-fr   dbp1m-en-de
+
+Every command is deterministic for fixed inputs and flags.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "partition" => cmd_partition(&flags),
+        "align" => cmd_align(&flags),
+        "eval" => cmd_eval(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {a:?}"));
+        };
+        // boolean flags take no value
+        if name == "unsupervised" || name == "analysis" {
+            flags.insert(name.to_owned(), "true".to_owned());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{name} is required"))
+}
+
+fn parse_or<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} got invalid value {v:?}")),
+    }
+}
+
+fn preset_by_name(name: &str) -> Result<Preset, String> {
+    Ok(match name {
+        "ids15k-en-fr" => Preset::Ids15kEnFr,
+        "ids15k-en-de" => Preset::Ids15kEnDe,
+        "ids100k-en-fr" => Preset::Ids100kEnFr,
+        "ids100k-en-de" => Preset::Ids100kEnDe,
+        "dbp1m-en-fr" => Preset::Dbp1mEnFr,
+        "dbp1m-en-de" => Preset::Dbp1mEnDe,
+        other => return Err(format!("unknown preset {other:?} (see --help)")),
+    })
+}
+
+fn model_by_name(name: &str) -> Result<ModelKind, String> {
+    Ok(match name {
+        "gcn" | "gcn-align" => ModelKind::GcnAlign,
+        "rrea" => ModelKind::Rrea,
+        "mtranse" => ModelKind::MTransE,
+        other => return Err(format!("unknown model {other:?} (gcn|rrea|mtranse)")),
+    })
+}
+
+fn load_data(flags: &Flags) -> Result<KgPair, String> {
+    let dir = required(flags, "data")?;
+    io::load_pair(Path::new(dir), "SRC", "TGT").map_err(|e| format!("loading {dir}: {e}"))
+}
+
+fn split(flags: &Flags, pair: &KgPair) -> Result<AlignmentSeeds, String> {
+    let ratio: f64 = parse_or(flags, "seed-ratio", 0.2)?;
+    if !(0.0..=1.0).contains(&ratio) {
+        return Err(format!("--seed-ratio must lie in [0,1], got {ratio}"));
+    }
+    Ok(pair.split_seeds(ratio, 0x5EED))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let preset = preset_by_name(required(flags, "preset")?)?;
+    let scale: f64 = parse_or(flags, "scale", 0.05)?;
+    let out = PathBuf::from(required(flags, "out")?);
+    let pair = preset.spec(scale).generate();
+    io::save_pair(&pair, &out).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {} at scale {scale}: |E_s|={}, |E_t|={}, |T_s|={}, |T_t|={}, links={} → {}",
+        preset.name(),
+        pair.source.num_entities(),
+        pair.target.num_entities(),
+        pair.source.num_triples(),
+        pair.target.num_triples(),
+        pair.alignment.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let pair = load_data(flags)?;
+    println!("{:<8} {:>10} {:>10} {:>10} {:>10} {:>8}", "side", "entities", "relations", "triples", "max-deg", "isolated");
+    for (label, kg) in [("source", &pair.source), ("target", &pair.target)] {
+        let s = KgStats::of(kg);
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            label, s.entities, s.relations, s.triples, s.max_degree, s.isolated
+        );
+    }
+    let (us, ut) = pair.unknown_fraction();
+    println!(
+        "ground-truth links: {} (unknown entities: {:.1}% source, {:.1}% target)",
+        pair.alignment.len(),
+        100.0 * us,
+        100.0 * ut
+    );
+    Ok(())
+}
+
+fn cmd_partition(flags: &Flags) -> Result<(), String> {
+    let pair = load_data(flags)?;
+    let seeds = split(flags, &pair)?;
+    let k: usize = parse_or(flags, "k", 5)?;
+    let strategy = match flags.get("strategy").map(String::as_str).unwrap_or("cps") {
+        "cps" | "metis-cps" => Partitioner::MetisCps,
+        "vps" => Partitioner::Vps,
+        other => return Err(format!("unknown strategy {other:?} (cps|vps)")),
+    };
+    let sc = StructureChannel::new(StructureChannelConfig {
+        k,
+        partitioner: strategy,
+        ..StructureChannelConfig::default()
+    });
+    let batches = sc.make_batches(&pair, &seeds);
+    let r = batches.retention(&seeds);
+    println!(
+        "K={k} {strategy:?}: retention total {:.1}% / train {:.1}% / test {:.1}%, edge-cut rate {:.3}",
+        100.0 * r.total,
+        100.0 * r.train,
+        100.0 * r.test,
+        batches.edge_cut_rate(&pair)
+    );
+    for b in &batches.batches {
+        println!(
+            "  batch {:>2}: {:>7} source + {:>7} target entities, {:>6} train pairs",
+            b.index,
+            b.source_entities.len(),
+            b.target_entities.len(),
+            b.train_pairs.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_align(flags: &Flags) -> Result<(), String> {
+    let pair = load_data(flags)?;
+    let unsupervised = flags.contains_key("unsupervised");
+    let seeds = if unsupervised {
+        AlignmentSeeds {
+            train: vec![],
+            test: pair.alignment.clone(),
+        }
+    } else {
+        split(flags, &pair)?
+    };
+    let model = model_by_name(flags.get("model").map(String::as_str).unwrap_or("rrea"))?;
+    let cfg = LargeEaConfig {
+        structure: StructureChannelConfig {
+            k: parse_or(flags, "k", 5)?,
+            model,
+            train: TrainConfig {
+                epochs: parse_or(flags, "epochs", 50)?,
+                dim: parse_or(flags, "dim", 64)?,
+                ..TrainConfig::default()
+            },
+            ..StructureChannelConfig::default()
+        },
+        csls_k: flags
+            .get("csls")
+            .map(|v| v.parse().map_err(|_| format!("--csls got {v:?}")))
+            .transpose()?,
+        ..LargeEaConfig::default()
+    };
+    let rounds: usize = parse_or(flags, "rounds", 1)?;
+    let report = LargeEa::new(cfg).run_iterative(&pair, &seeds, rounds.max(1));
+    println!(
+        "H@1 {:.1}%  H@5 {:.1}%  MRR {:.2}  ({} test pairs, {:.1}s, pseudo seeds {} @ {:.1}%)",
+        report.eval.hits1,
+        report.eval.hits5,
+        report.eval.mrr,
+        report.eval.evaluated,
+        report.total_seconds,
+        report.pseudo_seeds,
+        100.0 * report.pseudo_seed_accuracy,
+    );
+    if flags.contains_key("analysis") {
+        println!("\nH@1 by source-entity degree:");
+        for b in largeea::core::accuracy_by_degree(&pair, &report.sim, &seeds.test) {
+            if b.pairs > 0 {
+                println!("  degree {:>5}: {:>5} pairs, H@1 {:>5.1}%", b.bucket, b.pairs, b.hits1);
+            }
+        }
+        if let (Some(m_s), Some(m_n)) = (&report.m_s, &report.m_n) {
+            let a = largeea::core::attribute_channels(m_s, m_n, &report.sim, &seeds.test);
+            println!(
+                "channel attribution: both {} / structure-only {} / name-only {} / neither {} \
+                 (fusion rescued {}, broke {})",
+                a.both, a.structure_only, a.name_only, a.neither, a.fusion_rescued, a.fusion_broke
+            );
+        }
+    }
+    if let Some(path) = flags.get("out") {
+        let decoded = report.sim.greedy_one_to_one();
+        let mut body = String::new();
+        for (s, t) in &decoded {
+            body.push_str(pair.source.entity_key(EntityId(*s)));
+            body.push('\t');
+            body.push_str(pair.target.entity_key(EntityId(*t)));
+            body.push('\n');
+        }
+        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} predicted links → {path}", decoded.len());
+    }
+    if let Some(path) = flags.get("sim-out") {
+        largeea::sim::io::save_sparse_sim(&report.sim, Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote similarity matrix → {path}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(flags: &Flags) -> Result<(), String> {
+    let pair = load_data(flags)?;
+    let path = required(flags, "predictions")?;
+    let body = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut predicted: HashMap<&str, &str> = HashMap::new();
+    for (lineno, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut f = line.split('\t');
+        let (Some(a), Some(b), None) = (f.next(), f.next(), f.next()) else {
+            return Err(format!("{path}:{}: expected 2 tab-separated fields", lineno + 1));
+        };
+        predicted.insert(a, b);
+    }
+    let mut correct = 0usize;
+    for &(s, t) in &pair.alignment {
+        if predicted.get(pair.source.entity_key(s)).copied()
+            == Some(pair.target.entity_key(t))
+        {
+            correct += 1;
+        }
+    }
+    let precision = correct as f64 / predicted.len().max(1) as f64;
+    let recall = correct as f64 / pair.alignment.len().max(1) as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    println!(
+        "predictions {}  correct {}  precision {:.1}%  recall {:.1}%  F1 {:.1}%",
+        predicted.len(),
+        correct,
+        100.0 * precision,
+        100.0 * recall,
+        100.0 * f1
+    );
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! Integration tests for the `largeea` CLI binary: the full
+//! generate → stats → partition → align → eval workflow a user would run.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_largeea"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("largeea_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("generate"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let out = bin().args(["generate", "--scale", "0.01"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--preset"), "{err}");
+}
+
+#[test]
+fn full_workflow_generate_stats_partition_align_eval() {
+    let dir = tempdir("workflow");
+    let data = dir.join("data");
+    let preds = dir.join("predictions.tsv");
+
+    // generate
+    let out = bin()
+        .args([
+            "generate",
+            "--preset",
+            "ids15k-en-fr",
+            "--scale",
+            "0.01",
+            "--out",
+        ])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.join("rel_triples_1").exists());
+    assert!(data.join("ent_links").exists());
+
+    // stats
+    let out = bin().args(["stats", "--data"]).arg(&data).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ground-truth links: 150"), "{text}");
+
+    // partition
+    let out = bin()
+        .args(["partition", "--data"])
+        .arg(&data)
+        .args(["--k", "2", "--strategy", "cps"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("retention"), "{text}");
+    assert!(text.contains("batch  0"), "{text}");
+
+    // align (small settings to stay fast)
+    let out = bin()
+        .args(["align", "--data"])
+        .arg(&data)
+        .args(["--model", "gcn", "--k", "2", "--epochs", "15", "--dim", "32", "--out"])
+        .arg(&preds)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("H@1"), "{text}");
+    assert!(preds.exists());
+
+    // eval
+    let out = bin()
+        .args(["eval", "--data"])
+        .arg(&data)
+        .arg("--predictions")
+        .arg(&preds)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("F1"), "{text}");
+    // name-rich synthetic data: the decoded alignment should be mostly right
+    let recall: f64 = text
+        .split("recall ")
+        .nth(1)
+        .and_then(|s| s.split('%').next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("recall parsed");
+    assert!(recall > 50.0, "recall {recall} too low: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unsupervised_align_runs() {
+    let dir = tempdir("unsup");
+    let data = dir.join("data");
+    let out = bin()
+        .args([
+            "generate",
+            "--preset",
+            "ids15k-en-de",
+            "--scale",
+            "0.008",
+            "--out",
+        ])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["align", "--data"])
+        .arg(&data)
+        .args(["--model", "gcn", "--k", "1", "--epochs", "10", "--dim", "16", "--unsupervised"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pseudo seeds"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}

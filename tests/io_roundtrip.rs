@@ -1,0 +1,89 @@
+//! Integration tests for dataset IO and generation through the facade.
+
+use largeea::data::{Language, NameNoise, PairGenConfig, Preset};
+use largeea::kg::{io, KgStats};
+use proptest::prelude::*;
+
+#[test]
+fn generated_pair_roundtrips_through_openea_layout() {
+    let pair = Preset::Ids15kEnFr.spec(0.01).generate();
+    let dir = std::env::temp_dir().join(format!("largeea_roundtrip_{}", std::process::id()));
+    io::save_pair(&pair, &dir).expect("save");
+    let loaded = io::load_pair(&dir, "EN", "FR").expect("load");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // entities isolated AND unaligned are unrepresentable in the layout;
+    // everything else must survive
+    assert!(loaded.source.num_entities() <= pair.source.num_entities());
+    assert_eq!(loaded.source.num_triples(), pair.source.num_triples());
+    assert_eq!(loaded.target.num_triples(), pair.target.num_triples());
+    assert_eq!(loaded.alignment.len(), pair.alignment.len());
+    // keys and generated labels survive verbatim (label side-files)
+    let e0 = pair.alignment[0].0;
+    let key = pair.source.entity_key(e0);
+    let reloaded_id = loaded.source.entity_id(key).expect("key survives");
+    assert_eq!(
+        loaded.source.entity_label(reloaded_id),
+        pair.source.entity_label(e0)
+    );
+}
+
+#[test]
+fn unicode_labels_survive_roundtrip() {
+    use largeea::kg::{KgPair, KnowledgeGraph};
+    let mut s = KnowledgeGraph::new("DE");
+    s.add_triple_by_name("München", "liegt_in", "Bayern");
+    let mut t = KnowledgeGraph::new("FR");
+    t.add_triple_by_name("Munich", "situé_en", "Bavière");
+    let pair = KgPair::new(
+        s.clone(),
+        t,
+        vec![(s.entity_id("München").unwrap(), largeea::kg::EntityId(0))],
+    );
+    let dir = std::env::temp_dir().join(format!("largeea_unicode_{}", std::process::id()));
+    io::save_pair(&pair, &dir).expect("save");
+    let loaded = io::load_pair(&dir, "DE", "FR").expect("load");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(loaded.source.entity_id("München").is_some());
+    assert!(loaded.target.entity_id("Bavière").is_some());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generator_respects_arbitrary_configs(
+        aligned in 10usize..200,
+        unknown_s in 0usize..40,
+        unknown_t in 0usize..40,
+        triples_mult in 2usize..6,
+        heterogeneity in 0.0f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let cfg = PairGenConfig {
+            aligned,
+            unknown_source: unknown_s,
+            unknown_target: unknown_t,
+            relations_source: 8,
+            relations_target: 6,
+            triples_source: aligned * triples_mult,
+            triples_target: aligned * triples_mult / 2,
+            heterogeneity,
+            communities: 3,
+            community_locality: 0.8,
+            name_noise: NameNoise::default(),
+            source_lang: Language::En,
+            target_lang: Language::Fr,
+            seed,
+        };
+        let pair = largeea::data::generate_pair(&cfg);
+        prop_assert_eq!(pair.source.num_entities(), aligned + unknown_s);
+        prop_assert_eq!(pair.target.num_entities(), aligned + unknown_t);
+        prop_assert_eq!(pair.alignment.len(), aligned);
+        prop_assert!(pair.validate().is_ok());
+        prop_assert_eq!(pair.source.num_triples(), aligned * triples_mult);
+        // stats never panic and degree sums are consistent
+        let stats = KgStats::of(&pair.source);
+        prop_assert!(stats.max_degree >= 1);
+    }
+}

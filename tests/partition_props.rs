@@ -1,0 +1,152 @@
+//! Property-based tests for the partitioning substrate.
+
+use largeea::partition::{
+    edge_cut, metis_cps, partition_kway, vps, CpsConfig, PartGraph, PartitionConfig,
+};
+use largeea::kg::{EntityId, KgPair, KnowledgeGraph};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph as an edge list over `n` vertices.
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (10usize..120).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            (0..n as u32, 0..n as u32, 0.1f64..10.0),
+            n..(4 * n),
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partition_is_a_total_cover((n, edges) in graph_strategy(), k in 1usize..8) {
+        let g = PartGraph::from_edges(n, edges);
+        let p = partition_kway(&g, &PartitionConfig::new(k));
+        // every vertex assigned, every id in range
+        prop_assert_eq!(p.assignment.len(), n);
+        prop_assert!(p.assignment.iter().all(|&a| (a as usize) < k));
+    }
+
+    #[test]
+    fn partition_balance_is_bounded((n, edges) in graph_strategy(), k in 2usize..6) {
+        prop_assume!(n >= 4 * k);
+        let g = PartGraph::from_edges(n, edges);
+        let p = partition_kway(&g, &PartitionConfig::new(k));
+        // multilevel partitioning with tolerance 1.05 plus projection slack:
+        // assert a loose but meaningful bound
+        prop_assert!(
+            p.balance(&g) <= 2.0,
+            "balance {} too poor for n={} k={}", p.balance(&g), n, k
+        );
+    }
+
+    #[test]
+    fn edge_cut_never_exceeds_total_weight((n, edges) in graph_strategy(), k in 1usize..6) {
+        let g = PartGraph::from_edges(n, edges.clone());
+        let p = partition_kway(&g, &PartitionConfig::new(k));
+        let cut = edge_cut(&g, &p.assignment);
+        prop_assert!(cut >= 0.0);
+        prop_assert!(cut <= g.total_ewgt() + 1e-9);
+        if k == 1 {
+            prop_assert_eq!(cut, 0.0);
+        }
+    }
+
+    #[test]
+    fn refined_cut_no_worse_than_unrefined_projection(
+        (n, edges) in graph_strategy(),
+        seed in 0u64..1000,
+    ) {
+        // determinism: same seed → same assignment
+        let g = PartGraph::from_edges(n, edges);
+        let cfg = PartitionConfig::new(3).with_seed(seed);
+        let a = partition_kway(&g, &cfg);
+        let b = partition_kway(&g, &cfg);
+        prop_assert_eq!(a.assignment, b.assignment);
+    }
+}
+
+/// Builds a KG pair of `c` communities with `per` entities each.
+fn community_pair(c: usize, per: usize, seed: u64) -> KgPair {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let total = c * per;
+    let mut s = KnowledgeGraph::new("EN");
+    let mut t = KnowledgeGraph::new("FR");
+    for i in 0..total {
+        s.add_entity(&format!("s{i}"));
+        t.add_entity(&format!("t{i}"));
+    }
+    for kg_idx in 0..2 {
+        for ci in 0..c {
+            let base = ci * per;
+            for i in 0..per {
+                for _ in 0..3 {
+                    let j = rng.gen_range(0..per);
+                    if i == j {
+                        continue;
+                    }
+                    let (h, tl) = (base + i, base + j);
+                    if kg_idx == 0 {
+                        s.add_triple_by_name(&format!("s{h}"), "r", &format!("s{tl}"));
+                    } else {
+                        t.add_triple_by_name(&format!("t{h}"), "r", &format!("t{tl}"));
+                    }
+                }
+            }
+        }
+    }
+    let alignment = (0..total as u32).map(|i| (EntityId(i), EntityId(i))).collect();
+    KgPair::new(s, t, alignment)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cps_beats_vps_on_test_retention(seed in 0u64..500) {
+        let pair = community_pair(3, 40, seed);
+        let seeds = pair.split_seeds(0.2, seed);
+        let cps = metis_cps(&pair, &seeds, &CpsConfig::new(3).with_seed(seed));
+        let v = vps(&pair, &seeds, 3, seed);
+        let (rc, rv) = (cps.retention(&seeds), v.retention(&seeds));
+        // VPS keeps all training seeds by construction
+        prop_assert_eq!(rv.train, 1.0);
+        // on community graphs CPS must keep clearly more test pairs together
+        prop_assert!(
+            rc.test >= rv.test,
+            "cps test retention {} < vps {}", rc.test, rv.test
+        );
+    }
+
+    #[test]
+    fn batches_partition_the_entity_sets(seed in 0u64..500, k in 2usize..5) {
+        let pair = community_pair(2, 30, seed);
+        let seeds = pair.split_seeds(0.3, seed);
+        let mb = metis_cps(&pair, &seeds, &CpsConfig::new(k).with_seed(seed));
+        let ns: usize = mb.batches.iter().map(|b| b.source_entities.len()).sum();
+        let nt: usize = mb.batches.iter().map(|b| b.target_entities.len()).sum();
+        prop_assert_eq!(ns, pair.source.num_entities());
+        prop_assert_eq!(nt, pair.target.num_entities());
+        // disjointness: every entity appears in exactly one batch
+        prop_assert!(mb.source_membership.iter().all(|m| m.len() == 1));
+        prop_assert!(mb.target_membership.iter().all(|m| m.len() == 1));
+    }
+
+    #[test]
+    fn overlap_monotonically_recovers_retention(seed in 0u64..200) {
+        let pair = community_pair(3, 25, seed);
+        let seeds = pair.split_seeds(0.2, seed);
+        let base = metis_cps(&pair, &seeds, &CpsConfig::new(3).with_seed(seed));
+        let mut last = base.retention(&seeds).total;
+        for d_ov in 2..=3 {
+            let ov = base.overlapped(&pair, &seeds, d_ov);
+            let r = ov.retention(&seeds).total;
+            prop_assert!(r >= last - 1e-12, "retention dropped at d_ov={d_ov}");
+            last = r;
+        }
+    }
+}
