@@ -1,17 +1,16 @@
-//! Criterion micro-benchmarks for sparse similarity matrices and fusion.
+//! Micro-benchmarks for sparse similarity matrices and fusion.
 //!
 //! The cost behind the final `M = M_s + M_n` step and the data
 //! augmentation's mutual-top-1 extraction. Also covers ablation D4 (the
 //! γ fusion weight is free — the sweep confirms the cost is the merge
 //! itself, not the weighting).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use largeea_common::bench::Bench;
+use largeea_common::rng::Rng;
 use largeea_sim::SparseSimMatrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn random_sim(rows: usize, cols: usize, per_row: usize, seed: u64) -> SparseSimMatrix {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut m = SparseSimMatrix::new(rows, cols);
     for r in 0..rows {
         for _ in 0..per_row {
@@ -21,18 +20,20 @@ fn random_sim(rows: usize, cols: usize, per_row: usize, seed: u64) -> SparseSimM
     m
 }
 
-fn bench_fusion(c: &mut Criterion) {
+fn bench_fusion(bench: &mut Bench) {
     let a = random_sim(10_000, 10_000, 50, 1);
     let b = random_sim(10_000, 10_000, 50, 2);
-    let mut group = c.benchmark_group("fusion_m_s_plus_m_n");
+    let mut group = bench.group("fusion_m_s_plus_m_n");
     group.bench_function("add_10k_rows_k50", |bch| bch.iter(|| a.add(&b)));
-    group.bench_function("scaled_add_gamma", |bch| bch.iter(|| a.scaled_add(&b, 0.05)));
+    group.bench_function("scaled_add_gamma", |bch| {
+        bch.iter(|| a.scaled_add(&b, 0.05))
+    });
     group.finish();
 }
 
-fn bench_augmentation_primitives(c: &mut Criterion) {
+fn bench_augmentation_primitives(bench: &mut Bench) {
     let m = random_sim(10_000, 10_000, 50, 3);
-    let mut group = c.benchmark_group("augmentation_mutual_top1");
+    let mut group = bench.group("augmentation_mutual_top1");
     group.bench_function("mutual_top1_10k", |b| b.iter(|| m.mutual_top1()));
     group.bench_function("normalize_global_10k", |b| {
         b.iter(|| {
@@ -51,9 +52,8 @@ fn bench_augmentation_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fusion, bench_augmentation_primitives
+fn main() {
+    let mut bench = Bench::new().sample_size(10);
+    bench_fusion(&mut bench);
+    bench_augmentation_primitives(&mut bench);
 }
-criterion_main!(benches);

@@ -1,34 +1,32 @@
-//! Criterion micro-benchmarks for the partitioning substrate.
+//! Micro-benchmarks for the partitioning substrate.
 //!
 //! These are the costs behind Figure 4's "METIS-CPS" series and Figure 6's
 //! partition-time comparison: multilevel coarsening, full k-way
 //! partitioning, and the two mini-batch generation strategies end-to-end.
 //! Also covers ablation D2 (CPS pivot count q).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use largeea_common::bench::Bench;
 use largeea_data::Preset;
 use largeea_partition::coarsen::coarsen_once;
 use largeea_partition::{metis_cps, partition_kway, vps, CpsConfig, PartGraph, PartitionConfig};
 
-fn bench_partitioner(c: &mut Criterion) {
+fn bench_partitioner(bench: &mut Bench) {
     let pair = Preset::Ids15kEnFr.spec(0.1).generate();
     let g = PartGraph::from_kg(&pair.source);
-    let mut group = c.benchmark_group("fig4_partitioner");
-    group.bench_function("coarsen_once_1500v", |b| {
-        b.iter(|| coarsen_once(&g, 7))
-    });
+    let mut group = bench.group("fig4_partitioner");
+    group.bench_function("coarsen_once_1500v", |b| b.iter(|| coarsen_once(&g, 7)));
     for k in [5usize, 20] {
-        group.bench_with_input(BenchmarkId::new("kway_1500v", k), &k, |b, &k| {
+        group.bench_function(format!("kway_1500v/{k}"), |b| {
             b.iter(|| partition_kway(&g, &PartitionConfig::new(k)))
         });
     }
     group.finish();
 }
 
-fn bench_minibatch_generation(c: &mut Criterion) {
+fn bench_minibatch_generation(bench: &mut Bench) {
     let pair = Preset::Ids15kEnFr.spec(0.1).generate();
     let seeds = pair.split_seeds(0.2, 1);
-    let mut group = c.benchmark_group("table5_minibatch_generation");
+    let mut group = bench.group("table5_minibatch_generation");
     group.bench_function("metis_cps_k5", |b| {
         b.iter(|| metis_cps(&pair, &seeds, &CpsConfig::new(5)))
     });
@@ -36,13 +34,13 @@ fn bench_minibatch_generation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_cps_pivots(c: &mut Criterion) {
+fn bench_cps_pivots(bench: &mut Bench) {
     // Ablation D2: the paper fixes q = 1; measure what larger q costs.
     let pair = Preset::Ids15kEnFr.spec(0.1).generate();
     let seeds = pair.split_seeds(0.2, 2);
-    let mut group = c.benchmark_group("ablation_d2_cps_q");
+    let mut group = bench.group("ablation_d2_cps_q");
     for q in [1usize, 3, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+        group.bench_function(q, |b| {
             let mut cfg = CpsConfig::new(5);
             cfg.q = q;
             b.iter(|| metis_cps(&pair, &seeds, &cfg))
@@ -51,28 +49,25 @@ fn bench_cps_pivots(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_refinement(c: &mut Criterion) {
+fn bench_refinement(bench: &mut Bench) {
     // Ablation D1: what the k-way boundary refinement costs and saves.
     let pair = Preset::Ids15kEnFr.spec(0.1).generate();
     let g = PartGraph::from_kg(&pair.source);
-    let mut group = c.benchmark_group("ablation_d1_refinement");
+    let mut group = bench.group("ablation_d1_refinement");
     for passes in [0usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("kway_k5_refine_passes", passes),
-            &passes,
-            |b, &passes| {
-                let mut cfg = PartitionConfig::new(5);
-                cfg.refine_passes = passes;
-                b.iter(|| partition_kway(&g, &cfg))
-            },
-        );
+        group.bench_function(format!("kway_k5_refine_passes/{passes}"), |b| {
+            let mut cfg = PartitionConfig::new(5);
+            cfg.refine_passes = passes;
+            b.iter(|| partition_kway(&g, &cfg))
+        });
     }
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_partitioner, bench_minibatch_generation, bench_cps_pivots, bench_refinement
+fn main() {
+    let mut bench = Bench::new().sample_size(10);
+    bench_partitioner(&mut bench);
+    bench_minibatch_generation(&mut bench);
+    bench_cps_pivots(&mut bench);
+    bench_refinement(&mut bench);
 }
-criterion_main!(benches);

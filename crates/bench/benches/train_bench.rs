@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks for mini-batch EA training.
+//! Micro-benchmarks for mini-batch EA training.
 //!
 //! The cost behind Table 2/3's `Time` columns and Figure 4's "EA training"
 //! series: one full training epoch (forward + backward + Adam) for each
 //! model, plus the negative-sampling refresh.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use largeea_common::bench::Bench;
 use largeea_data::Preset;
 use largeea_models::negative::{sample_negatives, NegStrategy};
 use largeea_models::{train, BatchGraph, ModelKind, TrainConfig};
@@ -23,9 +23,9 @@ fn batch_graph() -> BatchGraph {
     BatchGraph::from_mini_batch(&pair, &mb.batches[0])
 }
 
-fn bench_epochs(c: &mut Criterion) {
+fn bench_epochs(bench: &mut Bench) {
     let bg = batch_graph();
-    let mut group = c.benchmark_group("table2_training_epoch");
+    let mut group = bench.group("table2_training_epoch");
     for kind in [ModelKind::GcnAlign, ModelKind::Rrea] {
         group.bench_function(format!("{kind:?}_750pairs_1epoch"), |b| {
             b.iter(|| {
@@ -42,7 +42,7 @@ fn bench_epochs(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_negative_sampling(c: &mut Criterion) {
+fn bench_negative_sampling(bench: &mut Bench) {
     // Ablation D5: nearest-neighbour vs random negatives.
     let bg = batch_graph();
     let mut model = ModelKind::GcnAlign.build(&bg, 64, 5);
@@ -55,8 +55,11 @@ fn bench_negative_sampling(c: &mut Criterion) {
             ..TrainConfig::default()
         },
     );
-    let mut group = c.benchmark_group("ablation_d5_negatives");
-    for (label, strat) in [("random", NegStrategy::Random), ("nearest", NegStrategy::Nearest)] {
+    let mut group = bench.group("ablation_d5_negatives");
+    for (label, strat) in [
+        ("random", NegStrategy::Random),
+        ("nearest", NegStrategy::Nearest),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| sample_negatives(&bg, &report.embeddings, 15, strat, 9))
         });
@@ -64,9 +67,8 @@ fn bench_negative_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_epochs, bench_negative_sampling
+fn main() {
+    let mut bench = Bench::new().sample_size(10);
+    bench_epochs(&mut bench);
+    bench_negative_sampling(&mut bench);
 }
-criterion_main!(benches);

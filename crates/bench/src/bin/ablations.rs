@@ -12,9 +12,7 @@ use largeea_bench::{arg_f64, arg_usize};
 use largeea_core::evaluate;
 use largeea_core::pipeline::{LargeEa, LargeEaConfig};
 use largeea_core::report::{print_series, Series};
-use largeea_core::structure_channel::{
-    Partitioner, StructureChannel, StructureChannelConfig,
-};
+use largeea_core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
 use largeea_core::{NameChannel, NameChannelConfig};
 use largeea_data::Preset;
 use largeea_models::negative::NegStrategy;
@@ -33,7 +31,11 @@ fn main() {
     };
 
     // --- D2: CPS pivot count q -------------------------------------------
-    let mut d2 = Series { label: "test retention %".into(), x: vec![], y: vec![] };
+    let mut d2 = Series {
+        label: "test retention %".into(),
+        x: vec![],
+        y: vec![],
+    };
     for q in [1usize, 2, 4, 8] {
         let mut cfg = CpsConfig::new(5);
         cfg.q = q;
@@ -41,13 +43,26 @@ fn main() {
         d2.x.push(q as f64);
         d2.y.push(100.0 * batches.retention(&seeds).test);
     }
-    print_series("Ablation D2 — CPS pivots q (paper: q=1 suffices)", "q", "test retention %", &[d2]);
+    print_series(
+        "Ablation D2 — CPS pivots q (paper: q=1 suffices)",
+        "q",
+        "test retention %",
+        &[d2],
+    );
 
     // --- D3: top-k retention φ — the accuracy/memory trade-off -------------
     // H@1 saturates immediately (it needs only rank 1); the knob buys
     // candidate recall (H@5, MRR) against sparse-matrix memory.
-    let mut d3_h5 = Series { label: "H@5 %".into(), x: vec![], y: vec![] };
-    let mut d3_kb = Series { label: "M_n KiB".into(), x: vec![], y: vec![] };
+    let mut d3_h5 = Series {
+        label: "H@5 %".into(),
+        x: vec![],
+        y: vec![],
+    };
+    let mut d3_kb = Series {
+        label: "M_n KiB".into(),
+        x: vec![],
+        y: vec![],
+    };
     for top_k in [1usize, 5, 50, 150] {
         let nc = NameChannel::new(NameChannelConfig {
             top_k,
@@ -68,7 +83,11 @@ fn main() {
     );
 
     // --- D4: fusion weight γ ------------------------------------------------
-    let mut d4 = Series { label: "name-channel MRR".into(), x: vec![], y: vec![] };
+    let mut d4 = Series {
+        label: "name-channel MRR".into(),
+        x: vec![],
+        y: vec![],
+    };
     for gamma in [0.0f32, 0.05, 0.2, 1.0] {
         let nc = NameChannel::new(NameChannelConfig {
             gamma,
@@ -78,10 +97,19 @@ fn main() {
         d4.x.push(gamma as f64);
         d4.y.push(evaluate(&out.m_n, &seeds.test).mrr);
     }
-    print_series("Ablation D4 — string fusion weight γ (paper: 0.05)", "γ", "MRR", &[d4]);
+    print_series(
+        "Ablation D4 — string fusion weight γ (paper: 0.05)",
+        "γ",
+        "MRR",
+        &[d4],
+    );
 
     // --- D5: negative sampling strategy ------------------------------------
-    let mut d5 = Series { label: "structure-channel H@1".into(), x: vec![], y: vec![] };
+    let mut d5 = Series {
+        label: "structure-channel H@1".into(),
+        x: vec![],
+        y: vec![],
+    };
     for (xi, strat) in [(0.0, NegStrategy::Random), (1.0, NegStrategy::Nearest)] {
         let cfg = StructureChannelConfig {
             k: 2,
@@ -107,7 +135,11 @@ fn main() {
     );
 
     // --- bonus: iterative self-training rounds ------------------------------
-    let mut rounds_series = Series { label: "fused H@1".into(), x: vec![], y: vec![] };
+    let mut rounds_series = Series {
+        label: "fused H@1".into(),
+        x: vec![],
+        y: vec![],
+    };
     for rounds in [1usize, 2, 3] {
         let cfg = LargeEaConfig {
             structure: StructureChannelConfig {

@@ -32,7 +32,8 @@ fn main() {
         let entities = (pair.source.num_entities() + pair.target.num_entities()) as f64;
         eprintln!("[fig4] scale {scale}: {entities} entities");
 
-        let name_out = NameChannel::new(NameChannelConfig::default()).run(&pair.source, &pair.target);
+        let name_out =
+            NameChannel::new(NameChannelConfig::default()).run(&pair.source, &pair.target);
         let sc = StructureChannel::new(StructureChannelConfig {
             k: preset.default_k(),
             partitioner: Partitioner::MetisCps,
@@ -51,10 +52,26 @@ fn main() {
     }
 
     let series = vec![
-        Series { label: "SENS".into(), x: xs.clone(), y: sens },
-        Series { label: "STNS".into(), x: xs.clone(), y: stns },
-        Series { label: "METIS-CPS".into(), x: xs.clone(), y: cps },
-        Series { label: "EA training".into(), x: xs, y: training },
+        Series {
+            label: "SENS".into(),
+            x: xs.clone(),
+            y: sens,
+        },
+        Series {
+            label: "STNS".into(),
+            x: xs.clone(),
+            y: stns,
+        },
+        Series {
+            label: "METIS-CPS".into(),
+            x: xs.clone(),
+            y: cps,
+        },
+        Series {
+            label: "EA training".into(),
+            x: xs,
+            y: training,
+        },
     ];
     print_series(
         "Figure 4 — scalability vs data size (DBP1M EN-FR family)",

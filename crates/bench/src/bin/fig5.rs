@@ -56,5 +56,10 @@ fn main() {
     for (di, p) in Preset::all().into_iter().enumerate() {
         println!("  {di}: {}", p.name());
     }
-    print_series("Figure 5 — ablation study (H@1)", "dataset index", "H@1 %", &series);
+    print_series(
+        "Figure 5 — ablation study (H@1)",
+        "dataset index",
+        "H@1 %",
+        &series,
+    );
 }

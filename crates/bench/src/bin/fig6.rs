@@ -11,9 +11,9 @@
 //! Flags: `--scale <f>` (default 0.1 of IDS15K), `--epochs <n>`, `--dim <n>`.
 
 use largeea_bench::{arg_f64, harness_train_config};
+use largeea_core::evaluate;
 use largeea_core::report::{print_series, Series};
 use largeea_core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
-use largeea_core::evaluate;
 use largeea_data::Preset;
 use largeea_models::ModelKind;
 
@@ -30,7 +30,11 @@ fn main() {
     let ratios = [0.1, 0.2, 0.3, 0.4, 0.5];
     let mut acc: Vec<Series> = strategies
         .iter()
-        .map(|(l, _)| Series { label: (*l).into(), x: Vec::new(), y: Vec::new() })
+        .map(|(l, _)| Series {
+            label: (*l).into(),
+            x: Vec::new(),
+            y: Vec::new(),
+        })
         .collect();
     let mut time: Vec<Series> = acc.clone();
 
@@ -54,7 +58,9 @@ fn main() {
             acc[si].x.push(ratio);
             acc[si].y.push(eval.hits1);
             time[si].x.push(ratio);
-            time[si].y.push(out.partition_seconds + out.training_seconds);
+            time[si]
+                .y
+                .push(out.partition_seconds + out.training_seconds);
         }
     }
     print_series(

@@ -20,10 +20,26 @@ fn main() {
     for preset in [Preset::Dbp1mEnFr, Preset::Dbp1mEnDe] {
         let (_, pair, seeds) = make_dataset(preset, None);
         let ks = [15usize, 20, 25, 30];
-        let mut acc_cps = Series { label: "METIS-CPS".into(), x: vec![], y: vec![] };
-        let mut acc_vps = Series { label: "VPS".into(), x: vec![], y: vec![] };
-        let mut rec_cps = Series { label: "METIS-CPS R_ec".into(), x: vec![], y: vec![] };
-        let mut rec_vps = Series { label: "VPS R_ec".into(), x: vec![], y: vec![] };
+        let mut acc_cps = Series {
+            label: "METIS-CPS".into(),
+            x: vec![],
+            y: vec![],
+        };
+        let mut acc_vps = Series {
+            label: "VPS".into(),
+            x: vec![],
+            y: vec![],
+        };
+        let mut rec_cps = Series {
+            label: "METIS-CPS R_ec".into(),
+            x: vec![],
+            y: vec![],
+        };
+        let mut rec_vps = Series {
+            label: "VPS R_ec".into(),
+            x: vec![],
+            y: vec![],
+        };
 
         for &k in &ks {
             for (partitioner, acc, rec) in [

@@ -39,7 +39,13 @@ fn main() {
         eprintln!("[table2] {} (scale {scale}): baselines…", preset.name());
         rows.extend(baseline_rows(preset.name(), &pair, &seeds, 50));
         eprintln!("[table2] {}: LargeEA variants…", preset.name());
-        rows.push(largeea_variant_row(preset.name(), &pair, &seeds, ModelKind::GcnAlign, k));
+        rows.push(largeea_variant_row(
+            preset.name(),
+            &pair,
+            &seeds,
+            ModelKind::GcnAlign,
+            k,
+        ));
         rows.push(largeea_variant_row(
             preset.name(),
             &reversed,
@@ -47,7 +53,13 @@ fn main() {
             ModelKind::GcnAlign,
             k,
         ));
-        rows.push(largeea_variant_row(preset.name(), &pair, &seeds, ModelKind::Rrea, k));
+        rows.push(largeea_variant_row(
+            preset.name(),
+            &pair,
+            &seeds,
+            ModelKind::Rrea,
+            k,
+        ));
         rows.push(largeea_variant_row(
             preset.name(),
             &reversed,

@@ -10,12 +10,11 @@
 //! Flags: `--scale <f>` (overrides every dataset's default scale).
 
 use largeea_bench::make_dataset;
+use largeea_common::json::{Json, ToJson};
 use largeea_core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
 use largeea_data::Preset;
 use largeea_kg::AlignmentSeeds;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct RetentionRow {
     dataset: String,
     method: &'static str,
@@ -23,6 +22,19 @@ struct RetentionRow {
     total: f64,
     train: f64,
     test: f64,
+}
+
+impl ToJson for RetentionRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", self.dataset.to_json()),
+            ("method", self.method.to_json()),
+            ("direction", self.direction.to_json()),
+            ("total", self.total.to_json()),
+            ("train", self.train.to_json()),
+            ("test", self.test.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -40,16 +52,21 @@ fn main() {
         };
         let k = preset.default_k();
         for (p, s, dir) in [
-            (&pair, &seeds, format!("{}→{}", pair.source.name(), pair.target.name())),
+            (
+                &pair,
+                &seeds,
+                format!("{}→{}", pair.source.name(), pair.target.name()),
+            ),
             (
                 &reversed,
                 &seeds_rev,
                 format!("{}→{}", reversed.source.name(), reversed.target.name()),
             ),
         ] {
-            for (method, partitioner) in
-                [("METIS-CPS", Partitioner::MetisCps), ("VPS", Partitioner::Vps)]
-            {
+            for (method, partitioner) in [
+                ("METIS-CPS", Partitioner::MetisCps),
+                ("VPS", Partitioner::Vps),
+            ] {
                 let cfg = StructureChannelConfig {
                     k,
                     partitioner,
@@ -79,6 +96,6 @@ fn main() {
     }
     println!("--- json ---");
     for row in &json_rows {
-        println!("{}", serde_json::to_string(row).expect("row serialises"));
+        println!("{}", row.to_json_string());
     }
 }

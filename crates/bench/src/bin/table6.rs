@@ -13,15 +13,14 @@
 //! epochs suffice).
 
 use largeea_bench::make_dataset;
+use largeea_common::json::{Json, ToJson};
 use largeea_core::mem::MemTracker;
 use largeea_core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
 use largeea_core::{NameChannel, NameChannelConfig};
 use largeea_data::Preset;
 use largeea_kg::AlignmentSeeds;
 use largeea_models::{ModelKind, TrainConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct MemRow {
     dataset: String,
     direction: String,
@@ -30,6 +29,20 @@ struct MemRow {
     rrea_unpartitioned: Option<usize>,
     gcn_partitioned: usize,
     gcn_unpartitioned: Option<usize>,
+}
+
+impl ToJson for MemRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", self.dataset.to_json()),
+            ("direction", self.direction.to_json()),
+            ("name_channel", self.name_channel.to_json()),
+            ("rrea_partitioned", self.rrea_partitioned.to_json()),
+            ("rrea_unpartitioned", self.rrea_unpartitioned.to_json()),
+            ("gcn_partitioned", self.gcn_partitioned.to_json()),
+            ("gcn_unpartitioned", self.gcn_unpartitioned.to_json()),
+        ])
+    }
 }
 
 fn structure_peak(
@@ -81,12 +94,16 @@ fn main() {
             } else {
                 (
                     Some(structure_peak(p, s, ModelKind::Rrea, Partitioner::None, 1)),
-                    Some(structure_peak(p, s, ModelKind::GcnAlign, Partitioner::None, 1)),
+                    Some(structure_peak(
+                        p,
+                        s,
+                        ModelKind::GcnAlign,
+                        Partitioner::None,
+                        1,
+                    )),
                 )
             };
-            let fmt_opt = |v: Option<usize>| {
-                v.map_or("-".to_owned(), MemTracker::fmt_bytes)
-            };
+            let fmt_opt = |v: Option<usize>| v.map_or("-".to_owned(), MemTracker::fmt_bytes);
             println!(
                 "{:<18} {:<8} {:>12} {:>14} {:>14} {:>14} {:>14}",
                 preset.name(),
@@ -110,6 +127,6 @@ fn main() {
     }
     println!("--- json ---");
     for row in &json_rows {
-        println!("{}", serde_json::to_string(row).expect("row serialises"));
+        println!("{}", row.to_json_string());
     }
 }

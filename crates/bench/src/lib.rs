@@ -55,7 +55,10 @@ pub fn default_scale(preset: Preset) -> f64 {
 }
 
 /// Builds `preset` at the `--scale`-overridable harness scale, split 20/80.
-pub fn make_dataset(preset: Preset, scale_override: Option<f64>) -> (DatasetSpec, KgPair, AlignmentSeeds) {
+pub fn make_dataset(
+    preset: Preset,
+    scale_override: Option<f64>,
+) -> (DatasetSpec, KgPair, AlignmentSeeds) {
     let scale = scale_override.unwrap_or_else(|| arg_f64("scale", default_scale(preset)));
     let spec = preset.spec(scale);
     let pair = spec.generate();
@@ -139,7 +142,14 @@ pub fn baseline_rows(
     let mut rows = Vec::new();
     let mut push = |name: &str, r: bl::BaselineResult| {
         let eval = largeea_core::evaluate(&r.sim, &seeds.test);
-        rows.push(MethodRow::new(dataset, name, dir.clone(), eval, r.seconds, r.peak_bytes));
+        rows.push(MethodRow::new(
+            dataset,
+            name,
+            dir.clone(),
+            eval,
+            r.seconds,
+            r.peak_bytes,
+        ));
     };
     push("GCNAlign", bl::gcn_align_full(pair, seeds, &cfg, top_k));
     push(

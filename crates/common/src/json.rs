@@ -1,0 +1,328 @@
+//! Minimal JSON value tree and emitter, replacing `serde`/`serde_json`.
+//!
+//! The workspace only ever *emits* JSON — one object per experiment row,
+//! printed as a JSON line under a `--- json ---` marker for EXPERIMENTS.md
+//! regeneration and diffing. This module provides exactly that: a
+//! [`Json`] value tree, a [`ToJson`] trait that row structs implement by
+//! hand (fields in declaration order, like a `serde::Serialize` derive),
+//! and a compact emitter.
+//!
+//! ## Output-format contract
+//!
+//! The emitter is byte-compatible with the `serde_json::to_string` output
+//! the repo previously produced (golden tests in `largeea-core::report`
+//! pin this):
+//!
+//! - Compact form: no whitespace, `,` and `:` separators, object keys in
+//!   insertion (= struct declaration) order.
+//! - Strings: UTF-8 passed through verbatim; only `"`, `\` and control
+//!   characters are escaped (`\b \t \n \f \r`, otherwise `\u00xx` with
+//!   lowercase hex) — exactly serde_json's escape set.
+//! - Integers print in decimal; floats print their shortest
+//!   round-trippable decimal with `.0` appended to integral values
+//!   (`77` → `77.0`), matching serde_json/ryu for the magnitudes the
+//!   harness emits (positional notation; the harness never emits values
+//!   needing scientific notation). Non-finite floats emit `null`.
+//! - `Option::None` emits `null`.
+//!
+//! ```
+//! use largeea_common::json::{Json, ToJson};
+//!
+//! struct Row { name: String, score: f64, rank: usize }
+//! impl ToJson for Row {
+//!     fn to_json(&self) -> Json {
+//!         Json::obj([
+//!             ("name", self.name.to_json()),
+//!             ("score", self.score.to_json()),
+//!             ("rank", self.rank.to_json()),
+//!         ])
+//!     }
+//! }
+//! let row = Row { name: "VPS".into(), score: 41.0, rank: 2 };
+//! assert_eq!(row.to_json_string(), r#"{"name":"VPS","score":41.0,"rank":2}"#);
+//! ```
+
+/// A JSON value.
+///
+/// Integers and floats are distinct variants because the emitter must
+/// distinguish `1654000000` (a `usize` count) from `77.0` (a float) —
+/// serde_json made the same distinction via Rust's types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (counts, byte sizes).
+    UInt(u64),
+    /// A double-precision float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    ///
+    /// ```
+    /// use largeea_common::json::Json;
+    /// let j = Json::obj([("a", Json::UInt(1)), ("b", Json::Null)]);
+    /// assert_eq!(j.dump(), r#"{"a":1,"b":null}"#);
+    /// ```
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Serialises to a compact JSON string (see the module-level
+    /// output-format contract).
+    ///
+    /// ```
+    /// use largeea_common::json::Json;
+    /// assert_eq!(Json::Arr(vec![Json::Float(0.1), Json::Bool(true)]).dump(),
+    ///            "[0.1,true]");
+    /// ```
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Float(f) => write_f64(*f, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Shortest round-trip decimal with `.0` appended to integral values;
+/// non-finite values emit `null` (serde_json refuses them; the harness
+/// never produces them).
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    // Rust's Display for f64 is the shortest decimal that round-trips,
+    // always in positional notation.
+    out.push_str(&v.to_string());
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{8}' => out.push_str("\\b"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\u{c}' => out.push_str("\\f"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value — the workspace's `Serialize`.
+///
+/// Row structs implement [`ToJson::to_json`] by listing fields in
+/// declaration order; [`ToJson::to_json_string`] is the drop-in for
+/// `serde_json::to_string(&row).unwrap()`.
+pub trait ToJson {
+    /// Converts `self` into a JSON value tree.
+    fn to_json(&self) -> Json;
+
+    /// Serialises `self` to a compact JSON string.
+    ///
+    /// ```
+    /// use largeea_common::json::ToJson;
+    /// assert_eq!(vec![1u32, 2].to_json_string(), "[1,2]");
+    /// ```
+    fn to_json_string(&self) -> String {
+        self.to_json().dump()
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+
+macro_rules! to_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json { Json::UInt(*self as u64) }
+        }
+    )*};
+}
+to_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json { Json::Int(*self as i64) }
+        }
+    )*};
+}
+to_json_int!(i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every expected string below is the literal `serde_json::to_string`
+    /// output for the same value — the byte-compatibility contract.
+    #[test]
+    fn scalars_match_serde_json() {
+        assert_eq!(Json::Null.dump(), "null");
+        assert_eq!(true.to_json_string(), "true");
+        assert_eq!(0usize.to_json_string(), "0");
+        assert_eq!(1_654_000_000usize.to_json_string(), "1654000000");
+        assert_eq!((-7i64).to_json_string(), "-7");
+        assert_eq!(u64::MAX.to_json_string(), "18446744073709551615");
+    }
+
+    #[test]
+    fn floats_match_serde_json() {
+        assert_eq!(0.0f64.to_json_string(), "0.0");
+        assert_eq!(77.0f64.to_json_string(), "77.0");
+        assert_eq!((-77.0f64).to_json_string(), "-77.0");
+        assert_eq!(88.4f64.to_json_string(), "88.4");
+        assert_eq!(0.9f64.to_json_string(), "0.9");
+        assert_eq!(0.05f64.to_json_string(), "0.05");
+        assert_eq!((100.0f64 / 3.0).to_json_string(), "33.333333333333336");
+        assert_eq!(f64::NAN.to_json_string(), "null");
+        assert_eq!(f64::INFINITY.to_json_string(), "null");
+    }
+
+    #[test]
+    fn strings_match_serde_json_escaping() {
+        assert_eq!("plain".to_json_string(), "\"plain\"");
+        assert_eq!("EN→FR".to_json_string(), "\"EN→FR\"");
+        assert_eq!("a\"b\\c".to_json_string(), r#""a\"b\\c""#);
+        assert_eq!("tab\there".to_json_string(), r#""tab\there""#);
+        assert_eq!("nl\nhere".to_json_string(), r#""nl\nhere""#);
+        assert_eq!("\u{1}".to_json_string(), "\"\\u0001\"");
+        assert_eq!("\u{1f}".to_json_string(), "\"\\u001f\"");
+        assert_eq!("München".to_json_string(), "\"München\"");
+    }
+
+    #[test]
+    fn composites_match_serde_json() {
+        assert_eq!(vec![0.1f64, 0.2].to_json_string(), "[0.1,0.2]");
+        assert_eq!(Vec::<u32>::new().to_json_string(), "[]");
+        assert_eq!(Option::<usize>::None.to_json_string(), "null");
+        assert_eq!(Some(3usize).to_json_string(), "3");
+        let obj = Json::obj([
+            ("label", "VPS".to_json()),
+            ("x", vec![0.1f64, 0.2].to_json()),
+            ("none", Json::Null),
+        ]);
+        assert_eq!(obj.dump(), r#"{"label":"VPS","x":[0.1,0.2],"none":null}"#);
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let obj = Json::obj([("z", 1u32.to_json()), ("a", 2u32.to_json())]);
+        assert_eq!(obj.dump(), r#"{"z":1,"a":2}"#);
+    }
+}

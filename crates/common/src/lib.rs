@@ -1,0 +1,34 @@
+//! # largeea-common — the zero-dependency engineering substrate
+//!
+//! Every other crate in the workspace builds on this one, and this one
+//! builds on nothing but `std`. It exists so the whole reproduction of
+//! *LargeEA* (Ge et al., VLDB 2021) compiles and tests **fully offline**:
+//! no crates.io registry, no network, no vendored third-party code.
+//!
+//! Four subsystems (DESIGN.md §S0):
+//!
+//! | Module | Replaces | Provides |
+//! |--------|----------|----------|
+//! | [`rng`] | `rand` | SplitMix64-seeded xoshiro256** PRNG: `seed_from_u64`, `gen_range`, `gen`, `gen_bool`, `shuffle`, `choose` |
+//! | [`json`] | `serde`/`serde_json` | [`json::Json`] value tree + [`json::ToJson`] trait, byte-compatible with the previous `serde_json` row output |
+//! | [`check`] | `proptest` | [`check::for_each_case`] deterministic randomized-input harness with seed-replay failure reporting |
+//! | [`bench`] | `criterion` | warmup + median wall-clock micro-benchmark timer |
+//!
+//! ## Determinism contract
+//!
+//! Everything here is deterministic given its seed: the PRNG has no
+//! entropy source, the test harness derives one sub-seed per case from the
+//! test's fixed seed, and JSON emission is a pure function of the value.
+//! A fixed seed therefore reproduces an experiment bit-for-bit on every
+//! platform (the PRNG is defined purely over `u64` wrapping arithmetic).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;
+
+pub use json::{Json, ToJson};
+pub use rng::{Rng, SliceRandom};

@@ -1,0 +1,473 @@
+//! Seeded pseudo-random number generation: xoshiro256** seeded via
+//! SplitMix64.
+//!
+//! This is the workspace's single source of randomness, replacing the
+//! `rand` crate. The generator is **xoshiro256\*\*** (Blackman & Vigna,
+//! 2018): 256 bits of state, period 2²⁵⁶ − 1, excellent statistical
+//! quality, and a few arithmetic ops per draw. Seeding follows the
+//! discipline `rand` uses for its small RNGs: the `u64` seed is expanded
+//! into the four state words with **SplitMix64**, which guarantees a
+//! well-mixed non-zero state for every seed (including 0).
+//!
+//! ## Reproducibility guarantees
+//!
+//! - The algorithm is defined purely over `u64` wrapping arithmetic, so a
+//!   fixed seed produces the identical stream on every platform and
+//!   toolchain; a golden-value test pins the stream forever.
+//! - There is no entropy source: all randomness in the workspace flows
+//!   from explicit seeds, so every experiment run is replayable.
+//! - Integer ranges are sampled with the widening-multiply method
+//!   (Lemire, 2019) without rejection; the bias is at most
+//!   `range_len / 2⁶⁴` — unobservable at experiment scale, and the
+//!   sampling stays a pure function of one `u64` draw.
+//!
+//! ```
+//! use largeea_common::rng::{Rng, SliceRandom};
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let k = rng.gen_range(0..10usize);       // uniform in [0, 10)
+//! let p: f64 = rng.gen();                  // uniform in [0, 1)
+//! let mut xs = [1, 2, 3, 4];
+//! xs.shuffle(&mut rng);                    // Fisher–Yates
+//! assert!(k < 10 && p < 1.0);
+//! assert_eq!(Rng::seed_from_u64(42).next_u64(),
+//!            Rng::seed_from_u64(42).next_u64());
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Advances a SplitMix64 state and returns the next output word.
+///
+/// Used for seed expansion and for deriving independent per-case seeds in
+/// [`crate::check::for_each_case`].
+///
+/// ```
+/// let mut s = 0u64;
+/// let a = largeea_common::rng::splitmix64(&mut s);
+/// let b = largeea_common::rng::splitmix64(&mut s);
+/// assert_ne!(a, b);
+/// ```
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256** generator — the workspace's `SmallRng`
+/// replacement.
+///
+/// Construct it with [`Rng::seed_from_u64`]; draw with [`Rng::gen`],
+/// [`Rng::gen_range`], [`Rng::gen_bool`], or the slice helpers in
+/// [`SliceRandom`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose 256-bit state is expanded from `seed`
+    /// with SplitMix64.
+    ///
+    /// ```
+    /// use largeea_common::rng::Rng;
+    /// let a = Rng::seed_from_u64(7).next_u64();
+    /// let b = Rng::seed_from_u64(7).next_u64();
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Returns the next raw 64-bit output of xoshiro256**.
+    ///
+    /// ```
+    /// let mut rng = largeea_common::rng::Rng::seed_from_u64(0);
+    /// let _word: u64 = rng.next_u64();
+    /// ```
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32-bit output (the high half of [`Rng::next_u64`]).
+    ///
+    /// ```
+    /// let mut rng = largeea_common::rng::Rng::seed_from_u64(1);
+    /// let _word: u32 = rng.next_u32();
+    /// ```
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Draws a uniform value of type `T` (see [`Sample`] for the mapping:
+    /// floats are uniform in `[0, 1)`, integers over their full range,
+    /// `bool` is a fair coin).
+    ///
+    /// ```
+    /// let mut rng = largeea_common::rng::Rng::seed_from_u64(2);
+    /// let x: f32 = rng.gen();
+    /// assert!((0.0..1.0).contains(&x));
+    /// ```
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a uniform value from `range` (half-open `lo..hi` or inclusive
+    /// `lo..=hi`; see [`SampleRange`] for supported element types).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    ///
+    /// ```
+    /// let mut rng = largeea_common::rng::Rng::seed_from_u64(3);
+    /// let i = rng.gen_range(10..20usize);
+    /// assert!((10..20).contains(&i));
+    /// let f = rng.gen_range(-1.0f32..=1.0);
+    /// assert!((-1.0..=1.0).contains(&f));
+    /// ```
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    ///
+    /// ```
+    /// let mut rng = largeea_common::rng::Rng::seed_from_u64(4);
+    /// assert!(!rng.gen_bool(0.0));
+    /// assert!(rng.gen_bool(1.0));
+    /// ```
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffles `slice` in place (also available as the
+    /// method-call form [`SliceRandom::shuffle`]).
+    ///
+    /// ```
+    /// let mut rng = largeea_common::rng::Rng::seed_from_u64(5);
+    /// let mut xs: Vec<u32> = (0..50).collect();
+    /// rng.shuffle(&mut xs);
+    /// let mut sorted = xs.clone();
+    /// sorted.sort();
+    /// assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    /// ```
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Types drawable uniformly with [`Rng::gen`].
+pub trait Sample {
+    /// Draws one uniform value.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` from the top 53 bits of one output word.
+    fn sample(rng: &mut Rng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` from the top 24 bits of one output word.
+    fn sample(rng: &mut Rng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Ranges drawable uniformly with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+/// Widening-multiply bounded sampling: maps one `u64` draw onto `[0, n)`.
+fn bounded(rng: &mut Rng, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_int_range {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add(bounded(rng, span as u64) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+signed_int_range!(i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u: $t = rng.gen();
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let u: $t = rng.gen();
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+/// Slice helpers in `rand::seq::SliceRandom` method-call style.
+///
+/// ```
+/// use largeea_common::rng::{Rng, SliceRandom};
+/// let mut rng = Rng::seed_from_u64(6);
+/// let mut v = vec![1, 2, 3];
+/// v.shuffle(&mut rng);
+/// assert!(v.choose(&mut rng).is_some());
+/// assert_eq!(Vec::<u8>::new().choose(&mut rng), None);
+/// ```
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+    /// Fisher–Yates shuffles the slice in place.
+    fn shuffle(&mut self, rng: &mut Rng);
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose(&self, rng: &mut Rng) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut Rng) {
+        rng.shuffle(self);
+    }
+
+    fn choose(&self, rng: &mut Rng) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cross-platform golden values: the first outputs of xoshiro256**
+    /// for seed 0 and seed 42 under SplitMix64 state expansion. These pin
+    /// the stream forever — any change to seeding or the generator breaks
+    /// every recorded experiment, so this test must never be "fixed" by
+    /// updating the constants.
+    #[test]
+    fn golden_stream_is_pinned() {
+        let mut rng = Rng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+        let mut rng = Rng::seed_from_u64(42);
+        assert_eq!(rng.next_u64(), 1546998764402558742);
+    }
+
+    #[test]
+    fn seed_expansion_matches_splitmix_reference() {
+        // SplitMix64 reference values for state 0: the canonical C
+        // implementation's first two outputs.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220A8397B1DCDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E789E6AA1B965F4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let f: f32 = rng.gen();
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_statistically_sane() {
+        // 20 buckets × 20k draws: expected 1000/bucket, σ ≈ 31. Allow ±6σ.
+        let mut rng = Rng::seed_from_u64(3);
+        let mut buckets = [0u32; 20];
+        for _ in 0..20_000 {
+            buckets[rng.gen_range(0..20usize)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((814..=1186).contains(&b), "bucket {i} count {b}");
+        }
+        // mean of unit floats ≈ 0.5
+        let mut sum = 0.0f64;
+        for _ in 0..20_000 {
+            sum += rng.gen::<f64>();
+        }
+        let mean = sum / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..500).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(v, (0..500).collect::<Vec<_>>(), "500! odds say shuffled");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_visits_many_orderings() {
+        // Every permutation of [0,1,2] should appear over 600 shuffles.
+        let mut rng = Rng::seed_from_u64(5);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..600 {
+            let mut v = [0u8, 1, 2];
+            v.shuffle(&mut rng);
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = Rng::seed_from_u64(7);
+        let v = [10, 20, 30];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(*v.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn determinism_across_clones() {
+        let mut a = Rng::seed_from_u64(99);
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(5..5usize);
+    }
+}

@@ -11,12 +11,12 @@
 //!   This makes the paper's "channels complement each other" claim
 //!   inspectable pair by pair.
 
+use largeea_common::json::{Json, ToJson};
 use largeea_kg::{EntityId, KgPair};
 use largeea_sim::SparseSimMatrix;
-use serde::Serialize;
 
 /// H@1 within one degree bucket.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DegreeBucket {
     /// Human-readable bucket bound, e.g. `"2-3"`.
     pub bucket: String,
@@ -69,8 +69,18 @@ pub fn accuracy_by_degree(
         .collect()
 }
 
+impl ToJson for DegreeBucket {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("bucket", self.bucket.to_json()),
+            ("pairs", self.pairs.to_json()),
+            ("hits1", self.hits1.to_json()),
+        ])
+    }
+}
+
 /// Per-pair channel attribution counts over the test set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelAttribution {
     /// Both channels alone would rank the true target first.
     pub both: usize,
@@ -86,6 +96,20 @@ pub struct ChannelAttribution {
     pub fusion_rescued: usize,
     /// Pairs some single channel got but fusion lost.
     pub fusion_broke: usize,
+}
+
+impl ToJson for ChannelAttribution {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("both", self.both.to_json()),
+            ("structure_only", self.structure_only.to_json()),
+            ("name_only", self.name_only.to_json()),
+            ("neither", self.neither.to_json()),
+            ("fused_correct", self.fused_correct.to_json()),
+            ("fusion_rescued", self.fusion_rescued.to_json()),
+            ("fusion_broke", self.fusion_broke.to_json()),
+        ])
+    }
 }
 
 /// Attributes every test pair to the channel(s) that solve it.

@@ -56,10 +56,8 @@ pub fn augment_seeds(
         }
     }
 
-    let truth: std::collections::HashMap<u32, u32> = ground_truth
-        .iter()
-        .map(|&(s, t)| (s.0, t.0))
-        .collect();
+    let truth: std::collections::HashMap<u32, u32> =
+        ground_truth.iter().map(|&(s, t)| (s.0, t.0)).collect();
 
     let mut augmented = seeds.clone();
     let mut generated = 0usize;

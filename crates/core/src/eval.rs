@@ -1,11 +1,11 @@
 //! Evaluation metrics: Hits@N and Mean Reciprocal Rank.
 
+use largeea_common::json::{Json, ToJson};
 use largeea_kg::EntityId;
 use largeea_sim::SparseSimMatrix;
-use serde::Serialize;
 
 /// EA accuracy over a set of held-out pairs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalResult {
     /// Hits@1 in percent (the fraction of test pairs whose true target
     /// ranks first).
@@ -33,6 +33,17 @@ impl EvalResult {
     /// Table-style row: `H@1  H@5  MRR`.
     pub fn row(&self) -> String {
         format!("{:5.1} {:5.1} {:5.2}", self.hits1, self.hits5, self.mrr)
+    }
+}
+
+impl ToJson for EvalResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits1", self.hits1.to_json()),
+            ("hits5", self.hits5.to_json()),
+            ("mrr", self.mrr.to_json()),
+            ("evaluated", self.evaluated.to_json()),
+        ])
     }
 }
 

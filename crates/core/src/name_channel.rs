@@ -14,9 +14,7 @@
 use crate::mem::MemTracker;
 use largeea_kg::KnowledgeGraph;
 use largeea_sim::{segmented_topk, Metric, SparseSimMatrix};
-use largeea_text::{
-    jaccard::shingles, normalize_name, HashEncoder, LshIndex, MinHasher,
-};
+use largeea_text::{jaccard::shingles, normalize_name, HashEncoder, LshIndex, MinHasher};
 use std::time::Instant;
 
 /// Name-channel hyper-parameters (paper defaults in §3.1).
@@ -143,11 +141,7 @@ impl NameChannel {
     ) -> (SparseSimMatrix, f64) {
         let start = Instant::now();
         let hasher = MinHasher::new(self.cfg.minhash_perms, self.cfg.seed);
-        let normalized_t: Vec<String> = target
-            .labels()
-            .iter()
-            .map(|l| normalize_name(l))
-            .collect();
+        let normalized_t: Vec<String> = target.labels().iter().map(|l| normalize_name(l)).collect();
         let mut index = LshIndex::with_threshold(self.cfg.minhash_perms, self.cfg.theta);
         let mut sigs_t = Vec::with_capacity(normalized_t.len());
         for (i, label) in normalized_t.iter().enumerate() {
@@ -193,7 +187,10 @@ mod tests {
         for (i, name) in ["London", "Germany", "Danube", "Venice"].iter().enumerate() {
             s.add_entity_with_label(&format!("en/{i}"), name);
         }
-        for (i, name) in ["Londres", "Allemagne", "Danube", "Venise"].iter().enumerate() {
+        for (i, name) in ["Londres", "Allemagne", "Danube", "Venise"]
+            .iter()
+            .enumerate()
+        {
             t.add_entity_with_label(&format!("fr/{i}"), name);
         }
         (s, t)

@@ -6,11 +6,11 @@
 
 use crate::eval::EvalResult;
 use crate::mem::MemTracker;
-use serde::Serialize;
+use largeea_common::json::{Json, ToJson};
 
 /// One method × dataset × direction row of an accuracy table (the shape of
 /// the paper's Tables 2–4).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MethodRow {
     /// Dataset display name, e.g. `"IDS15K(EN-FR)"`.
     pub dataset: String,
@@ -81,15 +81,27 @@ pub fn print_table(title: &str, rows: &[MethodRow]) {
     }
     println!("--- json ---");
     for row in rows {
-        println!(
-            "{}",
-            serde_json::to_string(row).expect("MethodRow serialises")
-        );
+        println!("{}", row.to_json_string());
+    }
+}
+
+impl ToJson for MethodRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", self.dataset.to_json()),
+            ("method", self.method.to_json()),
+            ("direction", self.direction.to_json()),
+            ("hits1", self.hits1.to_json()),
+            ("hits5", self.hits5.to_json()),
+            ("mrr", self.mrr.to_json()),
+            ("seconds", self.seconds.to_json()),
+            ("mem_bytes", self.mem_bytes.to_json()),
+        ])
     }
 }
 
 /// A generic labelled data series (the shape of the paper's figures).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Series label, e.g. `"METIS-CPS"`.
     pub label: String,
@@ -111,7 +123,17 @@ pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[Series]
     }
     println!("--- json ---");
     for s in series {
-        println!("{}", serde_json::to_string(s).expect("Series serialises"));
+        println!("{}", s.to_json_string());
+    }
+}
+
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", self.label.to_json()),
+            ("x", self.x.to_json()),
+            ("y", self.y.to_json()),
+        ])
     }
 }
 
@@ -140,21 +162,63 @@ mod tests {
         assert!(s.contains("1.54G"));
     }
 
+    /// Golden test: the expected strings below are the literal
+    /// `serde_json::to_string` outputs this repo produced before the
+    /// in-tree emitter replaced serde — EXPERIMENTS.md rows must stay
+    /// byte-identical across that swap.
     #[test]
-    fn row_serialises_to_json() {
-        let row = MethodRow::new("d", "m", "x", EvalResult::zero(0), 0.0, 0);
-        let json = serde_json::to_string(&row).unwrap();
-        assert!(json.contains("\"dataset\":\"d\""));
+    fn row_json_is_byte_identical_to_serde_output() {
+        let row = MethodRow::new(
+            "IDS15K(EN-FR)",
+            "LargeEA-R",
+            "EN→FR",
+            EvalResult {
+                hits1: 88.4,
+                hits5: 92.2,
+                mrr: 0.9,
+                evaluated: 100,
+            },
+            77.0,
+            1_654_000_000,
+        );
+        assert_eq!(
+            row.to_json_string(),
+            "{\"dataset\":\"IDS15K(EN-FR)\",\"method\":\"LargeEA-R\",\
+             \"direction\":\"EN→FR\",\"hits1\":88.4,\"hits5\":92.2,\
+             \"mrr\":0.9,\"seconds\":77.0,\"mem_bytes\":1654000000}"
+        );
     }
 
     #[test]
-    fn series_serialises() {
+    fn zero_row_json_is_byte_identical_to_serde_output() {
+        let row = MethodRow::new("d", "m", "x", EvalResult::zero(0), 0.0, 0);
+        assert_eq!(
+            row.to_json_string(),
+            "{\"dataset\":\"d\",\"method\":\"m\",\"direction\":\"x\",\
+             \"hits1\":0.0,\"hits5\":0.0,\"mrr\":0.0,\"seconds\":0.0,\
+             \"mem_bytes\":0}"
+        );
+    }
+
+    #[test]
+    fn series_json_is_byte_identical_to_serde_output() {
         let s = Series {
             label: "VPS".into(),
             x: vec![0.1, 0.2],
             y: vec![10.0, 20.0],
         };
-        let json = serde_json::to_string(&s).unwrap();
-        assert!(json.contains("VPS"));
+        assert_eq!(
+            s.to_json_string(),
+            "{\"label\":\"VPS\",\"x\":[0.1,0.2],\"y\":[10.0,20.0]}"
+        );
+        let empty = Series {
+            label: "γ=0.05".into(),
+            x: vec![],
+            y: vec![],
+        };
+        assert_eq!(
+            empty.to_json_string(),
+            "{\"label\":\"γ=0.05\",\"x\":[],\"y\":[]}"
+        );
     }
 }

@@ -125,8 +125,7 @@ impl StructureChannel {
         let partition_seconds = t0.elapsed().as_secs_f64();
 
         let mut mem = MemTracker::new();
-        let mut m_s =
-            SparseSimMatrix::new(pair.source.num_entities(), pair.target.num_entities());
+        let mut m_s = SparseSimMatrix::new(pair.source.num_entities(), pair.target.num_entities());
         let t1 = Instant::now();
         let mut loss_sum = 0.0f64;
         let mut loss_count = 0usize;
@@ -135,10 +134,10 @@ impl StructureChannel {
             if bg.n_source == 0 || bg.n_target == 0 {
                 continue;
             }
-            let mut model = self
-                .cfg
-                .model
-                .build(&bg, self.cfg.train.dim, self.cfg.seed ^ batch.index as u64);
+            let mut model =
+                self.cfg
+                    .model
+                    .build(&bg, self.cfg.train.dim, self.cfg.seed ^ batch.index as u64);
             let report = train(model.as_mut(), &bg, &self.cfg.train);
             if let Some(&last) = report.losses.last() {
                 loss_sum += last as f64;
@@ -173,7 +172,7 @@ impl StructureChannel {
 mod tests {
     use super::*;
     use crate::eval::evaluate;
-    use largeea_data::{Preset};
+    use largeea_data::Preset;
 
     fn quick_cfg(k: usize, partitioner: Partitioner) -> StructureChannelConfig {
         StructureChannelConfig {
@@ -233,8 +232,8 @@ mod tests {
     fn cps_retention_beats_vps_on_test_pairs() {
         let pair = Preset::Ids15kEnFr.spec(0.02).generate();
         let seeds = pair.split_seeds(0.2, 3);
-        let cps = StructureChannel::new(quick_cfg(3, Partitioner::MetisCps))
-            .make_batches(&pair, &seeds);
+        let cps =
+            StructureChannel::new(quick_cfg(3, Partitioner::MetisCps)).make_batches(&pair, &seeds);
         let vps_b =
             StructureChannel::new(quick_cfg(3, Partitioner::Vps)).make_batches(&pair, &seeds);
         let (rc, rv) = (cps.retention(&seeds), vps_b.retention(&seeds));
@@ -254,8 +253,6 @@ mod tests {
         let disjoint = StructureChannel::new(cfg).make_batches(&pair, &seeds);
         cfg.d_ov = 2;
         let overlapped = StructureChannel::new(cfg).make_batches(&pair, &seeds);
-        assert!(
-            overlapped.retention(&seeds).total >= disjoint.retention(&seeds).total
-        );
+        assert!(overlapped.retention(&seeds).total >= disjoint.retention(&seeds).total);
     }
 }

@@ -1,9 +1,8 @@
 //! Correlated cross-lingual KG-pair generation.
 
 use crate::names::{concept_root, render, with_typos, Language};
+use largeea_common::rng::Rng;
 use largeea_kg::{EntityId, KgPair, KnowledgeGraph, Triple};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Label-noise knobs: how far translated names drift apart.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +67,7 @@ pub struct PairGenConfig {
 /// `"<lang>/e<i>"`; labels carry the generated names.
 pub fn generate_pair(cfg: &PairGenConfig) -> KgPair {
     assert!(cfg.aligned >= 2, "need at least two aligned concepts");
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
 
     // --- names ------------------------------------------------------------
     let roots: Vec<String> = (0..cfg.aligned).map(|_| concept_root(&mut rng)).collect();
@@ -105,17 +104,11 @@ pub fn generate_pair(cfg: &PairGenConfig) -> KgPair {
     }
     for i in 0..cfg.unknown_source {
         let name = render(&concept_root(&mut rng), cfg.source_lang, &mut rng);
-        source.add_entity_with_label(
-            &format!("{}/u{i}", cfg.source_lang.tag()),
-            &name,
-        );
+        source.add_entity_with_label(&format!("{}/u{i}", cfg.source_lang.tag()), &name);
     }
     for i in 0..cfg.unknown_target {
         let name = render(&concept_root(&mut rng), cfg.target_lang, &mut rng);
-        target.add_entity_with_label(
-            &format!("{}/u{i}", cfg.target_lang.tag()),
-            &name,
-        );
+        target.add_entity_with_label(&format!("{}/u{i}", cfg.target_lang.tag()), &name);
     }
 
     // --- source structure: community-aware preferential attachment --------
@@ -162,8 +155,7 @@ pub fn generate_pair(cfg: &PairGenConfig) -> KgPair {
         .iter()
         .filter(|&&(h, _, t)| (h as usize) < cfg.aligned && (t as usize) < cfg.aligned)
         .collect();
-    let copy_budget =
-        ((cfg.triples_target as f64) * (1.0 - cfg.heterogeneity)).round() as usize;
+    let copy_budget = ((cfg.triples_target as f64) * (1.0 - cfg.heterogeneity)).round() as usize;
     let copy_prob = if aligned_edges.is_empty() {
         0.0
     } else {
@@ -250,7 +242,7 @@ pub fn generate_pair(cfg: &PairGenConfig) -> KgPair {
 /// Preferential attachment: mostly sample from the endpoint pool (degree
 /// biased), sometimes uniformly (keeps low-degree entities reachable).
 #[inline]
-fn pick_endpoint(pool: &[u32], n: usize, rng: &mut SmallRng) -> u32 {
+fn pick_endpoint(pool: &[u32], n: usize, rng: &mut Rng) -> u32 {
     if pool.is_empty() || rng.gen_bool(0.25) {
         rng.gen_range(0..n as u32)
     } else {
@@ -260,7 +252,7 @@ fn pick_endpoint(pool: &[u32], n: usize, rng: &mut SmallRng) -> u32 {
 
 /// Zipf-ish relation draw: relation popularity falls off quadratically.
 #[inline]
-fn zipf_relation(num_relations: usize, rng: &mut SmallRng) -> u32 {
+fn zipf_relation(num_relations: usize, rng: &mut Rng) -> u32 {
     let u: f64 = rng.gen::<f64>();
     let idx = (u * u * num_relations as f64) as usize;
     idx.min(num_relations - 1) as u32
@@ -269,7 +261,7 @@ fn zipf_relation(num_relations: usize, rng: &mut SmallRng) -> u32 {
 /// Maps a source relation onto the target vocabulary, mostly consistently
 /// (so copied structure stays relationally coherent) with 10 % noise.
 #[inline]
-fn map_relation(r: u32, n_src: usize, n_tgt: usize, rng: &mut SmallRng) -> u32 {
+fn map_relation(r: u32, n_src: usize, n_tgt: usize, rng: &mut Rng) -> u32 {
     if rng.gen_bool(0.1) {
         zipf_relation(n_tgt, rng)
     } else {
@@ -431,6 +423,9 @@ mod tests {
                 sharing += 1;
             }
         }
-        assert!(sharing > 140, "only {sharing}/200 aligned pairs share a 3-gram");
+        assert!(
+            sharing > 140,
+            "only {sharing}/200 aligned pairs share a 3-gram"
+        );
     }
 }

@@ -8,8 +8,7 @@
 //! The name channel's hash encoder then sees exactly the kind of partial
 //! subword overlap it would see on DBpedia labels.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use largeea_common::rng::Rng;
 
 /// The languages of the paper's benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,14 +33,14 @@ impl Language {
 }
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kl", "l", "m", "n",
-    "p", "pr", "r", "s", "st", "t", "tr", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p",
+    "pr", "r", "s", "st", "t", "tr", "v", "w", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou"];
 const CODAS: &[&str] = &["", "", "n", "r", "l", "s", "t", "nd", "rk", "m"];
 
 /// Draws a pronounceable concept root of 2–3 syllables.
-pub fn concept_root(rng: &mut SmallRng) -> String {
+pub fn concept_root(rng: &mut Rng) -> String {
     let syllables = rng.gen_range(2..=3);
     let mut root = String::new();
     for _ in 0..syllables {
@@ -62,7 +61,7 @@ fn capitalize(s: &str) -> String {
 
 /// Renders `root` in `lang`: language-specific suffixes plus orthographic
 /// substitutions. Deterministic given the RNG state.
-pub fn render(root: &str, lang: Language, rng: &mut SmallRng) -> String {
+pub fn render(root: &str, lang: Language, rng: &mut Rng) -> String {
     let mut s = root.to_owned();
     match lang {
         Language::En => {
@@ -96,7 +95,7 @@ pub fn render(root: &str, lang: Language, rng: &mut SmallRng) -> String {
 
 /// Applies `count` random single-character typos (substitution with a random
 /// lowercase letter) — the label-quality noise knob.
-pub fn with_typos(name: &str, count: usize, rng: &mut SmallRng) -> String {
+pub fn with_typos(name: &str, count: usize, rng: &mut Rng) -> String {
     let mut chars: Vec<char> = name.chars().collect();
     for _ in 0..count {
         if chars.is_empty() {
@@ -111,11 +110,10 @@ pub fn with_typos(name: &str, count: usize, rng: &mut SmallRng) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn roots_are_pronounceable_and_nonempty() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..100 {
             let r = concept_root(&mut rng);
             assert!(r.len() >= 3, "root too short: {r}");
@@ -125,7 +123,7 @@ mod tests {
 
     #[test]
     fn renders_share_the_root_prefix() {
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let root = "karlon";
         for lang in [Language::En, Language::Fr, Language::De] {
             let name = render(root, lang, &mut rng);
@@ -151,14 +149,14 @@ mod tests {
 
     #[test]
     fn renders_are_capitalised() {
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let name = render("bello", Language::En, &mut rng);
         assert!(name.chars().next().unwrap().is_uppercase());
     }
 
     #[test]
     fn typos_change_bounded_chars() {
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let name = "Brandenburg";
         let noisy = with_typos(name, 2, &mut rng);
         assert_eq!(noisy.chars().count(), name.chars().count());

@@ -1,76 +1,115 @@
 //! Property-based tests for the KG substrate.
 
+use largeea_common::check::{for_each_case, string_from};
+use largeea_common::rng::Rng;
 use largeea_kg::{Adjacency, EntityId, Interner, KgPair, KnowledgeGraph, Triple};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn interner_ids_are_dense_and_stable(names in prop::collection::vec("[a-z]{1,8}", 1..40)) {
+#[test]
+fn interner_ids_are_dense_and_stable() {
+    for_each_case(0x4601, 96, |rng| {
+        let count = rng.gen_range(1..40usize);
+        let names: Vec<String> = (0..count)
+            .map(|_| string_from(rng, "abcdefghijklmnopqrstuvwxyz", 1, 8))
+            .collect();
         let mut it = Interner::new();
         let ids: Vec<u32> = names.iter().map(|n| it.intern(n)).collect();
         // re-interning returns the same ids
         for (n, &id) in names.iter().zip(&ids) {
-            prop_assert_eq!(it.intern(n), id);
-            prop_assert_eq!(it.get(n), Some(id));
-            prop_assert_eq!(it.resolve(id), n.as_str());
+            assert_eq!(it.intern(n), id);
+            assert_eq!(it.get(n), Some(id));
+            assert_eq!(it.resolve(id), n.as_str());
         }
         // ids are dense 0..len
         let mut distinct: Vec<u32> = ids.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert_eq!(distinct.len(), it.len());
-        prop_assert_eq!(distinct.last().map(|&x| x as usize), Some(it.len() - 1));
-    }
+        assert_eq!(distinct.len(), it.len());
+        assert_eq!(distinct.last().map(|&x| x as usize), Some(it.len() - 1));
+    });
+}
 
-    #[test]
-    fn adjacency_degree_sum_is_conserved(
-        triples in prop::collection::vec((0u32..12, 0u32..3, 0u32..12), 0..60),
-    ) {
-        let ts: Vec<Triple> = triples.iter().map(|&(h, r, t)| Triple::new(h, r, t)).collect();
+fn random_triples(rng: &mut Rng, n: u32, r: u32, max: usize) -> Vec<(u32, u32, u32)> {
+    let count = rng.gen_range(0..max);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..n),
+                rng.gen_range(0..r),
+                rng.gen_range(0..n),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn adjacency_degree_sum_is_conserved() {
+    for_each_case(0x4602, 96, |rng| {
+        let triples = random_triples(rng, 12, 3, 60);
+        let ts: Vec<Triple> = triples
+            .iter()
+            .map(|&(h, r, t)| Triple::new(h, r, t))
+            .collect();
         let adj = Adjacency::undirected(12, &ts);
         let degree_sum: usize = (0..12).map(|e| adj.degree(EntityId(e))).sum();
         let loops = ts.iter().filter(|t| t.is_loop()).count();
-        prop_assert_eq!(degree_sum, 2 * ts.len() - loops);
+        assert_eq!(degree_sum, 2 * ts.len() - loops);
         // symmetry for non-loop edges
         for t in &ts {
             if !t.is_loop() {
-                prop_assert!(adj.neighbors(t.head).contains(&t.tail));
-                prop_assert!(adj.neighbors(t.tail).contains(&t.head));
+                assert!(adj.neighbors(t.head).contains(&t.tail));
+                assert!(adj.neighbors(t.tail).contains(&t.head));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn split_seeds_partitions_for_every_ratio(
-        n in 1usize..60,
-        ratio in 0.0f64..1.0,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn split_seeds_partitions_for_every_ratio() {
+    for_each_case(0x4603, 96, |rng| {
+        let n = rng.gen_range(1..60usize);
+        let ratio = rng.gen_range(0.0f64..1.0);
+        let seed = rng.gen_range(0..10_000u64);
         let mut s = KnowledgeGraph::new("EN");
         let mut t = KnowledgeGraph::new("FR");
         let alignment: Vec<_> = (0..n)
-            .map(|i| (s.add_entity(&format!("s{i}")), t.add_entity(&format!("t{i}"))))
+            .map(|i| {
+                (
+                    s.add_entity(&format!("s{i}")),
+                    t.add_entity(&format!("t{i}")),
+                )
+            })
             .collect();
         let pair = KgPair::new(s, t, alignment);
         let seeds = pair.split_seeds(ratio, seed);
-        prop_assert_eq!(seeds.len(), n);
+        assert_eq!(seeds.len(), n);
         // no pair lost or duplicated
         let mut all: Vec<_> = seeds.train.iter().chain(&seeds.test).copied().collect();
         all.sort();
         all.dedup();
-        prop_assert_eq!(all.len(), n);
+        assert_eq!(all.len(), n);
         // ratio respected within rounding
         let expect = (n as f64 * ratio).round() as usize;
-        prop_assert_eq!(seeds.train.len(), expect.min(n));
-    }
+        assert_eq!(seeds.train.len(), expect.min(n));
+    });
+}
 
-    #[test]
-    fn induced_subgraph_triples_are_internal(
-        triples in prop::collection::vec((0u32..10, 0u32..2, 0u32..10), 1..40),
-        members in prop::collection::btree_set(0u32..10, 1..10),
-    ) {
+#[test]
+fn induced_subgraph_triples_are_internal() {
+    for_each_case(0x4604, 96, |rng| {
+        let mut triples = random_triples(rng, 10, 2, 40);
+        if triples.is_empty() {
+            triples.push((
+                rng.gen_range(0..10),
+                rng.gen_range(0..2),
+                rng.gen_range(0..10),
+            ));
+        }
+        let member_count = rng.gen_range(1..10usize);
+        let mut member_set = BTreeSet::new();
+        while member_set.len() < member_count {
+            member_set.insert(rng.gen_range(0..10u32));
+        }
         let mut kg = KnowledgeGraph::new("EN");
         for i in 0..10 {
             kg.add_entity(&format!("e{i}"));
@@ -80,16 +119,15 @@ proptest! {
         for &(h, r, t) in &triples {
             kg.add_triple(Triple::new(h, r, t)).unwrap();
         }
-        let member_ids: Vec<EntityId> = members.iter().map(|&m| EntityId(m)).collect();
+        let member_ids: Vec<EntityId> = member_set.iter().map(|&m| EntityId(m)).collect();
         let (sub, old_ids) = kg.induced_subgraph(&member_ids);
-        prop_assert_eq!(sub.num_entities(), member_ids.len());
-        prop_assert_eq!(old_ids, member_ids.clone());
+        assert_eq!(sub.num_entities(), member_ids.len());
+        assert_eq!(old_ids, member_ids.clone());
         // every subgraph triple maps to an original triple between members
-        let member_set: std::collections::BTreeSet<u32> = members;
         let expected = triples
             .iter()
             .filter(|&&(h, _, t)| member_set.contains(&h) && member_set.contains(&t))
             .count();
-        prop_assert_eq!(sub.num_triples(), expected);
-    }
+        assert_eq!(sub.num_triples(), expected);
+    });
 }

@@ -171,7 +171,8 @@ pub fn bert_int_lite(
     let report = train(&mut model, &bg, cfg);
     let mut sim = SparseSimMatrix::new(pair.source.num_entities(), pair.target.num_entities());
     fill_similarity(&bg, &report.embeddings, top_k, &mut sim);
-    let peak_bytes = report.peak_bytes + names_bytes * 2 + report.embeddings.nbytes() + sim.nbytes();
+    let peak_bytes =
+        report.peak_bytes + names_bytes * 2 + report.embeddings.nbytes() + sim.nbytes();
     BaselineResult {
         sim,
         seconds: start.elapsed().as_secs_f64(),
@@ -198,12 +199,16 @@ pub fn rdgcn_lite(
     let start = Instant::now();
     let bg = whole_graph(pair, seeds);
     let x0 = name_s.vstack(name_t);
-    let mut model = crate::gcn_align::GcnAlign::with_features(&bg, x0, cfg.seed).with_concat_output();
+    let mut model =
+        crate::gcn_align::GcnAlign::with_features(&bg, x0, cfg.seed).with_concat_output();
     let report = train(&mut model, &bg, cfg);
     let mut sim = SparseSimMatrix::new(pair.source.num_entities(), pair.target.num_entities());
     fill_similarity(&bg, &report.embeddings, top_k, &mut sim);
-    let peak_bytes =
-        report.peak_bytes + report.embeddings.nbytes() + name_s.nbytes() + name_t.nbytes() + sim.nbytes();
+    let peak_bytes = report.peak_bytes
+        + report.embeddings.nbytes()
+        + name_s.nbytes()
+        + name_t.nbytes()
+        + sim.nbytes();
     BaselineResult {
         sim,
         seconds: start.elapsed().as_secs_f64(),
@@ -231,8 +236,7 @@ pub fn multike_lite(
     let mut nv = name_sim;
     nv.normalize_rows_minmax();
     let sim = sv.add(&nv);
-    let peak_bytes =
-        structural.peak_bytes + name_s.nbytes() + name_t.nbytes() + sim.nbytes();
+    let peak_bytes = structural.peak_bytes + name_s.nbytes() + name_t.nbytes() + sim.nbytes();
     BaselineResult {
         sim,
         seconds: start.elapsed().as_secs_f64(),

@@ -178,7 +178,7 @@ mod tests {
         assert_eq!(bg.n_target, 2);
         assert_eq!(bg.n_total(), 5);
         assert_eq!(bg.num_relations, 3); // r1, r2 + q1
-        // target triple uses offset relation id 2 and locals 3,4
+                                         // target triple uses offset relation id 2 and locals 3,4
         assert!(bg.triples.contains(&(3, 2, 4)));
         assert_eq!(bg.train_pairs, vec![(0, 3), (1, 4)]);
     }

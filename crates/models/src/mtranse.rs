@@ -105,7 +105,11 @@ impl EaModel for MTransE {
         // odd stride, guaranteed ≠ original for n > 1
         let n = self.n as u32;
         let stride = (2 * (epoch as u32 % (n.saturating_sub(1)).max(1)) + 1) % n.max(2);
-        let corrupt: Vec<u32> = self.tails.iter().map(|&t| (t + stride.max(1)) % n).collect();
+        let corrupt: Vec<u32> = self
+            .tails
+            .iter()
+            .map(|&t| (t + stride.max(1)) % n)
+            .collect();
 
         let eh = tape.gather_rows(emb, Rc::clone(&self.heads));
         let er = tape.gather_rows(rel_var, Rc::clone(&self.rels));
@@ -147,13 +151,7 @@ mod tests {
         let alignment: Vec<_> = (0..n as u32).map(|i| (EntityId(i), EntityId(i))).collect();
         let pair = KgPair::new(s, t, alignment);
         let seeds = pair.split_seeds(0.5, 7);
-        let mb = MiniBatches::from_assignments(
-            &pair,
-            &seeds,
-            &vec![0; n],
-            &vec![0; n],
-            1,
-        );
+        let mb = MiniBatches::from_assignments(&pair, &seeds, &vec![0; n], &vec![0; n], 1);
         (BatchGraph::from_mini_batch(&pair, &mb.batches[0]), seeds)
     }
 

@@ -6,10 +6,9 @@
 //! baseline (ablation D5 in DESIGN.md).
 
 use crate::batch_graph::BatchGraph;
+use largeea_common::rng::Rng;
 use largeea_sim::{topk_search, Metric};
 use largeea_tensor::Matrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// How negatives are drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +49,7 @@ pub fn sample_negatives(
 }
 
 fn random_negatives(bg: &BatchGraph, n_neg: usize, seed: u64) -> Negatives {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut corrupt_target = Vec::with_capacity(bg.train_pairs.len());
     let mut corrupt_source = Vec::with_capacity(bg.train_pairs.len());
     for &(s, t) in &bg.train_pairs {
@@ -69,7 +68,7 @@ fn random_negatives(bg: &BatchGraph, n_neg: usize, seed: u64) -> Negatives {
     }
 }
 
-fn draw(rng: &mut SmallRng, n: usize, lo: u32, hi: u32, exclude: u32) -> Vec<u32> {
+fn draw(rng: &mut Rng, n: usize, lo: u32, hi: u32, exclude: u32) -> Vec<u32> {
     let span = hi.saturating_sub(lo);
     if span <= 1 {
         return vec![exclude; n.max(1)]; // degenerate: nothing else to draw

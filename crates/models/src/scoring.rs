@@ -47,8 +47,7 @@ mod tests {
         let pair = KgPair::new(s, t, vec![]);
         let seeds = AlignmentSeeds::default();
         // batch 1 holds source {2,3} and target {1,3}
-        let mb =
-            MiniBatches::from_assignments(&pair, &seeds, &[0, 0, 1, 1], &[0, 1, 0, 1], 2);
+        let mb = MiniBatches::from_assignments(&pair, &seeds, &[0, 0, 1, 1], &[0, 1, 0, 1], 2);
         let bg = BatchGraph::from_mini_batch(&pair, &mb.batches[1]);
         assert_eq!(bg.n_source, 2);
         assert_eq!(bg.n_target, 2);

@@ -117,7 +117,10 @@ impl MiniBatches {
             if pairs.is_empty() {
                 return 1.0;
             }
-            pairs.iter().filter(|&&(s, t)| self.co_located(s, t)).count() as f64
+            pairs
+                .iter()
+                .filter(|&&(s, t)| self.co_located(s, t))
+                .count() as f64
                 / pairs.len() as f64
         };
         let train = frac(&seeds.train);

@@ -8,9 +8,7 @@
 //! weights accumulate all fine edges between the clusters.
 
 use crate::graph::PartGraph;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use largeea_common::rng::{Rng, SliceRandom};
 
 /// One coarsening step: the coarse graph and the fine→coarse vertex map.
 #[derive(Debug)]
@@ -25,7 +23,7 @@ pub struct CoarseLevel {
 pub fn coarsen_once(g: &PartGraph, seed: u64) -> CoarseLevel {
     let nv = g.nv();
     let mut order: Vec<u32> = (0..nv as u32).collect();
-    order.shuffle(&mut SmallRng::seed_from_u64(seed));
+    order.shuffle(&mut Rng::seed_from_u64(seed));
 
     const UNMATCHED: u32 = u32::MAX;
     let mut mate = vec![UNMATCHED; nv];
@@ -114,10 +112,7 @@ mod tests {
     use super::*;
 
     fn ring(n: usize) -> PartGraph {
-        PartGraph::from_edges(
-            n,
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32, 1.0)),
-        )
+        PartGraph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32, 1.0)))
     }
 
     #[test]

@@ -23,9 +23,8 @@
 use crate::batches::MiniBatches;
 use crate::graph::PartGraph;
 use crate::kway::{partition_kway, PartitionConfig};
+use largeea_common::rng::Rng;
 use largeea_kg::{AlignmentSeeds, KgPair};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Configuration for [`metis_cps`].
@@ -101,7 +100,7 @@ pub fn metis_cps(pair: &KgPair, seeds: &AlignmentSeeds, cfg: &CpsConfig) -> Mini
     }
 
     // Phase 1: attract — virtual star edges + weight reset inside CG^i.
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ PIVOT_RNG_SALT);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ PIVOT_RNG_SALT);
     for members in groups.iter().filter(|m| m.len() >= 2) {
         // existing edges inside the group get w'
         for (i, &a) in members.iter().enumerate() {
@@ -146,10 +145,12 @@ pub fn metis_cps(pair: &KgPair, seeds: &AlignmentSeeds, cfg: &CpsConfig) -> Mini
     // Step 5: pair source parts with target parts by seed co-occurrence.
     let remap = match_parts(
         cfg.k,
-        seeds
-            .train
-            .iter()
-            .map(|&(s, t)| (source_part.assignment[s.idx()], target_part.assignment[t.idx()])),
+        seeds.train.iter().map(|&(s, t)| {
+            (
+                source_part.assignment[s.idx()],
+                target_part.assignment[t.idx()],
+            )
+        }),
     );
     let target_assignment: Vec<u32> = target_part
         .assignment
@@ -193,10 +194,14 @@ fn match_parts(k: usize, pairs: impl Iterator<Item = (u32, u32)>) -> Vec<u32> {
         }
     }
     // leftovers (no seeds at all): assign remaining source ids in order
-    let mut free: Vec<u32> = (0..k as u32).filter(|&s| !source_used[s as usize]).collect();
+    let mut free: Vec<u32> = (0..k as u32)
+        .filter(|&s| !source_used[s as usize])
+        .collect();
     for slot in remap.iter_mut() {
         if *slot == u32::MAX {
-            *slot = free.pop().expect("one free source part per unmatched target part");
+            *slot = free
+                .pop()
+                .expect("one free source part per unmatched target part");
         }
     }
     remap
@@ -205,14 +210,13 @@ fn match_parts(k: usize, pairs: impl Iterator<Item = (u32, u32)>) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use largeea_common::rng::Rng;
     use largeea_kg::{EntityId, KnowledgeGraph};
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
 
     /// Builds a pair of KGs with `c` planted communities of size `n` where
     /// target community layout mirrors the source, plus cross edges.
     fn community_pair(c: usize, n: usize, seed: u64) -> (KgPair, AlignmentSeeds) {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut s = KnowledgeGraph::new("EN");
         let mut t = KnowledgeGraph::new("FR");
         let total = c * n;
@@ -220,7 +224,7 @@ mod tests {
             s.add_entity(&format!("s{i}"));
             t.add_entity(&format!("t{i}"));
         }
-        let add_edges = |kg: &mut KnowledgeGraph, prefix: &str, rng: &mut SmallRng| {
+        let add_edges = |kg: &mut KnowledgeGraph, prefix: &str, rng: &mut Rng| {
             for ci in 0..c {
                 let base = ci * n;
                 for i in 0..n {

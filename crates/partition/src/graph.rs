@@ -24,7 +24,10 @@ impl PartGraph {
     pub fn from_edges(nv: usize, edges: impl IntoIterator<Item = (u32, u32, f64)>) -> Self {
         let mut merged: HashMap<(u32, u32), f64> = HashMap::new();
         for (u, v, w) in edges {
-            assert!((u as usize) < nv && (v as usize) < nv, "edge endpoint out of range");
+            assert!(
+                (u as usize) < nv && (v as usize) < nv,
+                "edge endpoint out of range"
+            );
             if u == v {
                 continue;
             }

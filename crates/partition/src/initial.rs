@@ -3,8 +3,7 @@
 //! refinement.
 
 use crate::graph::PartGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use largeea_common::rng::Rng;
 
 /// Recursively partitions `g` into `k` parts, returning one part id per
 /// vertex. Intended for the *coarsest* graph (a few hundred vertices);
@@ -12,7 +11,14 @@ use rand::{Rng, SeedableRng};
 pub fn initial_partition(g: &PartGraph, k: usize, seed: u64) -> Vec<u32> {
     assert!(k >= 1, "k must be positive");
     let mut assignment = vec![0u32; g.nv()];
-    recurse(g, &(0..g.nv() as u32).collect::<Vec<_>>(), k, 0, seed, &mut assignment);
+    recurse(
+        g,
+        &(0..g.nv() as u32).collect::<Vec<_>>(),
+        k,
+        0,
+        seed,
+        &mut assignment,
+    );
     assignment
 }
 
@@ -53,7 +59,14 @@ fn recurse(
             right.push(v);
         }
     }
-    recurse(g, &left, k_left, part_offset, seed.wrapping_add(1), assignment);
+    recurse(
+        g,
+        &left,
+        k_left,
+        part_offset,
+        seed.wrapping_add(1),
+        assignment,
+    );
     recurse(
         g,
         &right,
@@ -74,7 +87,7 @@ fn bisect(g: &PartGraph, vertices: &[u32], target_left: u64, seed: u64) -> Vec<b
         local[v as usize] = i as u32;
     }
 
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let start = pseudo_peripheral(g, vertices, &local, rng.gen_range(0..n));
 
     // Greedy growing: add the frontier vertex with maximum attachment.
@@ -93,9 +106,7 @@ fn bisect(g: &PartGraph, vertices: &[u32], target_left: u64, seed: u64) -> Vec<b
                     if !visited[i] {
                         let better = match best {
                             None => true,
-                            Some((_, bw)) => {
-                                attach[i] > bw + 1e-12
-                            }
+                            Some((_, bw)) => attach[i] > bw + 1e-12,
                         };
                         if better && (attach[i] > 0.0 || best.is_none()) {
                             best = Some((i, attach[i]));

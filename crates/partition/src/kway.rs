@@ -157,7 +157,13 @@ pub fn partition_kway(g: &PartGraph, cfg: &PartitionConfig) -> Partitioning {
             fine_assignment[v] = assignment[c as usize];
         }
         let cap = ((fine_graph.total_vwgt() as f64 / k as f64) * cfg.imbalance).ceil() as u64;
-        refine_kway(fine_graph, &mut fine_assignment, k, cap.max(max_part_weight), cfg.refine_passes);
+        refine_kway(
+            fine_graph,
+            &mut fine_assignment,
+            k,
+            cap.max(max_part_weight),
+            cfg.refine_passes,
+        );
         assignment = fine_assignment;
     }
 
@@ -167,13 +173,12 @@ pub fn partition_kway(g: &PartGraph, cfg: &PartitionConfig) -> Partitioning {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use largeea_common::rng::Rng;
 
     /// `c` clusters of `n` vertices each, dense inside, one weak edge between
     /// consecutive clusters.
     fn clustered(c: usize, n: usize, seed: u64) -> PartGraph {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut edges = Vec::new();
         for ci in 0..c {
             let base = (ci * n) as u32;
@@ -237,7 +242,7 @@ mod tests {
         // Two clusters, but vertices 0 and 60 tied by a huge weight: they
         // must land together (this is CPS phase 1's mechanism).
         let mut g_edges = Vec::new();
-        let mut rng = SmallRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         for c in 0..2 {
             let base = c * 60u32;
             for i in 0..60u32 {

@@ -7,15 +7,13 @@
 //! deficiency METIS-CPS fixes.
 
 use crate::batches::MiniBatches;
+use largeea_common::rng::{Rng, SliceRandom};
 use largeea_kg::{AlignmentSeeds, KgPair};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 /// Runs VPS on `pair`, producing `k` mini-batches.
 pub fn vps(pair: &KgPair, seeds: &AlignmentSeeds, k: usize, seed: u64) -> MiniBatches {
     assert!(k >= 1, "k must be positive");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     const UNSET: u32 = u32::MAX;
     let mut source_assignment = vec![UNSET; pair.source.num_entities()];

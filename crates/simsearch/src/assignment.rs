@@ -163,11 +163,7 @@ mod tests {
 
     #[test]
     fn assignment_is_injective() {
-        let m = dense(&[
-            &[0.9, 0.8, 0.1],
-            &[0.9, 0.7, 0.2],
-            &[0.8, 0.9, 0.3],
-        ]);
+        let m = dense(&[&[0.9, 0.8, 0.1], &[0.9, 0.7, 0.2], &[0.8, 0.9, 0.3]]);
         let pairs = auction_assignment(&m, 1e-3);
         let mut rows: Vec<u32> = pairs.iter().map(|&(r, _)| r).collect();
         let mut cols: Vec<u32> = pairs.iter().map(|&(_, c)| c).collect();

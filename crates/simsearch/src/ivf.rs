@@ -107,14 +107,11 @@ impl IvfIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use largeea_common::rng::Rng;
 
     fn clustered_data(n: usize, seed: u64) -> Matrix {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        Matrix::from_fn(n, 8, |r, _| {
-            (r % 10) as f32 * 5.0 + rng.gen::<f32>() * 0.5
-        })
+        let mut rng = Rng::seed_from_u64(seed);
+        Matrix::from_fn(n, 8, |r, _| (r % 10) as f32 * 5.0 + rng.gen::<f32>() * 0.5)
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Lloyd's k-means with k-means++ seeding — the coarse quantiser behind
 //! [`crate::ivf`].
 
+use largeea_common::rng::Rng;
 use largeea_tensor::parallel::par_map_blocks;
 use largeea_tensor::Matrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// K-means result: centroids and per-point assignment.
 #[derive(Debug)]
@@ -32,13 +31,15 @@ pub fn kmeans(data: &Matrix, k: usize, iters: usize, seed: u64) -> KMeans {
     let d = data.cols();
     assert!(k >= 1, "k must be positive");
     assert!(n >= k, "need at least k points, got {n} < {k}");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // --- k-means++ seeding -------------------------------------------------
     let mut centroids = Matrix::zeros(k, d);
     let first = rng.gen_range(0..n);
     centroids.row_mut(0).copy_from_slice(data.row(first));
-    let mut dist2: Vec<f32> = (0..n).map(|i| sq_l2(data.row(i), centroids.row(0))).collect();
+    let mut dist2: Vec<f32> = (0..n)
+        .map(|i| sq_l2(data.row(i), centroids.row(0)))
+        .collect();
     for c in 1..k {
         let total: f64 = dist2.iter().map(|&x| x as f64).sum();
         let pick = if total <= 0.0 {
@@ -133,7 +134,7 @@ mod tests {
 
     #[test]
     fn recovers_separated_blobs() {
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let data = Matrix::from_fn(90, 2, |r, _| {
             [(0.0f32), 10.0, 20.0][r / 30] + rng.gen::<f32>() - 0.5
         });

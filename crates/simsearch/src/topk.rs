@@ -254,7 +254,12 @@ mod tests {
 
     #[test]
     fn empty_base_gives_empty_hits() {
-        let res = topk_search(&Matrix::zeros(2, 4), &Matrix::zeros(0, 4), 3, Metric::Manhattan);
+        let res = topk_search(
+            &Matrix::zeros(2, 4),
+            &Matrix::zeros(0, 4),
+            3,
+            Metric::Manhattan,
+        );
         assert!(res.iter().all(Vec::is_empty));
     }
 }

@@ -590,7 +590,9 @@ mod tests {
     fn seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut s = seed;
         Matrix::from_fn(rows, cols, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f32 / u32::MAX as f32) - 0.5
         })
     }

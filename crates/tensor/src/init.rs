@@ -1,20 +1,19 @@
 //! Seeded weight initialisers.
 
 use crate::matrix::Matrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use largeea_common::rng::Rng;
 
 /// Xavier/Glorot uniform initialisation: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`. Standard for GCN weight matrices.
 pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
     let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
 }
 
 /// Normal initialisation with the given standard deviation (Box–Muller).
 pub fn normal(rows: usize, cols: usize, std: f32, seed: u64) -> Matrix {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     Matrix::from_fn(rows, cols, |_, _| {
         // Box–Muller transform from two uniforms.
         let u1: f32 = rng.gen_range(f32::EPSILON..1.0);

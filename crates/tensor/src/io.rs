@@ -42,9 +42,9 @@ pub fn read_matrix<R: Read>(mut r: R) -> io::Result<Matrix> {
     let rows = u64::from_le_bytes(n) as usize;
     r.read_exact(&mut n)?;
     let cols = u64::from_le_bytes(n) as usize;
-    let elems = rows.checked_mul(cols).ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidData, "matrix dimensions overflow")
-    })?;
+    let elems = rows
+        .checked_mul(cols)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "matrix dimensions overflow"))?;
     let mut buf = vec![0u8; elems * 4];
     r.read_exact(&mut buf)?;
     let data = buf

@@ -118,7 +118,8 @@ impl Matrix {
     /// Matrix product `self @ other` (parallel over output-row blocks).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} @ {:?}",
             self.shape(),
             other.shape()

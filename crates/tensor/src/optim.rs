@@ -175,7 +175,9 @@ mod tests {
     use crate::autograd::Tape;
 
     /// Minimises f(x) = ||x - target||² and checks convergence.
-    fn quadratic_descent(mut optimise: impl FnMut(&mut ParamStore, &[Option<Matrix>], usize)) -> f32 {
+    fn quadratic_descent(
+        mut optimise: impl FnMut(&mut ParamStore, &[Option<Matrix>], usize),
+    ) -> f32 {
         let target = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
         let mut store = ParamStore::new();
         let id = store.register("x", Matrix::zeros(1, 3));
@@ -197,7 +199,15 @@ mod tests {
     fn adam_converges_on_quadratic() {
         let mut adam: Option<Adam> = None;
         let err = quadratic_descent(|store, grads, _| {
-            let a = adam.get_or_insert_with(|| Adam::new(AdamConfig { lr: 0.05, ..Default::default() }, store));
+            let a = adam.get_or_insert_with(|| {
+                Adam::new(
+                    AdamConfig {
+                        lr: 0.05,
+                        ..Default::default()
+                    },
+                    store,
+                )
+            });
             a.step(store, grads);
         });
         assert!(err < 1e-2, "adam residual {err}");

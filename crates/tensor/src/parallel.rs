@@ -38,11 +38,7 @@ pub fn num_threads() -> usize {
 ///
 /// Falls back to a sequential call for small inputs (below `min_len`) to
 /// avoid thread-spawn overhead dominating.
-pub fn par_chunks_mut<T: Send>(
-    data: &mut [T],
-    min_len: usize,
-    f: impl Fn(&mut [T], usize) + Sync,
-) {
+pub fn par_chunks_mut<T: Send>(data: &mut [T], min_len: usize, f: impl Fn(&mut [T], usize) + Sync) {
     let threads = num_threads();
     if threads <= 1 || data.len() < min_len {
         f(data, 0);

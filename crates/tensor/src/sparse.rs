@@ -199,7 +199,11 @@ mod tests {
         // [[1, 0, 2],
         //  [0, 0, 0],
         //  [3, 4, 0]]
-        SparseMatrix::from_coo(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+        SparseMatrix::from_coo(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
     }
 
     #[test]
@@ -217,7 +221,9 @@ mod tests {
         let out = s.spmm(&d);
         // dense equivalent
         let dense = Matrix::from_fn(3, 3, |r, c| {
-            s.row(r).find(|&(cc, _)| cc as usize == c).map_or(0.0, |(_, v)| v)
+            s.row(r)
+                .find(|&(cc, _)| cc as usize == c)
+                .map_or(0.0, |(_, v)| v)
         });
         assert_eq!(out, dense.matmul(&d));
     }

@@ -1,11 +1,27 @@
 //! Property-based tests for the dense/sparse linear-algebra kernels.
 
+use largeea_common::check::for_each_case;
+use largeea_common::rng::Rng;
 use largeea_tensor::{Matrix, SparseMatrix};
-use proptest::prelude::*;
 
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-4.0f32..4.0, rows * cols)
-        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+fn matrix(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-4.0f32..4.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn entries(rng: &mut Rng, rows: u32, cols: u32, max: usize) -> Vec<(u32, u32, f32)> {
+    let count = rng.gen_range(0..max);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..rows),
+                rng.gen_range(0..cols),
+                rng.gen_range(-3.0f32..3.0),
+            )
+        })
+        .collect()
 }
 
 fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
@@ -16,68 +32,81 @@ fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
             .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn transpose_of_product((a, b) in (matrix(4, 3), matrix(3, 5))) {
+#[test]
+fn transpose_of_product() {
+    for_each_case(0x7501, 64, |rng| {
+        let a = matrix(rng, 4, 3);
+        let b = matrix(rng, 3, 5);
         // (A·B)ᵀ = Bᵀ·Aᵀ
         let left = a.matmul(&b).transpose();
         let right = b.transpose().matmul(&a.transpose());
-        prop_assert!(close(&left, &right, 1e-4));
-    }
+        assert!(close(&left, &right, 1e-4));
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_addition((a, b, c) in (matrix(3, 4), matrix(4, 2), matrix(4, 2))) {
+#[test]
+fn matmul_distributes_over_addition() {
+    for_each_case(0x7502, 64, |rng| {
+        let a = matrix(rng, 3, 4);
+        let b = matrix(rng, 4, 2);
+        let c = matrix(rng, 4, 2);
         // A·(B + C) = A·B + A·C
         let mut bc = b.clone();
         bc.add_assign(&c);
         let left = a.matmul(&bc);
         let mut right = a.matmul(&b);
         right.add_assign(&a.matmul(&c));
-        prop_assert!(close(&left, &right, 1e-3));
-    }
+        assert!(close(&left, &right, 1e-3));
+    });
+}
 
-    #[test]
-    fn spmm_agrees_with_dense_matmul(
-        entries in prop::collection::vec((0u32..5, 0u32..6, -3.0f32..3.0), 0..20),
-        d in matrix(6, 3),
-    ) {
-        let sp = SparseMatrix::from_coo(5, 6, entries.clone());
+#[test]
+fn spmm_agrees_with_dense_matmul() {
+    for_each_case(0x7503, 64, |rng| {
+        let es = entries(rng, 5, 6, 20);
+        let d = matrix(rng, 6, 3);
+        let sp = SparseMatrix::from_coo(5, 6, es.clone());
         let mut dense = Matrix::zeros(5, 6);
-        for (r, c, v) in entries {
+        for (r, c, v) in es {
             dense[(r as usize, c as usize)] += v;
         }
-        prop_assert!(close(&sp.spmm(&d), &dense.matmul(&d), 1e-4));
-    }
+        assert!(close(&sp.spmm(&d), &dense.matmul(&d), 1e-4));
+    });
+}
 
-    #[test]
-    fn sparse_transpose_involution(
-        entries in prop::collection::vec((0u32..6, 0u32..4, -3.0f32..3.0), 0..25),
-    ) {
-        let sp = SparseMatrix::from_coo(6, 4, entries);
-        prop_assert_eq!(sp.transpose().transpose(), sp);
-    }
+#[test]
+fn sparse_transpose_involution() {
+    for_each_case(0x7504, 64, |rng| {
+        let es = entries(rng, 6, 4, 25);
+        let sp = SparseMatrix::from_coo(6, 4, es);
+        assert_eq!(sp.transpose().transpose(), sp);
+    });
+}
 
-    #[test]
-    fn l2_normalized_rows_are_unit_or_zero(m in matrix(5, 4)) {
+#[test]
+fn l2_normalized_rows_are_unit_or_zero() {
+    for_each_case(0x7505, 64, |rng| {
+        let m = matrix(rng, 5, 4);
         let mut n = m.clone();
         n.l2_normalize_rows(1e-12);
         for r in 0..5 {
             let norm: f32 = n.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
             let original: f32 = m.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
             if original > 1e-6 {
-                prop_assert!((norm - 1.0).abs() < 1e-3, "row {} norm {}", r, norm);
+                assert!((norm - 1.0).abs() < 1e-3, "row {} norm {}", r, norm);
             } else {
-                prop_assert!(norm < 1e-3);
+                assert!(norm < 1e-3);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn gather_then_vstack_roundtrip(m in matrix(6, 3)) {
+#[test]
+fn gather_then_vstack_roundtrip() {
+    for_each_case(0x7506, 64, |rng| {
+        let m = matrix(rng, 6, 3);
         let top = m.gather_rows(&[0, 1, 2]);
         let bottom = m.gather_rows(&[3, 4, 5]);
-        prop_assert_eq!(top.vstack(&bottom), m);
-    }
+        assert_eq!(top.vstack(&bottom), m);
+    });
 }

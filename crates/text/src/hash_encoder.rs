@@ -45,7 +45,10 @@ impl HashEncoder {
     /// Creates an encoder with the given embedding dimension and seed.
     /// Defaults: n-grams of size 2–4, 4 signed coordinates per feature.
     pub fn new(dim: usize, seed: u64) -> Self {
-        assert!(dim >= 8, "embedding dimension must be at least 8, got {dim}");
+        assert!(
+            dim >= 8,
+            "embedding dimension must be at least 8, got {dim}"
+        );
         Self {
             dim,
             seed,
@@ -71,7 +74,10 @@ impl HashEncoder {
     fn scatter(&self, feature: &str, w: f32, acc: &mut [f32]) {
         let base = hash_str(feature, self.seed);
         for j in 0..self.hashes_per_feature {
-            let h = crate::hashing::mix(base, self.seed ^ (j as u64).wrapping_mul(0xA24BAED4963EE407));
+            let h = crate::hashing::mix(
+                base,
+                self.seed ^ (j as u64).wrapping_mul(0xA24BAED4963EE407),
+            );
             let idx = (h % self.dim as u64) as usize;
             let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
             acc[idx] += sign * w;

@@ -108,7 +108,9 @@ fn main() {
     for &(s, t) in &seeds.test {
         let predicted = report.sim.best(s.idx()).map(|(c, score)| {
             (
-                pair.target.entity_label(largeea::kg::EntityId(c)).to_owned(),
+                pair.target
+                    .entity_label(largeea::kg::EntityId(c))
+                    .to_owned(),
                 score,
             )
         });

@@ -41,7 +41,10 @@ fn main() {
     println!("H@1 by source-entity degree (tail entities are the hard part):");
     for b in accuracy_by_degree(&pair, &report.sim, &seeds.test) {
         if b.pairs > 0 {
-            println!("  degree {:>5}: {:>4} pairs, H@1 {:>5.1}%", b.bucket, b.pairs, b.hits1);
+            println!(
+                "  degree {:>5}: {:>4} pairs, H@1 {:>5.1}%",
+                b.bucket, b.pairs, b.hits1
+            );
         }
     }
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md).
+#
+# The build is hermetic — every dependency is an in-tree path dependency —
+# so everything below runs with --offline against an empty registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "verify: OK"

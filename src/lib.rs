@@ -6,6 +6,7 @@
 //!
 //! | Module | Crate | Role |
 //! |--------|-------|------|
+//! | [`common`] | `largeea-common` | zero-dependency substrate: PRNG, JSON emitter, test harness, bench timer |
 //! | [`kg`] | `largeea-kg` | KG storage, alignment pairs, OpenEA IO |
 //! | [`partition`] | `largeea-partition` | multilevel partitioner, METIS-CPS, VPS, mini-batches |
 //! | [`tensor`] | `largeea-tensor` | matrices, autograd, Adam |
@@ -43,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use largeea_common as common;
 pub use largeea_core as core;
 pub use largeea_data as data;
 pub use largeea_kg as kg;

@@ -88,9 +88,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_owned(), value.clone());
     }
     Ok(flags)
@@ -167,7 +165,10 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
 
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
     let pair = load_data(flags)?;
-    println!("{:<8} {:>10} {:>10} {:>10} {:>10} {:>8}", "side", "entities", "relations", "triples", "max-deg", "isolated");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "side", "entities", "relations", "triples", "max-deg", "isolated"
+    );
     for (label, kg) in [("source", &pair.source), ("target", &pair.target)] {
         let s = KgStats::of(kg);
         println!(
@@ -265,7 +266,10 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
         println!("\nH@1 by source-entity degree:");
         for b in largeea::core::accuracy_by_degree(&pair, &report.sim, &seeds.test) {
             if b.pairs > 0 {
-                println!("  degree {:>5}: {:>5} pairs, H@1 {:>5.1}%", b.bucket, b.pairs, b.hits1);
+                println!(
+                    "  degree {:>5}: {:>5} pairs, H@1 {:>5.1}%",
+                    b.bucket, b.pairs, b.hits1
+                );
             }
         }
         if let (Some(m_s), Some(m_n)) = (&report.m_s, &report.m_n) {
@@ -308,15 +312,16 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
         }
         let mut f = line.split('\t');
         let (Some(a), Some(b), None) = (f.next(), f.next(), f.next()) else {
-            return Err(format!("{path}:{}: expected 2 tab-separated fields", lineno + 1));
+            return Err(format!(
+                "{path}:{}: expected 2 tab-separated fields",
+                lineno + 1
+            ));
         };
         predicted.insert(a, b);
     }
     let mut correct = 0usize;
     for &(s, t) in &pair.alignment {
-        if predicted.get(pair.source.entity_key(s)).copied()
-            == Some(pair.target.entity_key(t))
-        {
+        if predicted.get(pair.source.entity_key(s)).copied() == Some(pair.target.entity_key(t)) {
             correct += 1;
         }
     }

@@ -31,7 +31,10 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn missing_required_flag_fails() {
-    let out = bin().args(["generate", "--scale", "0.01"]).output().unwrap();
+    let out = bin()
+        .args(["generate", "--scale", "0.01"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--preset"), "{err}");
@@ -56,7 +59,11 @@ fn full_workflow_generate_stats_partition_align_eval() {
         .arg(&data)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(data.join("rel_triples_1").exists());
     assert!(data.join("ent_links").exists());
 
@@ -82,11 +89,17 @@ fn full_workflow_generate_stats_partition_align_eval() {
     let out = bin()
         .args(["align", "--data"])
         .arg(&data)
-        .args(["--model", "gcn", "--k", "2", "--epochs", "15", "--dim", "32", "--out"])
+        .args([
+            "--model", "gcn", "--k", "2", "--epochs", "15", "--dim", "32", "--out",
+        ])
         .arg(&preds)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("H@1"), "{text}");
     assert!(preds.exists());
@@ -99,7 +112,11 @@ fn full_workflow_generate_stats_partition_align_eval() {
         .arg(&preds)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("F1"), "{text}");
     // name-rich synthetic data: the decoded alignment should be mostly right
@@ -134,10 +151,24 @@ fn unsupervised_align_runs() {
     let out = bin()
         .args(["align", "--data"])
         .arg(&data)
-        .args(["--model", "gcn", "--k", "1", "--epochs", "10", "--dim", "16", "--unsupervised"])
+        .args([
+            "--model",
+            "gcn",
+            "--k",
+            "1",
+            "--epochs",
+            "10",
+            "--dim",
+            "16",
+            "--unsupervised",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("pseudo seeds"), "{text}");
     std::fs::remove_dir_all(&dir).ok();

@@ -1,8 +1,8 @@
 //! Integration tests for dataset IO and generation through the facade.
 
+use largeea::common::check::for_each_case;
 use largeea::data::{Language, NameNoise, PairGenConfig, Preset};
 use largeea::kg::{io, KgStats};
-use proptest::prelude::*;
 
 #[test]
 fn generated_pair_roundtrips_through_openea_layout() {
@@ -48,18 +48,15 @@ fn unicode_labels_survive_roundtrip() {
     assert!(loaded.target.entity_id("Bavière").is_some());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn generator_respects_arbitrary_configs(
-        aligned in 10usize..200,
-        unknown_s in 0usize..40,
-        unknown_t in 0usize..40,
-        triples_mult in 2usize..6,
-        heterogeneity in 0.0f64..1.0,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn generator_respects_arbitrary_configs() {
+    for_each_case(0x10C0, 16, |rng| {
+        let aligned = rng.gen_range(10..200usize);
+        let unknown_s = rng.gen_range(0..40usize);
+        let unknown_t = rng.gen_range(0..40usize);
+        let triples_mult = rng.gen_range(2..6usize);
+        let heterogeneity = rng.gen_range(0.0f64..1.0);
+        let seed = rng.gen_range(0..10_000u64);
         let cfg = PairGenConfig {
             aligned,
             unknown_source: unknown_s,
@@ -77,13 +74,13 @@ proptest! {
             seed,
         };
         let pair = largeea::data::generate_pair(&cfg);
-        prop_assert_eq!(pair.source.num_entities(), aligned + unknown_s);
-        prop_assert_eq!(pair.target.num_entities(), aligned + unknown_t);
-        prop_assert_eq!(pair.alignment.len(), aligned);
-        prop_assert!(pair.validate().is_ok());
-        prop_assert_eq!(pair.source.num_triples(), aligned * triples_mult);
+        assert_eq!(pair.source.num_entities(), aligned + unknown_s);
+        assert_eq!(pair.target.num_entities(), aligned + unknown_t);
+        assert_eq!(pair.alignment.len(), aligned);
+        assert!(pair.validate().is_ok());
+        assert_eq!(pair.source.num_triples(), aligned * triples_mult);
         // stats never panic and degree sums are consistent
         let stats = KgStats::of(&pair.source);
-        prop_assert!(stats.max_degree >= 1);
-    }
+        assert!(stats.max_degree >= 1);
+    });
 }

@@ -1,105 +1,124 @@
 //! Property-based tests for the text substrate (BERT/datasketch/Levenshtein
 //! substitutes).
 
+use largeea::common::check::{for_each_case, string_from, unicode_string};
 use largeea::text::jaccard::{jaccard, shingles};
 use largeea::text::{
     levenshtein, levenshtein_bounded, levenshtein_similarity, normalize_name, HashEncoder,
     LshIndex, MinHasher,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn levenshtein_is_a_metric(a in ".{0,24}", b in ".{0,24}", c in ".{0,24}") {
+#[test]
+fn levenshtein_is_a_metric() {
+    for_each_case(0x7E01, 128, |rng| {
+        let a = unicode_string(rng, 0, 24);
+        let b = unicode_string(rng, 0, 24);
+        let c = unicode_string(rng, 0, 24);
         // identity
-        prop_assert_eq!(levenshtein(&a, &a), 0);
+        assert_eq!(levenshtein(&a, &a), 0);
         // symmetry
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
         // triangle inequality
-        prop_assert!(
-            levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c)
-        );
-    }
+        assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    });
+}
 
-    #[test]
-    fn levenshtein_bounded_by_longer_string(a in ".{0,24}", b in ".{0,24}") {
+#[test]
+fn levenshtein_bounded_by_longer_string() {
+    for_each_case(0x7E02, 128, |rng| {
+        let a = unicode_string(rng, 0, 24);
+        let b = unicode_string(rng, 0, 24);
         let d = levenshtein(&a, &b);
         let (la, lb) = (a.chars().count(), b.chars().count());
-        prop_assert!(d <= la.max(lb));
-        prop_assert!(d >= la.abs_diff(lb));
+        assert!(d <= la.max(lb));
+        assert!(d >= la.abs_diff(lb));
         let sim = levenshtein_similarity(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&sim));
-    }
+        assert!((0.0..=1.0).contains(&sim));
+    });
+}
 
-    #[test]
-    fn bounded_levenshtein_agrees_with_exact(
-        a in "[a-e]{0,16}",
-        b in "[a-e]{0,16}",
-        max_d in 0usize..10,
-    ) {
+#[test]
+fn bounded_levenshtein_agrees_with_exact() {
+    for_each_case(0x7E03, 128, |rng| {
+        let a = string_from(rng, "abcde", 0, 16);
+        let b = string_from(rng, "abcde", 0, 16);
+        let max_d = rng.gen_range(0..10usize);
         let exact = levenshtein(&a, &b);
         let bounded = levenshtein_bounded(&a, &b, max_d);
         if exact <= max_d {
-            prop_assert_eq!(bounded, Some(exact));
+            assert_eq!(bounded, Some(exact));
         } else {
-            prop_assert_eq!(bounded, None);
+            assert_eq!(bounded, None);
         }
-    }
+    });
+}
 
-    #[test]
-    fn normalization_is_idempotent_and_case_folded(raw in ".{0,32}") {
+#[test]
+fn normalization_is_idempotent_and_case_folded() {
+    for_each_case(0x7E04, 128, |rng| {
+        let raw = unicode_string(rng, 0, 32);
         let once = normalize_name(&raw);
-        prop_assert_eq!(normalize_name(&once), once.clone());
+        assert_eq!(normalize_name(&once), once.clone());
         // every *foldable* character is folded (some uppercase code points,
         // e.g. U+1D400 𝐀, have no lowercase mapping and pass through)
-        prop_assert!(once
-            .chars()
-            .all(|c| c.to_lowercase().next() == Some(c)));
+        assert!(once.chars().all(|c| c.to_lowercase().next() == Some(c)));
         // no double spaces, no outer whitespace
-        prop_assert!(!once.contains("  "));
-        prop_assert_eq!(once.trim(), &once);
-    }
+        assert!(!once.contains("  "));
+        assert_eq!(once.trim(), &once);
+    });
+}
 
-    #[test]
-    fn jaccard_symmetry_and_bounds(a in "[a-f ]{0,20}", b in "[a-f ]{0,20}") {
+#[test]
+fn jaccard_symmetry_and_bounds() {
+    for_each_case(0x7E05, 128, |rng| {
+        let a = string_from(rng, "abcdef ", 0, 20);
+        let b = string_from(rng, "abcdef ", 0, 20);
         let sa = shingles(&a, 3);
         let sb = shingles(&b, 3);
         let j = jaccard(&sa, &sb);
-        prop_assert!((0.0..=1.0).contains(&j));
-        prop_assert_eq!(j, jaccard(&sb, &sa));
-        prop_assert_eq!(jaccard(&sa, &sa), 1.0);
-    }
+        assert!((0.0..=1.0).contains(&j));
+        assert_eq!(j, jaccard(&sb, &sa));
+        assert_eq!(jaccard(&sa, &sa), 1.0);
+    });
+}
 
-    #[test]
-    fn minhash_estimate_tracks_jaccard(a in "[a-h]{6,24}", b in "[a-h]{6,24}") {
+#[test]
+fn minhash_estimate_tracks_jaccard() {
+    for_each_case(0x7E06, 128, |rng| {
+        let a = string_from(rng, "abcdefgh", 6, 24);
+        let b = string_from(rng, "abcdefgh", 6, 24);
         let mh = MinHasher::new(256, 7);
         let (sa, sb) = (shingles(&a, 2), shingles(&b, 2));
         let truth = jaccard(&sa, &sb);
         let est = mh.estimate(&mh.signature(&sa), &mh.signature(&sb));
         // 256 permutations: standard error ≈ sqrt(j(1-j)/256) ≤ 0.032
-        prop_assert!((truth - est).abs() < 0.17, "true {truth} est {est}");
-    }
+        assert!((truth - est).abs() < 0.17, "true {truth} est {est}");
+    });
+}
 
-    #[test]
-    fn encoder_is_deterministic_and_bounded(name in ".{0,32}") {
+#[test]
+fn encoder_is_deterministic_and_bounded() {
+    for_each_case(0x7E07, 128, |rng| {
+        let name = unicode_string(rng, 0, 32);
         let enc = HashEncoder::new(64, 3);
         let a = enc.encode(&name);
         let b = enc.encode(&name);
-        prop_assert_eq!(a.clone(), b);
-        prop_assert_eq!(a.len(), 64);
-        prop_assert!(a.iter().all(|x| x.is_finite()));
+        assert_eq!(a.clone(), b);
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().all(|x| x.is_finite()));
         // max-pooled unit token vectors: coordinates within [-1, 1]
-        prop_assert!(a.iter().all(|x| x.abs() <= 1.0 + 1e-5));
-    }
+        assert!(a.iter().all(|x| x.abs() <= 1.0 + 1e-5));
+    });
+}
 
-    #[test]
-    fn lsh_self_query_always_hits(name in "[a-z]{4,20}") {
+#[test]
+fn lsh_self_query_always_hits() {
+    for_each_case(0x7E08, 128, |rng| {
+        let name = string_from(rng, "abcdefghijklmnopqrstuvwxyz", 4, 20);
         let mh = MinHasher::new(64, 5);
         let mut idx = LshIndex::with_threshold(64, 0.5);
         let sig = mh.signature(&shingles(&name, 3));
         idx.insert(42, &sig);
-        prop_assert!(idx.candidates(&sig).contains(&42));
-    }
+        assert!(idx.candidates(&sig).contains(&42));
+    });
 }
