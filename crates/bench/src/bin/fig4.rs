@@ -6,9 +6,11 @@
 //! grows roughly linearly with data size.
 //!
 //! Flags: `--base <f>` (smallest scale, default 0.002), `--steps <n>`
-//! (default 4, doubling each step), `--epochs <n>`.
+//! (default 4, doubling each step), `--epochs <n>`, `--trace-dir <dir>`
+//! (write one `fig4.scale-*.trace.json` per sweep step).
 
-use largeea_bench::{arg_f64, arg_usize, harness_train_config};
+use largeea_bench::{arg_f64, arg_usize, harness_train_config, maybe_write_trace};
+use largeea_common::obs::Recorder;
 use largeea_core::report::{print_series, Series};
 use largeea_core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
 use largeea_core::{NameChannel, NameChannelConfig};
@@ -32,8 +34,12 @@ fn main() {
         let entities = (pair.source.num_entities() + pair.target.num_entities()) as f64;
         eprintln!("[fig4] scale {scale}: {entities} entities");
 
-        let name_out =
-            NameChannel::new(NameChannelConfig::default()).run(&pair.source, &pair.target);
+        let rec = Recorder::from_env();
+        let name_out = NameChannel::new(NameChannelConfig::default()).run_traced(
+            &pair.source,
+            &pair.target,
+            &rec,
+        );
         let sc = StructureChannel::new(StructureChannelConfig {
             k: preset.default_k(),
             partitioner: Partitioner::MetisCps,
@@ -42,7 +48,8 @@ fn main() {
             top_k: 50,
             ..StructureChannelConfig::default()
         });
-        let out = sc.run(&pair, &seeds);
+        let out = sc.run_traced(&pair, &seeds, &rec);
+        maybe_write_trace(&format!("fig4.scale-{scale}"), &rec.trace());
 
         xs.push(entities);
         sens.push(name_out.sens_seconds);

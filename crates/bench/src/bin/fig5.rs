@@ -14,8 +14,10 @@ use largeea_core::report::{print_series, Series};
 use largeea_data::Preset;
 use largeea_models::ModelKind;
 
+type ConfigTweak = fn(LargeEaConfig) -> LargeEaConfig;
+
 fn main() {
-    let variants: [(&str, fn(LargeEaConfig) -> LargeEaConfig); 4] = [
+    let variants: [(&str, ConfigTweak); 4] = [
         ("LargeEA (full)", |c| c),
         ("w/o structure", |mut c| {
             c.use_structure = false;

@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use largeea_common::json::ToJson;
+use largeea_common::obs::Recorder;
 use largeea_core::pipeline::{LargeEa, LargeEaConfig};
 use largeea_core::report::MethodRow;
 use largeea_core::structure_channel::{Partitioner, StructureChannelConfig};
@@ -37,12 +39,28 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
     })
 }
 
-fn arg_str(name: &str) -> Option<String> {
+/// Reads `--<name> <value>` as a raw string.
+pub fn arg_str(name: &str) -> Option<String> {
     let flag = format!("--{name}");
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == &flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Writes `trace` to `<dir>/<tag>.trace.json` when the binary was invoked
+/// with `--trace-dir <dir>`; a no-op otherwise. Every harness binary can
+/// therefore ship its per-run observability artifact without new flags of
+/// its own.
+pub fn maybe_write_trace(tag: &str, trace: &largeea_common::obs::Trace) {
+    let Some(dir) = arg_str("trace-dir") else {
+        return;
+    };
+    let path = std::path::Path::new(&dir).join(format!("{tag}.trace.json"));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
+    std::fs::write(&path, trace.to_json_string())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("[trace] {tag} → {}", path.display());
 }
 
 /// Harness default scales per benchmark family (fractions of Table 1).
@@ -108,10 +126,13 @@ pub fn largeea_variant_row(
     model: ModelKind,
     k: usize,
 ) -> MethodRow {
-    let report = LargeEa::new(largeea_config(model, k)).run(pair, seeds);
+    let rec = Recorder::from_env();
+    let report = LargeEa::new(largeea_config(model, k)).run_recorded(pair, seeds, 1, &rec);
+    let method = format!("LargeEA-{}", model.short_name());
+    maybe_write_trace(&format!("{dataset}.{method}"), &report.trace);
     MethodRow::new(
         dataset,
-        format!("LargeEA-{}", model.short_name()),
+        method,
         direction_label(pair),
         report.eval,
         report.total_seconds,

@@ -5,7 +5,7 @@
 //! *LargeEA* (Ge et al., VLDB 2021) compiles and tests **fully offline**:
 //! no crates.io registry, no network, no vendored third-party code.
 //!
-//! Four subsystems (DESIGN.md §S0):
+//! Five subsystems (DESIGN.md §S0, §S0.5):
 //!
 //! | Module | Replaces | Provides |
 //! |--------|----------|----------|
@@ -13,6 +13,7 @@
 //! | [`json`] | `serde`/`serde_json` | [`json::Json`] value tree + [`json::ToJson`] trait, byte-compatible with the previous `serde_json` row output |
 //! | [`check`] | `proptest` | [`check::for_each_case`] deterministic randomized-input harness with seed-replay failure reporting |
 //! | [`bench`] | `criterion` | warmup + median wall-clock micro-benchmark timer |
+//! | [`obs`] | `tracing`/`metrics` | thread-safe [`obs::Recorder`]: hierarchical spans, counters/gauges/histograms, JSON [`obs::Trace`] export, `LARGEEA_LOG` echo |
 //!
 //! ## Determinism contract
 //!
@@ -28,6 +29,7 @@
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod obs;
 pub mod rng;
 
 pub use json::{Json, ToJson};

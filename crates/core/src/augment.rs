@@ -131,7 +131,7 @@ mod tests {
         let mut m = SparseSimMatrix::new(2, 2);
         m.insert(0, 1, 0.9); // wrong under the diagonal truth
         m.insert(1, 0, 0.9);
-        let rep = augment_seeds(&AlignmentSeeds::default(), &m, &truth()[..2].to_vec());
+        let rep = augment_seeds(&AlignmentSeeds::default(), &m, &truth()[..2]);
         assert_eq!(rep.generated, 2);
         assert_eq!(rep.accuracy, 0.0);
     }

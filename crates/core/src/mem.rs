@@ -6,6 +6,7 @@
 //! matrices and similarity blocks. Components report their allocations to a
 //! [`MemTracker`]; the harness reads per-label peaks.
 
+use largeea_common::obs::Recorder;
 use std::collections::BTreeMap;
 
 /// Tracks the current and peak bytes of named components.
@@ -55,6 +56,15 @@ impl MemTracker {
     /// `(label, peak_bytes)` rows in label order.
     pub fn table(&self) -> Vec<(String, usize)> {
         self.peak.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// Folds every per-label peak into `rec` as a `mem.<label>.peak_bytes`
+    /// gauge (peak semantics: repeated folds keep the maximum), so time and
+    /// memory land in one trace artifact.
+    pub fn record_into(&self, rec: &Recorder) {
+        for (label, &bytes) in &self.peak {
+            rec.gauge_max(&format!("mem.{label}.peak_bytes"), bytes as f64);
+        }
     }
 
     /// Formats bytes the way the paper's tables do (`"4.04G"`, `"0.13G"`,
@@ -112,5 +122,63 @@ mod tests {
     fn byte_formatting() {
         assert_eq!(MemTracker::fmt_bytes(4 * 1024 * 1024 * 1024), "4.00G");
         assert_eq!(MemTracker::fmt_bytes(512 * 1024), "0.5M");
+    }
+
+    #[test]
+    fn add_after_release_restarts_from_zero() {
+        let mut t = MemTracker::new();
+        t.add("sim", 40);
+        t.release("sim");
+        t.add("sim", 10);
+        // current restarted at 0 + 10, but the peak remembers 40
+        assert_eq!(t.peak("sim"), 40);
+        t.add("sim", 35);
+        assert_eq!(t.peak("sim"), 45, "post-release growth can set a new peak");
+    }
+
+    #[test]
+    fn set_then_add_compose() {
+        let mut t = MemTracker::new();
+        t.set("model", 100);
+        t.add("model", 50);
+        assert_eq!(t.peak("model"), 150);
+        t.set("model", 20);
+        assert_eq!(t.peak("model"), 150, "set below peak keeps the peak");
+    }
+
+    #[test]
+    fn release_of_unknown_label_is_benign() {
+        let mut t = MemTracker::new();
+        t.release("never_set");
+        assert_eq!(t.peak("never_set"), 0);
+        assert_eq!(t.max_peak(), 0);
+    }
+
+    #[test]
+    fn record_into_exports_peaks_as_gauges() {
+        use largeea_common::obs::{ObsConfig, Recorder};
+        let mut t = MemTracker::new();
+        t.set("name_channel", 1000);
+        t.set("structure_channel", 2000);
+        t.release("name_channel");
+        let rec = Recorder::new(ObsConfig::default());
+        t.record_into(&rec);
+        let trace = rec.trace();
+        assert_eq!(trace.gauge("mem.name_channel.peak_bytes"), Some(1000.0));
+        assert_eq!(
+            trace.gauge("mem.structure_channel.peak_bytes"),
+            Some(2000.0)
+        );
+        // folding a second tracker keeps per-label maxima
+        let mut t2 = MemTracker::new();
+        t2.set("name_channel", 500);
+        t2.set("structure_channel", 9000);
+        t2.record_into(&rec);
+        let trace = rec.trace();
+        assert_eq!(trace.gauge("mem.name_channel.peak_bytes"), Some(1000.0));
+        assert_eq!(
+            trace.gauge("mem.structure_channel.peak_bytes"),
+            Some(9000.0)
+        );
     }
 }

@@ -12,10 +12,10 @@
 //!   Levenshtein computation.
 
 use crate::mem::MemTracker;
+use largeea_common::obs::{Level, ObsConfig, Recorder};
 use largeea_kg::KnowledgeGraph;
-use largeea_sim::{segmented_topk, Metric, SparseSimMatrix};
+use largeea_sim::{segmented_topk_traced, Metric, SparseSimMatrix};
 use largeea_text::{jaccard::shingles, normalize_name, HashEncoder, LshIndex, MinHasher};
-use std::time::Instant;
 
 /// Name-channel hyper-parameters (paper defaults in §3.1).
 #[derive(Debug, Clone, Copy)]
@@ -88,11 +88,33 @@ impl NameChannel {
 
     /// Runs NFF over the two KGs' entity labels.
     pub fn run(&self, source: &KnowledgeGraph, target: &KnowledgeGraph) -> NameChannelOutput {
+        // A private default recorder keeps the reported timings real even
+        // when nobody asked for a trace (spans time whether stored or not).
+        self.run_traced(source, target, &Recorder::new(ObsConfig::default()))
+    }
+
+    /// [`NameChannel::run`] recording into `rec`: a `name_channel` span with
+    /// `sens`/`stns` children (the reported `*_seconds` are those spans'
+    /// durations — single source of truth), per-block `sens_block` spans
+    /// from the segmented search, `stns.*` candidate counters, and
+    /// `mem.name_channel.peak_bytes`.
+    ///
+    /// With a disabled recorder the reported timings are `0.0`; call
+    /// [`NameChannel::run`] when timings matter but no trace is wanted.
+    pub fn run_traced(
+        &self,
+        source: &KnowledgeGraph,
+        target: &KnowledgeGraph,
+        rec: &Recorder,
+    ) -> NameChannelOutput {
+        let channel_span = rec.span("name_channel");
         let mut mem = MemTracker::new();
-        let (m_se, sens_seconds) = self.sens(source, target, &mut mem);
-        let (m_st, stns_seconds) = self.stns(source, target, &mut mem);
+        let (m_se, sens_seconds) = self.sens(source, target, &mut mem, rec);
+        let (m_st, stns_seconds) = self.stns(source, target, &mut mem, rec);
         let m_n = m_se.scaled_add(&m_st, self.cfg.gamma);
         mem.add("name_channel", m_n.nbytes());
+        channel_span.finish();
+        mem.record_into(rec);
         NameChannelOutput {
             m_se,
             m_st,
@@ -110,25 +132,35 @@ impl NameChannel {
         source: &KnowledgeGraph,
         target: &KnowledgeGraph,
         mem: &mut MemTracker,
+        rec: &Recorder,
     ) -> (SparseSimMatrix, f64) {
-        let start = Instant::now();
-        let encoder = HashEncoder::new(self.cfg.dim, self.cfg.seed);
-        let emb_s = encoder.encode_batch(source.labels());
-        let emb_t = encoder.encode_batch(target.labels());
+        let mut span = rec.span("sens");
+        span.field("dim", self.cfg.dim);
+        span.field("top_k", self.cfg.top_k);
+        span.field("segments", self.cfg.segments);
+        let (emb_s, emb_t) = {
+            let _s = rec.span_at(Level::Detail, "encode");
+            let encoder = HashEncoder::new(self.cfg.dim, self.cfg.seed);
+            (
+                encoder.encode_batch(source.labels()),
+                encoder.encode_batch(target.labels()),
+            )
+        };
         mem.add("name_channel", emb_s.nbytes() + emb_t.nbytes());
-        let hits = segmented_topk(
+        let hits = segmented_topk_traced(
             &emb_s,
             &emb_t,
             self.cfg.top_k,
             Metric::Manhattan,
             self.cfg.segments,
+            rec,
         );
         let mut m_se = SparseSimMatrix::from_topk(target.num_entities(), hits);
         // negative distances → [0,1] per row so γ-weighted fusion and the
         // later channel fusion operate on one scale
         m_se.normalize_global_minmax();
         mem.add("name_channel", m_se.nbytes());
-        (m_se, start.elapsed().as_secs_f64())
+        (m_se, span.finish())
     }
 
     /// STNS: string name similarity via MinHash-LSH candidates + banded
@@ -138,31 +170,43 @@ impl NameChannel {
         source: &KnowledgeGraph,
         target: &KnowledgeGraph,
         mem: &mut MemTracker,
+        rec: &Recorder,
     ) -> (SparseSimMatrix, f64) {
-        let start = Instant::now();
+        let mut span = rec.span("stns");
+        span.field("theta", self.cfg.theta);
         let hasher = MinHasher::new(self.cfg.minhash_perms, self.cfg.seed);
         let normalized_t: Vec<String> = target.labels().iter().map(|l| normalize_name(l)).collect();
         let mut index = LshIndex::with_threshold(self.cfg.minhash_perms, self.cfg.theta);
         let mut sigs_t = Vec::with_capacity(normalized_t.len());
-        for (i, label) in normalized_t.iter().enumerate() {
-            let sig = hasher.signature(&shingles(label, self.cfg.shingle_k));
-            index.insert(i as u32, &sig);
-            sigs_t.push(sig);
+        {
+            let _s = rec.span_at(Level::Detail, "sketch");
+            for (i, label) in normalized_t.iter().enumerate() {
+                let sig = hasher.signature(&shingles(label, self.cfg.shingle_k));
+                index.insert(i as u32, &sig);
+                sigs_t.push(sig);
+            }
         }
         mem.add(
             "name_channel",
             sigs_t.len() * self.cfg.minhash_perms * std::mem::size_of::<u64>(),
         );
 
+        // Hot loop: accumulate locally, hit the recorder once at the end.
+        let mut lsh_candidates = 0u64;
+        let mut pruned_below_theta = 0u64;
+        let mut levenshtein_pairs = 0u64;
         let mut m_st = SparseSimMatrix::new(source.num_entities(), target.num_entities());
         for (s, raw) in source.labels().iter().enumerate() {
             let label = normalize_name(raw);
             let sig = hasher.signature(&shingles(&label, self.cfg.shingle_k));
             for cand in index.candidates(&sig) {
+                lsh_candidates += 1;
                 // cheap estimated-Jaccard gate before paying for Levenshtein
                 if hasher.estimate(&sig, &sigs_t[cand as usize]) < self.cfg.theta {
+                    pruned_below_theta += 1;
                     continue;
                 }
+                levenshtein_pairs += 1;
                 let sim =
                     largeea_text::levenshtein_similarity(&label, &normalized_t[cand as usize]);
                 if sim > 0.0 {
@@ -170,9 +214,14 @@ impl NameChannel {
                 }
             }
         }
+        rec.add("stns.lsh_candidates", lsh_candidates);
+        rec.add("stns.pruned_below_theta", pruned_below_theta);
+        rec.add("stns.levenshtein_pairs", levenshtein_pairs);
+        span.field("candidates", lsh_candidates);
+        span.field("pruned", pruned_below_theta);
         m_st.truncate_topk(self.cfg.top_k);
         mem.add("name_channel", m_st.nbytes());
-        (m_st, start.elapsed().as_secs_f64())
+        (m_st, span.finish())
     }
 }
 

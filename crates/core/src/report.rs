@@ -7,6 +7,7 @@
 use crate::eval::EvalResult;
 use crate::mem::MemTracker;
 use largeea_common::json::{Json, ToJson};
+use std::io::{self, Write};
 
 /// One method × dataset × direction row of an accuracy table (the shape of
 /// the paper's Tables 2–4).
@@ -68,21 +69,28 @@ impl MethodRow {
     }
 }
 
-/// Prints a titled table of rows (text + JSON lines), mirroring the paper's
-/// layout: header `H@1 H@5 MRR Time Mem.`.
-pub fn print_table(title: &str, rows: &[MethodRow]) {
-    println!("\n=== {title} ===");
-    println!(
+/// Writes a titled table of rows (text + JSON lines) to `out`, mirroring
+/// the paper's layout: header `H@1 H@5 MRR Time Mem.`.
+pub fn write_table(out: &mut impl Write, title: &str, rows: &[MethodRow]) -> io::Result<()> {
+    writeln!(out, "\n=== {title} ===")?;
+    writeln!(
+        out,
         "{:<18} {:<22} {:<7} {:>5} {:>5} {:>5} {:>10} {:>8}",
         "Dataset", "Method", "Dir", "H@1", "H@5", "MRR", "Time", "Mem."
-    );
+    )?;
     for row in rows {
-        println!("{}", row.formatted());
+        writeln!(out, "{}", row.formatted())?;
     }
-    println!("--- json ---");
+    writeln!(out, "--- json ---")?;
     for row in rows {
-        println!("{}", row.to_json_string());
+        writeln!(out, "{}", row.to_json_string())?;
     }
+    Ok(())
+}
+
+/// [`write_table`] to stdout (panics on a broken pipe, like `println!`).
+pub fn print_table(title: &str, rows: &[MethodRow]) {
+    write_table(&mut io::stdout(), title, rows).expect("write to stdout");
 }
 
 impl ToJson for MethodRow {
@@ -111,20 +119,32 @@ pub struct Series {
     pub y: Vec<f64>,
 }
 
-/// Prints a titled set of series as aligned text plus JSON lines.
-pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[Series]) {
-    println!("\n=== {title} ===  ({x_label} vs {y_label})");
+/// Writes a titled set of series as aligned text plus JSON lines to `out`.
+pub fn write_series(
+    out: &mut impl Write,
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+) -> io::Result<()> {
+    writeln!(out, "\n=== {title} ===  ({x_label} vs {y_label})")?;
     for s in series {
-        print!("{:<14}", s.label);
+        write!(out, "{:<14}", s.label)?;
         for (x, y) in s.x.iter().zip(&s.y) {
-            print!("  ({x:.3}, {y:.3})");
+            write!(out, "  ({x:.3}, {y:.3})")?;
         }
-        println!();
+        writeln!(out)?;
     }
-    println!("--- json ---");
+    writeln!(out, "--- json ---")?;
     for s in series {
-        println!("{}", s.to_json_string());
+        writeln!(out, "{}", s.to_json_string())?;
     }
+    Ok(())
+}
+
+/// [`write_series`] to stdout (panics on a broken pipe, like `println!`).
+pub fn print_series(title: &str, x_label: &str, y_label: &str, series: &[Series]) {
+    write_series(&mut io::stdout(), title, x_label, y_label, series).expect("write to stdout");
 }
 
 impl ToJson for Series {
@@ -198,6 +218,30 @@ mod tests {
              \"hits1\":0.0,\"hits5\":0.0,\"mrr\":0.0,\"seconds\":0.0,\
              \"mem_bytes\":0}"
         );
+    }
+
+    #[test]
+    fn tables_and_series_write_into_any_sink() {
+        let row = MethodRow::new("d", "m", "x", EvalResult::zero(0), 1.0, 0);
+        let mut buf = Vec::new();
+        write_table(&mut buf, "T2", std::slice::from_ref(&row)).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("\n=== T2 ===\n"));
+        assert!(text.contains("Dataset"));
+        assert!(text.contains("--- json ---"));
+        assert!(text.contains(&row.to_json_string()));
+
+        let s = Series {
+            label: "VPS".into(),
+            x: vec![0.5],
+            y: vec![10.0],
+        };
+        let mut buf = Vec::new();
+        write_series(&mut buf, "F6", "K", "H@1", std::slice::from_ref(&s)).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("\n=== F6 ===  (K vs H@1)\n"));
+        assert!(text.contains("VPS             (0.500, 10.000)\n"));
+        assert!(text.contains(&s.to_json_string()));
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //!    matrix `M_s`.
 
 use crate::mem::MemTracker;
+use largeea_common::obs::{Level, ObsConfig, Recorder};
 use largeea_kg::{AlignmentSeeds, KgPair};
 use largeea_models::scoring::fill_similarity;
-use largeea_models::{train, BatchGraph, ModelKind, TrainConfig};
-use largeea_partition::{metis_cps, vps, CpsConfig, MiniBatches};
+use largeea_models::{train_traced, BatchGraph, ModelKind, TrainConfig};
+use largeea_partition::{metis_cps_traced, vps_traced, CpsConfig, MiniBatches};
 use largeea_sim::SparseSimMatrix;
-use std::time::Instant;
 
 /// How mini-batches are generated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,13 +96,25 @@ impl StructureChannel {
     /// Generates mini-batches only (used by the partition-analysis
     /// experiments, Tables 5 / Figures 6–8).
     pub fn make_batches(&self, pair: &KgPair, seeds: &AlignmentSeeds) -> MiniBatches {
+        self.make_batches_traced(pair, seeds, &Recorder::disabled())
+    }
+
+    /// [`StructureChannel::make_batches`] recording the partitioner's
+    /// internals (CPS step spans, per-level/per-pass refinement spans,
+    /// `cps.*` counters) into `rec`.
+    pub fn make_batches_traced(
+        &self,
+        pair: &KgPair,
+        seeds: &AlignmentSeeds,
+        rec: &Recorder,
+    ) -> MiniBatches {
         let base = match self.cfg.partitioner {
             Partitioner::MetisCps => {
                 let mut cps = CpsConfig::new(self.cfg.k).with_seed(self.cfg.seed);
                 cps.virtual_edge_weight = self.cfg.virtual_edge_weight;
-                metis_cps(pair, seeds, &cps)
+                metis_cps_traced(pair, seeds, &cps, rec)
             }
-            Partitioner::Vps => vps(pair, seeds, self.cfg.k, self.cfg.seed),
+            Partitioner::Vps => vps_traced(pair, seeds, self.cfg.k, self.cfg.seed, rec),
             Partitioner::None => MiniBatches::from_assignments(
                 pair,
                 seeds,
@@ -120,17 +132,42 @@ impl StructureChannel {
 
     /// Runs the full channel (Algorithm 1, given already-augmented seeds).
     pub fn run(&self, pair: &KgPair, seeds: &AlignmentSeeds) -> StructureChannelOutput {
-        let t0 = Instant::now();
-        let batches = self.make_batches(pair, seeds);
-        let partition_seconds = t0.elapsed().as_secs_f64();
+        // A private default recorder keeps the reported timings real even
+        // when nobody asked for a trace (spans time whether stored or not).
+        self.run_traced(pair, seeds, &Recorder::new(ObsConfig::default()))
+    }
+
+    /// [`StructureChannel::run`] recording into `rec`: a
+    /// `structure_channel` span with `partition` and `train` children (the
+    /// reported `partition_seconds`/`training_seconds` are those spans'
+    /// durations — single source of truth), one `minibatch` span per
+    /// batch, per-epoch `epoch` spans from the trainer, and
+    /// `mem.structure_channel.peak_bytes`.
+    ///
+    /// With a disabled recorder the reported timings are `0.0`; call
+    /// [`StructureChannel::run`] when timings matter but no trace is wanted.
+    pub fn run_traced(
+        &self,
+        pair: &KgPair,
+        seeds: &AlignmentSeeds,
+        rec: &Recorder,
+    ) -> StructureChannelOutput {
+        let channel_span = rec.span("structure_channel");
+        let partition_span = rec.span("partition");
+        let batches = self.make_batches_traced(pair, seeds, rec);
+        let partition_seconds = partition_span.finish();
 
         let mut mem = MemTracker::new();
         let mut m_s = SparseSimMatrix::new(pair.source.num_entities(), pair.target.num_entities());
-        let t1 = Instant::now();
+        let train_span = rec.span("train");
         let mut loss_sum = 0.0f64;
         let mut loss_count = 0usize;
         for batch in &batches.batches {
+            let mut batch_span = rec.span_at(Level::Detail, "minibatch");
+            batch_span.field("batch", batch.index);
             let bg = BatchGraph::from_mini_batch(pair, batch);
+            batch_span.field("source_entities", bg.n_source);
+            batch_span.field("target_entities", bg.n_target);
             if bg.n_source == 0 || bg.n_target == 0 {
                 continue;
             }
@@ -138,10 +175,11 @@ impl StructureChannel {
                 self.cfg
                     .model
                     .build(&bg, self.cfg.train.dim, self.cfg.seed ^ batch.index as u64);
-            let report = train(model.as_mut(), &bg, &self.cfg.train);
+            let report = train_traced(model.as_mut(), &bg, &self.cfg.train, rec);
             if let Some(&last) = report.losses.last() {
                 loss_sum += last as f64;
                 loss_count += 1;
+                batch_span.field("final_loss", last);
             }
             fill_similarity(&bg, &report.embeddings, self.cfg.top_k, &mut m_s);
             // one batch is live at a time — track the max, then release
@@ -151,7 +189,9 @@ impl StructureChannel {
             );
         }
         m_s.normalize_global_minmax();
-        let training_seconds = t1.elapsed().as_secs_f64();
+        let training_seconds = train_span.finish();
+        channel_span.finish();
+        mem.record_into(rec);
 
         StructureChannelOutput {
             m_s,

@@ -72,12 +72,12 @@ pub fn generate_pair(cfg: &PairGenConfig) -> KgPair {
     // --- names ------------------------------------------------------------
     let roots: Vec<String> = (0..cfg.aligned).map(|_| concept_root(&mut rng)).collect();
     let mut source = KnowledgeGraph::with_capacity(
-        format!("{}", cfg.source_lang.tag().to_uppercase()),
+        cfg.source_lang.tag().to_uppercase(),
         cfg.aligned + cfg.unknown_source,
         cfg.triples_source,
     );
     let mut target = KnowledgeGraph::with_capacity(
-        format!("{}", cfg.target_lang.tag().to_uppercase()),
+        cfg.target_lang.tag().to_uppercase(),
         cfg.aligned + cfg.unknown_target,
         cfg.triples_target,
     );

@@ -12,6 +12,10 @@ use largeea_tensor::{SpOp, SparseMatrix};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+/// The triple-level message structure returned by [`BatchGraph::messages`]:
+/// `(agg, heads, rels, tails)`.
+pub type Messages = (Rc<SpOp>, Rc<Vec<u32>>, Rc<Vec<u32>>, Rc<Vec<u32>>);
+
 /// A mini-batch lowered to dense local ids, ready for GNN training.
 #[derive(Debug, Clone)]
 pub struct BatchGraph {
@@ -101,7 +105,7 @@ impl BatchGraph {
     /// `num_relations + r`), `tails[m]`/`rels[m]` index message `m`'s source
     /// entity and relation, and `agg` is the `n × messages` mean-aggregation
     /// matrix onto each head.
-    pub fn messages(&self) -> (Rc<SpOp>, Rc<Vec<u32>>, Rc<Vec<u32>>, Rc<Vec<u32>>) {
+    pub fn messages(&self) -> Messages {
         let n = self.n_total();
         let m = self.triples.len() * 2;
         let mut heads = Vec::with_capacity(m);

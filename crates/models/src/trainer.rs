@@ -8,6 +8,7 @@
 
 use crate::batch_graph::BatchGraph;
 use crate::negative::{sample_negatives, NegStrategy};
+use largeea_common::obs::{Level, Recorder};
 use largeea_tensor::optim::{Adam, AdamConfig, ParamId, ParamStore};
 use largeea_tensor::{Matrix, Tape, Var};
 use std::rc::Rc;
@@ -137,6 +138,23 @@ pub struct TrainReport {
 /// A batch without training pairs cannot be trained (the paper's motivation
 /// for VPS's even seed split); its embeddings are returned untrained.
 pub fn train(model: &mut dyn EaModel, bg: &BatchGraph, cfg: &TrainConfig) -> TrainReport {
+    train_traced(model, bg, cfg, &Recorder::disabled())
+}
+
+/// [`train`] with telemetry: the whole batch is a `train_batch` span
+/// ([`Level::Detail`]) with `epochs`/`pairs` fields; every epoch is an
+/// `epoch` span ([`Level::Trace`]) with `epoch`/`loss`/`grad_norm` fields.
+/// Each negatives regeneration bumps the `train.negatives_resampled`
+/// counter, and per-epoch losses feed the `train.epoch_loss` histogram.
+pub fn train_traced(
+    model: &mut dyn EaModel,
+    bg: &BatchGraph,
+    cfg: &TrainConfig,
+    rec: &Recorder,
+) -> TrainReport {
+    let mut batch_span = rec.span_at(Level::Detail, "train_batch");
+    batch_span.field("epochs", cfg.epochs);
+    batch_span.field("pairs", bg.train_pairs.len());
     let adam_cfg = AdamConfig {
         lr: cfg.lr,
         ..AdamConfig::default()
@@ -157,8 +175,11 @@ pub fn train(model: &mut dyn EaModel, bg: &BatchGraph, cfg: &TrainConfig) -> Tra
 
     let mut negatives = None;
     for epoch in 0..cfg.epochs {
+        let mut epoch_span = rec.span_at(Level::Trace, "epoch");
+        epoch_span.field("epoch", epoch);
         // Refresh negatives periodically (needs current embeddings).
         if negatives.is_none() || epoch % cfg.neg_refresh.max(1) == 0 {
+            rec.add("train.negatives_resampled", 1);
             let emb = {
                 let mut tape = Tape::new();
                 let fp = model.forward(&mut tape);
@@ -219,7 +240,8 @@ pub fn train(model: &mut dyn EaModel, bg: &BatchGraph, cfg: &TrainConfig) -> Tra
         }
 
         tape.backward(loss);
-        losses.push(tape.scalar(loss));
+        let epoch_loss = tape.scalar(loss);
+        losses.push(epoch_loss);
 
         let mut grads: Vec<Option<Matrix>> = vec![None; model.store().len()];
         for &(pid, var) in &fp.params {
@@ -227,9 +249,24 @@ pub fn train(model: &mut dyn EaModel, bg: &BatchGraph, cfg: &TrainConfig) -> Tra
                 grads[pid_index(model.store(), pid)] = Some(g.clone());
             }
         }
+        if rec.is_enabled() {
+            // ‖g‖₂ over all parameters — only worth the flops when recorded.
+            let sq_sum: f64 = grads
+                .iter()
+                .flatten()
+                .map(|g| {
+                    let f = g.frobenius() as f64;
+                    f * f
+                })
+                .sum();
+            epoch_span.field("loss", epoch_loss);
+            epoch_span.field("grad_norm", sq_sum.sqrt());
+            rec.observe("train.epoch_loss", epoch_loss as f64);
+        }
         adam.step(model.store_mut(), &grads);
         peak_bytes = peak_bytes.max(model.store().nbytes() + adam.nbytes());
     }
+    rec.gauge_max("train.peak_bytes", peak_bytes as f64);
 
     let mut tape = Tape::new();
     let fp = model.forward(&mut tape);
@@ -378,6 +415,37 @@ mod tests {
         let r2 = train(m2.as_mut(), &bg, &cfg);
         assert_eq!(r1.embeddings, r2.embeddings);
         assert_eq!(r1.losses, r2.losses);
+    }
+
+    #[test]
+    fn traced_training_records_epochs_and_matches_untraced() {
+        use largeea_common::obs::{ObsConfig, Recorder};
+        let (pair, seeds) = ring_pair(12);
+        let bg = whole_graph(&pair, &seeds);
+        let cfg = TrainConfig {
+            epochs: 6,
+            dim: 16,
+            ..Default::default()
+        };
+        let mut m1 = ModelKind::GcnAlign.build(&bg, 16, 9);
+        let plain = train(m1.as_mut(), &bg, &cfg);
+        let rec = Recorder::new(ObsConfig::default());
+        let mut m2 = ModelKind::GcnAlign.build(&bg, 16, 9);
+        let traced = train_traced(m2.as_mut(), &bg, &cfg, &rec);
+        assert_eq!(
+            plain.embeddings, traced.embeddings,
+            "tracing must not change training"
+        );
+        let t = rec.trace();
+        let batch = t.find("train_batch").expect("batch span");
+        assert_eq!(batch.children.len(), 6, "one child span per epoch");
+        let e0 = &batch.children[0];
+        assert_eq!(e0.name, "epoch");
+        assert!(e0.field("loss").is_some() && e0.field("grad_norm").is_some());
+        // neg_refresh = 5 → resampled at epochs 0 and 5
+        assert_eq!(t.counter("train.negatives_resampled"), 2);
+        assert_eq!(t.histogram("train.epoch_loss").unwrap().count, 6);
+        assert!(t.gauge("train.peak_bytes").unwrap() > 0.0);
     }
 
     #[test]

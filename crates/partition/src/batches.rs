@@ -180,10 +180,10 @@ impl MiniBatches {
         }
         // for each batch, the (d_ov - 1) most similar others
         let mut groups: Vec<Vec<u32>> = Vec::with_capacity(k);
-        for i in 0..k {
+        for (i, cross_i) in cross.iter().enumerate() {
             let mut sims: Vec<(usize, usize)> = (0..k)
                 .filter(|&j| j != i)
-                .map(|j| (cross[i][j] + cross[j][i], j))
+                .map(|j| (cross_i[j] + cross[j][i], j))
                 .collect();
             sims.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
             let mut members = vec![i as u32];

@@ -33,10 +33,12 @@ pub fn coarsen_once(g: &PartGraph, seed: u64) -> CoarseLevel {
         }
         let mut best: Option<(u32, f64)> = None;
         for (n, w) in g.neighbors(v) {
-            if n != v && mate[n as usize] == UNMATCHED && w > 0.0 {
-                if best.map_or(true, |(_, bw)| w > bw) {
-                    best = Some((n, w));
-                }
+            if n != v
+                && mate[n as usize] == UNMATCHED
+                && w > 0.0
+                && best.is_none_or(|(_, bw)| w > bw)
+            {
+                best = Some((n, w));
             }
         }
         match best {

@@ -22,7 +22,8 @@
 
 use crate::batches::MiniBatches;
 use crate::graph::PartGraph;
-use crate::kway::{partition_kway, PartitionConfig};
+use crate::kway::{partition_kway_traced, PartitionConfig};
+use largeea_common::obs::{Level, Recorder};
 use largeea_common::rng::Rng;
 use largeea_kg::{AlignmentSeeds, KgPair};
 use std::collections::HashMap;
@@ -70,12 +71,28 @@ impl CpsConfig {
 /// Runs METIS-CPS on `pair` with the given training seeds, producing `K`
 /// mini-batches.
 pub fn metis_cps(pair: &KgPair, seeds: &AlignmentSeeds, cfg: &CpsConfig) -> MiniBatches {
+    metis_cps_traced(pair, seeds, cfg, &Recorder::disabled())
+}
+
+/// [`metis_cps`] with telemetry: child spans for the source-side partition,
+/// the re-weighting step, and the target-side partition, plus
+/// `cps.virtual_edges` / `cps.released_edges` counters for the two
+/// re-weighting phases.
+pub fn metis_cps_traced(
+    pair: &KgPair,
+    seeds: &AlignmentSeeds,
+    cfg: &CpsConfig,
+    rec: &Recorder,
+) -> MiniBatches {
     assert!(cfg.k >= 1, "k must be positive");
     assert!(cfg.q >= 1, "q must be positive");
 
     // Step 1: partition the source KG.
-    let source_graph = PartGraph::from_kg(&pair.source);
-    let source_part = partition_kway(&source_graph, &cfg.partition_config());
+    let source_part = {
+        let _s = rec.span_at(Level::Detail, "cps_source_partition");
+        let source_graph = PartGraph::from_kg(&pair.source);
+        partition_kway_traced(&source_graph, &cfg.partition_config(), rec)
+    };
 
     // Step 2: group targets of training seeds by source part.
     // group_of[target_entity] = seed-group id (u32::MAX = not a seed target)
@@ -99,6 +116,11 @@ pub fn metis_cps(pair: &KgPair, seeds: &AlignmentSeeds, cfg: &CpsConfig) -> Mini
         *edges.entry(key).or_insert(0.0) += 1.0;
     }
 
+    // Phases 1 + 2: re-weight the target partition graph.
+    let mut reweight_span = rec.span_at(Level::Detail, "cps_reweight");
+    let mut virtual_edges = 0u64;
+    let mut released_edges = 0u64;
+
     // Phase 1: attract — virtual star edges + weight reset inside CG^i.
     let mut rng = Rng::seed_from_u64(cfg.seed ^ PIVOT_RNG_SALT);
     for members in groups.iter().filter(|m| m.len() >= 2) {
@@ -120,6 +142,7 @@ pub fn metis_cps(pair: &KgPair, seeds: &AlignmentSeeds, cfg: &CpsConfig) -> Mini
                 }
                 let key = if pivot < b { (pivot, b) } else { (b, pivot) };
                 edges.insert(key, cfg.virtual_edge_weight);
+                virtual_edges += 1;
             }
         }
     }
@@ -129,18 +152,28 @@ pub fn metis_cps(pair: &KgPair, seeds: &AlignmentSeeds, cfg: &CpsConfig) -> Mini
         let (ga, gb) = (group_of[a as usize], group_of[b as usize]);
         if ga != NO_GROUP && gb != NO_GROUP && ga != gb {
             *w = 0.0;
+            released_edges += 1;
         }
     }
+    rec.add("cps.virtual_edges", virtual_edges);
+    rec.add("cps.released_edges", released_edges);
+    reweight_span.field("virtual_edges", virtual_edges);
+    reweight_span.field("released_edges", released_edges);
+    drop(reweight_span);
 
     // Step 4: partition the re-weighted target graph.
-    let target_graph = PartGraph::from_edges(
-        pair.target.num_entities(),
-        edges.into_iter().map(|((a, b), w)| (a, b, w)),
-    );
-    let target_part = partition_kway(
-        &target_graph,
-        &cfg.partition_config().with_seed(cfg.seed.wrapping_add(1)),
-    );
+    let target_part = {
+        let _s = rec.span_at(Level::Detail, "cps_target_partition");
+        let target_graph = PartGraph::from_edges(
+            pair.target.num_entities(),
+            edges.into_iter().map(|((a, b), w)| (a, b, w)),
+        );
+        partition_kway_traced(
+            &target_graph,
+            &cfg.partition_config().with_seed(cfg.seed.wrapping_add(1)),
+            rec,
+        )
+    };
 
     // Step 5: pair source parts with target parts by seed co-occurrence.
     let remap = match_parts(

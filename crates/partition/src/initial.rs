@@ -220,7 +220,7 @@ fn fm_refine(
                     continue; // would worsen balance beyond tolerance
                 }
                 let gain = gain_of(u, in_left);
-                if best.map_or(true, |(_, bg)| gain > bg) {
+                if best.is_none_or(|(_, bg)| gain > bg) {
                     best = Some((u, gain));
                 }
             }

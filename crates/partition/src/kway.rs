@@ -3,7 +3,8 @@
 use crate::coarsen::coarsen_to;
 use crate::graph::PartGraph;
 use crate::initial::initial_partition;
-use crate::refine::refine_kway;
+use crate::refine::refine_kway_traced;
+use largeea_common::obs::{Level, Recorder};
 
 /// Configuration for [`partition_kway`].
 #[derive(Debug, Clone, Copy)]
@@ -28,7 +29,7 @@ impl PartitionConfig {
         Self {
             k,
             imbalance: 1.05,
-            seed: 0x1A62E_EA,
+            seed: 0x01A6_2EEA,
             coarsen_factor: 30,
             refine_passes: 4,
         }
@@ -119,8 +120,20 @@ pub fn edge_cut(g: &PartGraph, assignment: &[u32]) -> f64 {
 /// assert_ne!(p.assignment[0], p.assignment[4]); // weak edge is cut
 /// ```
 pub fn partition_kway(g: &PartGraph, cfg: &PartitionConfig) -> Partitioning {
+    partition_kway_traced(g, cfg, &Recorder::disabled())
+}
+
+/// [`partition_kway`] with telemetry: the whole call is a `partition_kway`
+/// span ([`Level::Detail`]) with `k`/`nv` and — when the recorder is enabled
+/// — final `edge_cut`/`balance` fields; coarsening, the initial partition,
+/// and each uncoarsening level get child spans, with refinement sweeps
+/// nested under them as `refine_pass` spans.
+pub fn partition_kway_traced(g: &PartGraph, cfg: &PartitionConfig, rec: &Recorder) -> Partitioning {
     let k = cfg.k;
     assert!(k >= 1, "k must be positive");
+    let mut span = rec.span_at(Level::Detail, "partition_kway");
+    span.field("k", k);
+    span.field("nv", g.nv());
     if k == 1 {
         return Partitioning {
             assignment: vec![0; g.nv()],
@@ -137,37 +150,66 @@ pub fn partition_kway(g: &PartGraph, cfg: &PartitionConfig) -> Partitioning {
 
     let max_part_weight = ((g.total_vwgt() as f64 / k as f64) * cfg.imbalance).ceil() as u64;
     let target_nv = (k * cfg.coarsen_factor).max(64);
-    let levels = coarsen_to(g, target_nv, cfg.seed);
+    let levels = {
+        let mut s = rec.span_at(Level::Detail, "coarsen");
+        let levels = coarsen_to(g, target_nv, cfg.seed);
+        s.field("levels", levels.len());
+        s.field(
+            "coarsest_nv",
+            levels.last().map_or(g.nv(), |l| l.graph.nv()),
+        );
+        levels
+    };
 
     // Initial partition at the coarsest level (or on g directly if no
     // coarsening happened).
     let coarsest = levels.last().map(|l| &l.graph).unwrap_or(g);
-    let mut assignment = initial_partition(coarsest, k, cfg.seed.wrapping_add(97));
-    {
+    let mut assignment = {
+        let _s = rec.span_at(Level::Detail, "initial_partition");
+        let mut assignment = initial_partition(coarsest, k, cfg.seed.wrapping_add(97));
         let cap = ((coarsest.total_vwgt() as f64 / k as f64) * cfg.imbalance).ceil() as u64;
-        refine_kway(coarsest, &mut assignment, k, cap, cfg.refine_passes * 2);
-    }
+        refine_kway_traced(
+            coarsest,
+            &mut assignment,
+            k,
+            cap,
+            cfg.refine_passes * 2,
+            rec,
+        );
+        assignment
+    };
 
     // Uncoarsen: project through each level's map, refining as we go.
     for i in (0..levels.len()).rev() {
+        let mut s = rec.span_at(Level::Trace, "uncoarsen_level");
         let fine_graph = if i == 0 { g } else { &levels[i - 1].graph };
+        s.field("level", i);
+        s.field("nv", fine_graph.nv());
         let map = &levels[i].map;
         let mut fine_assignment = vec![0u32; fine_graph.nv()];
         for (v, &c) in map.iter().enumerate() {
             fine_assignment[v] = assignment[c as usize];
         }
         let cap = ((fine_graph.total_vwgt() as f64 / k as f64) * cfg.imbalance).ceil() as u64;
-        refine_kway(
+        refine_kway_traced(
             fine_graph,
             &mut fine_assignment,
             k,
             cap.max(max_part_weight),
             cfg.refine_passes,
+            rec,
         );
         assignment = fine_assignment;
     }
 
-    Partitioning { assignment, k }
+    let p = Partitioning { assignment, k };
+    if rec.is_enabled() {
+        // O(|E|) quality metrics — only worth computing when someone is
+        // recording them.
+        span.field("edge_cut", edge_cut(g, &p.assignment));
+        span.field("balance", p.balance(g));
+    }
+    p
 }
 
 #[cfg(test)]
@@ -288,9 +330,38 @@ mod tests {
     }
 
     #[test]
+    fn traced_variant_matches_untraced_and_records_spans() {
+        use largeea_common::obs::{ObsConfig, Recorder};
+        let g = clustered(3, 40, 5);
+        let cfg = PartitionConfig::new(3).with_seed(8);
+        let plain = partition_kway(&g, &cfg);
+        let rec = Recorder::new(ObsConfig::default());
+        let traced = partition_kway_traced(&g, &cfg, &rec);
+        assert_eq!(
+            plain.assignment, traced.assignment,
+            "tracing must not change results"
+        );
+        let t = rec.trace();
+        let root = t.find("partition_kway").expect("root span");
+        assert!(root.field("edge_cut").is_some());
+        assert!(root.field("balance").is_some());
+        assert!(t.find("coarsen").is_some());
+        assert!(t.find("initial_partition").is_some());
+        assert!(t.span_count("refine_pass") >= 1, "per-pass spans recorded");
+        assert!(
+            t.counters
+                .iter()
+                .any(|(k, _)| k == "partition.refine.moves"),
+            "refine move counter registered (may be 0 on clean clusters)"
+        );
+        // uncoarsen levels nest under the root
+        assert!(t.span_count("uncoarsen_level") >= 1);
+    }
+
+    #[test]
     fn edge_cut_of_uniform_assignment_is_zero() {
         let g = clustered(2, 20, 2);
-        assert_eq!(edge_cut(&g, &vec![0; 40]), 0.0);
+        assert_eq!(edge_cut(&g, &[0; 40]), 0.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! quality that projection loses; complexity is `O(passes · |E|)`.
 
 use crate::graph::PartGraph;
+use largeea_common::obs::{Level, Recorder};
 
 /// Refines `assignment` in place.
 ///
@@ -22,6 +23,27 @@ pub fn refine_kway(
     max_part_weight: u64,
     passes: usize,
 ) -> usize {
+    refine_kway_traced(
+        g,
+        assignment,
+        k,
+        max_part_weight,
+        passes,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`refine_kway`] with telemetry: each sweep is a `refine_pass` span
+/// ([`Level::Trace`]) with `pass`/`moved` fields, and the total lands in the
+/// `partition.refine.moves` counter.
+pub fn refine_kway_traced(
+    g: &PartGraph,
+    assignment: &mut [u32],
+    k: usize,
+    max_part_weight: u64,
+    passes: usize,
+    rec: &Recorder,
+) -> usize {
     assert_eq!(assignment.len(), g.nv(), "assignment length mismatch");
     let mut part_weight = vec![0u64; k];
     for (v, &p) in assignment.iter().enumerate() {
@@ -34,7 +56,8 @@ pub fn refine_kway(
     let mut conn = vec![0.0f64; k];
     let mut touched: Vec<u32> = Vec::with_capacity(16);
 
-    for _ in 0..passes {
+    for pass in 0..passes {
+        let mut span = rec.span_at(Level::Trace, "refine_pass");
         let mut moved = 0usize;
         for v in 0..g.nv() as u32 {
             let own = assignment[v as usize];
@@ -61,7 +84,7 @@ pub fn refine_kway(
                     let gain = conn[p as usize] - own_conn;
                     if gain > 1e-12
                         && part_weight[p as usize] + g.vwgt(v) <= max_part_weight
-                        && best.map_or(true, |(_, bg)| gain > bg)
+                        && best.is_none_or(|(_, bg)| gain > bg)
                     {
                         best = Some((p, gain));
                     }
@@ -77,11 +100,14 @@ pub fn refine_kway(
                 conn[p as usize] = 0.0;
             }
         }
+        span.field("pass", pass);
+        span.field("moved", moved);
         total_moved += moved;
         if moved == 0 {
             break;
         }
     }
+    rec.add("partition.refine.moves", total_moved as u64);
     total_moved
 }
 

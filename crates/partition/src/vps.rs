@@ -7,12 +7,27 @@
 //! deficiency METIS-CPS fixes.
 
 use crate::batches::MiniBatches;
+use largeea_common::obs::{Level, Recorder};
 use largeea_common::rng::{Rng, SliceRandom};
 use largeea_kg::{AlignmentSeeds, KgPair};
 
 /// Runs VPS on `pair`, producing `k` mini-batches.
 pub fn vps(pair: &KgPair, seeds: &AlignmentSeeds, k: usize, seed: u64) -> MiniBatches {
+    vps_traced(pair, seeds, k, seed, &Recorder::disabled())
+}
+
+/// [`vps`] with telemetry: one `vps` span covering the whole assignment.
+pub fn vps_traced(
+    pair: &KgPair,
+    seeds: &AlignmentSeeds,
+    k: usize,
+    seed: u64,
+    rec: &Recorder,
+) -> MiniBatches {
     assert!(k >= 1, "k must be positive");
+    let mut span = rec.span_at(Level::Detail, "vps");
+    span.field("k", k);
+    span.field("train_seeds", seeds.train.len());
     let mut rng = Rng::seed_from_u64(seed);
 
     const UNSET: u32 = u32::MAX;

@@ -57,10 +57,10 @@ pub fn kmeans(data: &Matrix, k: usize, iters: usize, seed: u64) -> KMeans {
             chosen
         };
         centroids.row_mut(c).copy_from_slice(data.row(pick));
-        for i in 0..n {
+        for (i, d) in dist2.iter_mut().enumerate() {
             let nd = sq_l2(data.row(i), centroids.row(c));
-            if nd < dist2[i] {
-                dist2[i] = nd;
+            if nd < *d {
+                *d = nd;
             }
         }
     }
@@ -98,9 +98,9 @@ pub fn kmeans(data: &Matrix, k: usize, iters: usize, seed: u64) -> KMeans {
                 *acc += x;
             }
         }
-        for c in 0..k {
-            if counts[c] > 0 {
-                let inv = 1.0 / counts[c] as f32;
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                let inv = 1.0 / count as f32;
                 let row = sums.row(c).to_vec();
                 for (dst, x) in centroids.row_mut(c).iter_mut().zip(row) {
                     *dst = x * inv;

@@ -151,7 +151,7 @@ impl SparseSimMatrix {
                 lo = lo.min(s);
                 hi = hi.max(s);
             }
-            if hi - lo < f32::EPSILON {
+            if (hi - lo).abs() < f32::EPSILON {
                 for e in r.iter_mut() {
                     e.1 = 1.0;
                 }
@@ -177,7 +177,7 @@ impl SparseSimMatrix {
                 hi = hi.max(s);
             }
         }
-        if !lo.is_finite() || hi - lo < f32::EPSILON {
+        if !lo.is_finite() || (hi - lo).abs() < f32::EPSILON {
             for r in &mut self.rows {
                 for e in r.iter_mut() {
                     e.1 = 1.0;

@@ -1,5 +1,6 @@
 //! Exact blocked top-k similarity search — the Faiss substitute.
 
+use largeea_common::obs::{Level, Recorder};
 use largeea_tensor::parallel::par_map_blocks;
 use largeea_tensor::Matrix;
 
@@ -131,15 +132,40 @@ pub fn segmented_topk(
     metric: Metric,
     num_segments: usize,
 ) -> Vec<Vec<(u32, f32)>> {
+    segmented_topk_traced(
+        queries,
+        base,
+        k,
+        metric,
+        num_segments,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`segmented_topk`] with telemetry: each segment pair is a `sens_block`
+/// span ([`Level::Trace`]) with `q_start`/`q_rows`/`b_start`/`b_rows`/
+/// `scored` fields, and totals land in the `sens.blocks` /
+/// `sens.candidates_scored` counters.
+pub fn segmented_topk_traced(
+    queries: &Matrix,
+    base: &Matrix,
+    k: usize,
+    metric: Metric,
+    num_segments: usize,
+    rec: &Recorder,
+) -> Vec<Vec<(u32, f32)>> {
     assert!(num_segments >= 1, "need at least one segment");
     let q_seg = queries.rows().div_ceil(num_segments).max(1);
     let b_seg = base.rows().div_ceil(num_segments).max(1);
     let mut merged: Vec<TopK> = (0..queries.rows()).map(|_| TopK::new(k)).collect();
+    let mut blocks_done = 0u64;
+    let mut total_scored = 0u64;
 
     for b_start in (0..base.rows()).step_by(b_seg) {
         let b_end = (b_start + b_seg).min(base.rows());
         for q_start in (0..queries.rows()).step_by(q_seg) {
             let q_end = (q_start + q_seg).min(queries.rows());
+            let mut span = rec.span_at(Level::Trace, "sens_block");
             // per segment-pair: compute scores and fold into the collectors
             let block = par_map_blocks(q_end - q_start, 32, |range| {
                 let mut out = Vec::with_capacity(range.len());
@@ -159,8 +185,18 @@ pub fn segmented_topk(
                     merged[q].push(id, score);
                 }
             }
+            let scored = ((q_end - q_start) * (b_end - b_start)) as u64;
+            span.field("q_start", q_start);
+            span.field("q_rows", q_end - q_start);
+            span.field("b_start", b_start);
+            span.field("b_rows", b_end - b_start);
+            span.field("scored", scored);
+            blocks_done += 1;
+            total_scored += scored;
         }
     }
+    rec.add("sens.blocks", blocks_done);
+    rec.add("sens.candidates_scored", total_scored);
     merged.into_iter().map(TopK::into_sorted).collect()
 }
 
@@ -230,6 +266,20 @@ mod tests {
             let seg = segmented_topk(&q, &b, 5, Metric::Manhattan, segs);
             assert_eq!(plain, seg, "segments={segs}");
         }
+    }
+
+    #[test]
+    fn traced_segmented_records_block_spans() {
+        use largeea_common::obs::{ObsConfig, Recorder};
+        let q = Matrix::from_fn(10, 4, |i, j| (i * 4 + j) as f32);
+        let b = Matrix::from_fn(12, 4, |i, j| (i + j) as f32);
+        let rec = Recorder::new(ObsConfig::default());
+        let traced = segmented_topk_traced(&q, &b, 3, Metric::Manhattan, 2, &rec);
+        assert_eq!(traced, segmented_topk(&q, &b, 3, Metric::Manhattan, 2));
+        let t = rec.trace();
+        assert_eq!(t.span_count("sens_block"), 4, "2 × 2 segment pairs");
+        assert_eq!(t.counter("sens.blocks"), 4);
+        assert_eq!(t.counter("sens.candidates_scored"), 10 * 12);
     }
 
     #[test]

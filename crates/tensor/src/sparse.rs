@@ -145,8 +145,7 @@ impl SparseMatrix {
     pub fn row_normalized(&self) -> SparseMatrix {
         let sums = self.row_sums();
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let s = sums[r];
+        for (r, &s) in sums.iter().enumerate() {
             if s == 0.0 {
                 continue;
             }

@@ -37,7 +37,7 @@ impl LshIndex {
         assert!((0.0..=1.0).contains(&theta), "theta must lie in [0,1]");
         let mut best = (1usize, num_perms, f64::INFINITY);
         for rows in 1..=num_perms {
-            if num_perms % rows != 0 {
+            if !num_perms.is_multiple_of(rows) {
                 continue;
             }
             let bands = num_perms / rows;

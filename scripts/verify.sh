@@ -15,4 +15,7 @@ cargo test -q --offline --workspace
 echo "== fmt =="
 cargo fmt --check
 
+echo "== clippy =="
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
 echo "verify: OK"

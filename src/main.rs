@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use largeea::common::json::ToJson;
+use largeea::common::obs::Recorder;
 use largeea::core::pipeline::{LargeEa, LargeEaConfig};
 use largeea::core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
 use largeea::data::Preset;
@@ -30,13 +32,18 @@ USAGE:
   largeea generate  --preset <name> [--scale f] [--seed-ratio f] --out <dir>
   largeea stats     --data <dir>
   largeea partition --data <dir> [--k n] [--strategy cps|vps] [--seed-ratio f]
+                    [--trace-out <file>]
   largeea align     --data <dir> [--model gcn|rrea|mtranse] [--k n]
                     [--epochs n] [--dim n] [--seed-ratio f] [--unsupervised]
                     [--csls n] [--rounds n] [--analysis] [--out <file>] [--sim-out <file>]
+                    [--trace-out <file>]
   largeea eval      --data <dir> --predictions <file>
 
 PRESETS: ids15k-en-fr  ids15k-en-de  ids100k-en-fr  ids100k-en-de
          dbp1m-en-fr   dbp1m-en-de
+
+`--trace-out` writes the run's span/metric trace as JSON (DESIGN.md §S0.5);
+set LARGEEA_LOG=stage|detail|trace to echo spans to stderr as they close.
 
 Every command is deterministic for fixed inputs and flags.";
 
@@ -186,6 +193,20 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes `rec`'s trace as JSON to `--trace-out` when the flag is present.
+fn write_trace(flags: &Flags, rec: &Recorder) -> Result<(), String> {
+    let Some(path) = flags.get("trace-out") else {
+        return Ok(());
+    };
+    let trace = rec.trace();
+    std::fs::write(path, trace.to_json_string()).map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "wrote run trace ({} spans) → {path}",
+        trace.span_count_total()
+    );
+    Ok(())
+}
+
 fn cmd_partition(flags: &Flags) -> Result<(), String> {
     let pair = load_data(flags)?;
     let seeds = split(flags, &pair)?;
@@ -200,7 +221,8 @@ fn cmd_partition(flags: &Flags) -> Result<(), String> {
         partitioner: strategy,
         ..StructureChannelConfig::default()
     });
-    let batches = sc.make_batches(&pair, &seeds);
+    let rec = Recorder::from_env();
+    let batches = sc.make_batches_traced(&pair, &seeds, &rec);
     let r = batches.retention(&seeds);
     println!(
         "K={k} {strategy:?}: retention total {:.1}% / train {:.1}% / test {:.1}%, edge-cut rate {:.3}",
@@ -218,7 +240,7 @@ fn cmd_partition(flags: &Flags) -> Result<(), String> {
             b.train_pairs.len()
         );
     }
-    Ok(())
+    write_trace(flags, &rec)
 }
 
 fn cmd_align(flags: &Flags) -> Result<(), String> {
@@ -251,7 +273,8 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
         ..LargeEaConfig::default()
     };
     let rounds: usize = parse_or(flags, "rounds", 1)?;
-    let report = LargeEa::new(cfg).run_iterative(&pair, &seeds, rounds.max(1));
+    let rec = Recorder::from_env();
+    let report = LargeEa::new(cfg).run_recorded(&pair, &seeds, rounds.max(1), &rec);
     println!(
         "H@1 {:.1}%  H@5 {:.1}%  MRR {:.2}  ({} test pairs, {:.1}s, pseudo seeds {} @ {:.1}%)",
         report.eval.hits1,
@@ -298,7 +321,7 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote similarity matrix → {path}");
     }
-    Ok(())
+    write_trace(flags, &rec)
 }
 
 fn cmd_eval(flags: &Flags) -> Result<(), String> {

@@ -74,18 +74,24 @@ fn full_workflow_generate_stats_partition_align_eval() {
     assert!(text.contains("ground-truth links: 150"), "{text}");
 
     // partition
+    let ptrace_path = dir.join("partition_trace.json");
     let out = bin()
         .args(["partition", "--data"])
         .arg(&data)
-        .args(["--k", "2", "--strategy", "cps"])
+        .args(["--k", "2", "--strategy", "cps", "--trace-out"])
+        .arg(&ptrace_path)
         .output()
         .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("retention"), "{text}");
     assert!(text.contains("batch  0"), "{text}");
+    let ptrace = std::fs::read_to_string(&ptrace_path).unwrap();
+    assert!(ptrace.contains("\"cps_reweight\""), "{ptrace}");
+    assert!(ptrace.contains("\"cps.virtual_edges\""), "{ptrace}");
 
-    // align (small settings to stay fast)
+    // align (small settings to stay fast), with a run trace
+    let trace_path = dir.join("run_trace.json");
     let out = bin()
         .args(["align", "--data"])
         .arg(&data)
@@ -93,6 +99,8 @@ fn full_workflow_generate_stats_partition_align_eval() {
             "--model", "gcn", "--k", "2", "--epochs", "15", "--dim", "32", "--out",
         ])
         .arg(&preds)
+        .arg("--trace-out")
+        .arg(&trace_path)
         .output()
         .unwrap();
     assert!(
@@ -102,7 +110,20 @@ fn full_workflow_generate_stats_partition_align_eval() {
     );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("H@1"), "{text}");
+    assert!(text.contains("wrote run trace"), "{text}");
     assert!(preds.exists());
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.starts_with("{\"version\":1,\"spans\":["), "{trace}");
+    // one sub-stage span from every instrumented subsystem (ISSUE §S0.5):
+    // per-epoch training, per-pass refinement, per-block name search
+    for span in [
+        "\"pipeline\"",
+        "\"epoch\"",
+        "\"refine_pass\"",
+        "\"sens_block\"",
+    ] {
+        assert!(trace.contains(span), "trace missing {span}");
+    }
 
     // eval
     let out = bin()
