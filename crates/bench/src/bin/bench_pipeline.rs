@@ -1,0 +1,88 @@
+//! Seeds and refreshes `BENCH_pipeline.json`: the perf baseline for the
+//! full LargeEA pipeline at fixed seeds (see DESIGN.md §S0.5).
+//!
+//! Runs the synthetic IDS15K EN–FR pipeline `--repeats` times, verifies the
+//! repeats are counter-identical (the pipeline is deterministic; if it
+//! isn't, the baseline would be meaningless), and writes per-stage medians
+//! plus the exact counters as a `largeea-bench-baseline` document.
+//!
+//! Flags: `--repeats <n>` (default 5), `--scale <f>` (default 0.02),
+//! `--k <n>` (default 2), `--epochs <n>` (default 15), `--dim <n>`
+//! (default 32), `--out <path>` (default `BENCH_pipeline.json`),
+//! `--trace-out <path>` (also write the last repeat's raw trace — handy as
+//! the "fresh run" for `largeea trace check`).
+
+use largeea_bench::{arg_f64, arg_str, arg_usize, Baseline};
+use largeea_common::json::ToJson;
+use largeea_common::obs::{ObsConfig, Recorder};
+use largeea_core::pipeline::{LargeEa, LargeEaConfig};
+use largeea_core::structure_channel::{Partitioner, StructureChannelConfig};
+use largeea_data::Preset;
+use largeea_models::{ModelKind, TrainConfig};
+
+fn main() {
+    let repeats = arg_usize("repeats", 5);
+    let scale = arg_f64("scale", 0.02);
+    let k = arg_usize("k", 2);
+    let epochs = arg_usize("epochs", 15);
+    let dim = arg_usize("dim", 32);
+    let out = arg_str("out").unwrap_or_else(|| "BENCH_pipeline.json".into());
+    assert!(repeats >= 1, "--repeats must be at least 1");
+
+    let pair = Preset::Ids15kEnFr.spec(scale).generate();
+    let seeds = pair.split_seeds(0.2, 0x5EED);
+    let cfg = LargeEaConfig {
+        structure: StructureChannelConfig {
+            k,
+            partitioner: Partitioner::MetisCps,
+            model: ModelKind::GcnAlign,
+            train: TrainConfig {
+                epochs,
+                dim,
+                ..TrainConfig::default()
+            },
+            top_k: 10,
+            ..StructureChannelConfig::default()
+        },
+        ..LargeEaConfig::default()
+    };
+
+    let mut traces = Vec::with_capacity(repeats);
+    for i in 0..repeats {
+        let rec = Recorder::new(ObsConfig::default());
+        let report = LargeEa::new(cfg).run_recorded(&pair, &seeds, 1, &rec);
+        eprintln!(
+            "[bench] repeat {}/{repeats}: {:.2}s wall, H@1 {:.1}%",
+            i + 1,
+            report.total_seconds,
+            report.eval.hits1
+        );
+        traces.push(report.trace);
+    }
+
+    let config = vec![
+        ("preset".to_owned(), "ids15k-en-fr".to_owned()),
+        ("scale".to_owned(), format!("{scale}")),
+        ("k".to_owned(), format!("{k}")),
+        ("model".to_owned(), "gcn-align".to_owned()),
+        ("epochs".to_owned(), format!("{epochs}")),
+        ("dim".to_owned(), format!("{dim}")),
+    ];
+    let baseline =
+        Baseline::from_traces(config, &traces).unwrap_or_else(|e| panic!("building baseline: {e}"));
+    let mut doc = baseline.to_json_string();
+    doc.push('\n');
+    std::fs::write(&out, doc).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!(
+        "[bench] baseline ({} stages, {} counters over {repeats} repeats) → {out}",
+        baseline.stages.len(),
+        baseline.counters.len()
+    );
+
+    if let Some(path) = arg_str("trace-out") {
+        let trace = traces.last().expect("repeats >= 1");
+        std::fs::write(&path, trace.to_json_string())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[bench] last repeat's trace → {path}");
+    }
+}

@@ -12,6 +12,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+
+pub use baseline::{Baseline, StageStat};
+
 use largeea_common::json::ToJson;
 use largeea_common::obs::Recorder;
 use largeea_core::pipeline::{LargeEa, LargeEaConfig};

@@ -1,11 +1,28 @@
-//! Minimal JSON value tree and emitter, replacing `serde`/`serde_json`.
+//! Minimal JSON value tree, emitter **and parser**, replacing
+//! `serde`/`serde_json`.
 //!
-//! The workspace only ever *emits* JSON — one object per experiment row,
-//! printed as a JSON line under a `--- json ---` marker for EXPERIMENTS.md
-//! regeneration and diffing. This module provides exactly that: a
-//! [`Json`] value tree, a [`ToJson`] trait that row structs implement by
-//! hand (fields in declaration order, like a `serde::Serialize` derive),
-//! and a compact emitter.
+//! The workspace emits JSON — one object per experiment row, printed as a
+//! JSON line under a `--- json ---` marker for EXPERIMENTS.md regeneration,
+//! and one `Trace` artifact per `--trace-out` run — and, since the trace
+//! tooling closed the loop, also *reads it back*: [`parse`] turns text into
+//! the same [`Json`] value tree the emitter consumes, so anything the repo
+//! wrote can be loaded, diffed and gated. The module provides a [`Json`]
+//! value tree, a [`ToJson`] trait that row structs implement by hand
+//! (fields in declaration order, like a `serde::Serialize` derive), a
+//! compact emitter, and a strict recursive-descent parser.
+//!
+//! ## Parse ↔ dump round-trip
+//!
+//! `parse(v.dump()) == v` holds for every *canonical* tree — one whose
+//! integers use [`Json::UInt`] when non-negative and [`Json::Int`] only
+//! when negative, and whose floats are finite (the emitter writes
+//! non-finite floats as `null`, so they cannot survive any serialisation).
+//! The parser enforces that canonical form on ingest: a non-negative
+//! integer literal always parses as `UInt`, a negative one as `Int`, and
+//! any literal with a fraction or exponent as `Float`. Float text is
+//! converted with `str::parse::<f64>` (correctly rounded), and the emitter
+//! writes shortest round-trippable decimals, so float values survive
+//! bit-for-bit. A property test pins the round-trip over arbitrary trees.
 //!
 //! ## Output-format contract
 //!
@@ -124,6 +141,376 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`: a `UInt`, or a non-negative `Int`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`: an `Int`, or a `UInt` that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`: any numeric variant, widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(f) => Some(*f),
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an `Obj`.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an `Obj` (first match wins); `None` for other
+    /// variants or a missing key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset it went wrong at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Maximum container nesting the parser accepts. Recursion is bounded so a
+/// hostile `[[[[…` input fails cleanly instead of overflowing the stack.
+const MAX_DEPTH: usize = 512;
+
+/// Parses strict JSON text into a [`Json`] tree (the read half of the
+/// module's contract; see the module docs for the round-trip guarantee).
+///
+/// Accepts exactly the RFC 8259 grammar: one top-level value, `\uXXXX`
+/// escapes (including surrogate pairs), exponent/fraction number forms, no
+/// trailing commas, comments, or garbage after the value. Non-negative
+/// integer literals parse as [`Json::UInt`], negative ones as [`Json::Int`]
+/// (integers beyond 64-bit range fall back to [`Json::Float`]), and any
+/// literal with a `.` or exponent as [`Json::Float`].
+///
+/// ```
+/// use largeea_common::json::{parse, Json};
+/// let v = parse(r#"{"name":"partition","seconds":0.25,"k":5}"#).unwrap();
+/// assert_eq!(v.get("k"), Some(&Json::UInt(5)));
+/// assert_eq!(v.get("seconds").unwrap().as_f64(), Some(0.25));
+/// assert!(parse("[1,]").is_err());
+/// ```
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character {:?}", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // fast path: run of plain UTF-8 up to the next quote or escape
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // the input is a &str, so any slice between byte positions the
+            // scanner stops at is valid UTF-8
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is str"));
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let cp = match hi {
+                    // high surrogate: a \uDC00..\uDFFF low surrogate must follow
+                    0xD800..=0xDBFF => {
+                        if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u')
+                        {
+                            self.pos += 2;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..=0xDFFF).contains(&lo) {
+                                return Err(self.err("expected low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            return Err(self.err("unpaired high surrogate"));
+                        }
+                    }
+                    0xDC00..=0xDFFF => return Err(self.err("unpaired low surrogate")),
+                    cp => cp,
+                };
+                out.push(char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?);
+            }
+            other => return Err(self.err(format!("invalid escape \\{}", other as char))),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.err("expected 4 hex digits after \\u"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // integer part: '0' alone, or a nonzero digit followed by digits
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            // canonical integer forms first; beyond 64 bits, degrade to float
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Json::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        let f: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !f.is_finite() {
+            return Err(self.err("number out of f64 range"));
+        }
+        Ok(Json::Float(f))
     }
 }
 
@@ -324,5 +711,190 @@ mod tests {
     fn object_preserves_insertion_order() {
         let obj = Json::obj([("z", 1u32.to_json()), ("a", 2u32.to_json())]);
         assert_eq!(obj.dump(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("0").unwrap(), Json::UInt(0));
+        assert_eq!(parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse("-9223372036854775808").unwrap(), Json::Int(i64::MIN));
+        assert_eq!(parse("0.25").unwrap(), Json::Float(0.25));
+        assert_eq!(parse("-0.0").unwrap(), Json::Float(-0.0));
+        assert_eq!(parse("  [1]  ").unwrap(), Json::Arr(vec![Json::UInt(1)]));
+    }
+
+    #[test]
+    fn parses_exponent_and_fraction_forms() {
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(parse("1E+3").unwrap(), Json::Float(1000.0));
+        assert_eq!(parse("25e-2").unwrap(), Json::Float(0.25));
+        assert_eq!(parse("-1.5e2").unwrap(), Json::Float(-150.0));
+        assert_eq!(parse("5e-324").unwrap(), Json::Float(5e-324));
+        assert_eq!(
+            parse("1.7976931348623157e308").unwrap(),
+            Json::Float(f64::MAX)
+        );
+        // overflow to infinity is rejected, not silently accepted
+        assert!(parse("1e999").is_err());
+    }
+
+    #[test]
+    fn integers_beyond_64_bits_degrade_to_float() {
+        assert_eq!(
+            parse("18446744073709551616").unwrap(), // u64::MAX + 1
+            Json::Float(18446744073709551616.0)
+        );
+        assert_eq!(
+            parse("-9223372036854775809").unwrap(), // i64::MIN - 1
+            Json::Float(-9223372036854775809.0)
+        );
+    }
+
+    #[test]
+    fn parses_full_escape_set() {
+        assert_eq!(
+            parse(r#""a\"b\\c\/d\b\f\n\r\t""#).unwrap(),
+            Json::Str("a\"b\\c/d\u{8}\u{c}\n\r\t".into())
+        );
+        assert_eq!(parse(r#""A""#).unwrap(), Json::Str("A".into()));
+        assert_eq!(parse(r#""é""#).unwrap(), Json::Str("é".into()));
+        // surrogate pair → one astral code point
+        assert_eq!(parse(r#""🦀""#).unwrap(), Json::Str("🦀".into()));
+        assert_eq!(
+            parse("\"München → EN\"").unwrap(),
+            Json::Str("München → EN".into())
+        );
+        assert!(parse(r#""\ud800""#).is_err(), "unpaired high surrogate");
+        assert!(parse(r#""\udc00""#).is_err(), "unpaired low surrogate");
+        assert!(parse(r#""\x41""#).is_err(), "invalid escape letter");
+        assert!(parse("\"raw\ncontrol\"").is_err(), "raw control character");
+    }
+
+    #[test]
+    fn parses_nested_composites() {
+        let v = parse(r#"{"spans":[{"name":"pipeline","seconds":0.25,"children":[]}],"ok":true}"#)
+            .unwrap();
+        let span = &v.get("spans").unwrap().as_arr().unwrap()[0];
+        assert_eq!(span.get("name").unwrap().as_str(), Some("pipeline"));
+        assert_eq!(span.get("seconds").unwrap().as_f64(), Some(0.25));
+        assert_eq!(span.get("children").unwrap().as_arr(), Some(&[][..]));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "  ",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "-",
+            "1e",
+            "nul",
+            "tru",
+            "truex",
+            "\"unterminated",
+            "[1] x",
+            "[1][2]",
+            "{\"a\":1,}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let e = parse("[1, x]").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(e.to_string().contains("byte 4"), "{e}");
+    }
+
+    #[test]
+    fn deep_nesting_fails_cleanly() {
+        let deep = "[".repeat(100_000);
+        assert!(parse(&deep).is_err(), "must not overflow the stack");
+    }
+
+    #[test]
+    fn accessors_distinguish_variants() {
+        assert_eq!(Json::UInt(5).as_i64(), Some(5));
+        assert_eq!(Json::Int(-5).as_u64(), None);
+        assert_eq!(Json::Int(5).as_u64(), Some(5));
+        assert_eq!(Json::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(Json::Float(1.5).as_u64(), None);
+        assert_eq!(Json::Int(-2).as_f64(), Some(-2.0));
+        assert_eq!(Json::Str("x".into()).as_f64(), None);
+        assert_eq!(Json::Null.get("k"), None);
+    }
+
+    /// Draws an arbitrary *canonical* JSON tree: `UInt` for non-negative
+    /// integers, `Int` only for negative ones, finite floats — the forms
+    /// the emitter's output parses back into (module-docs contract).
+    fn arb_json(rng: &mut crate::rng::Rng, depth: usize) -> Json {
+        let top = if depth < 3 { 8 } else { 6 }; // leaves only at the cap
+        match rng.gen_range(0..top) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen_bool(0.5)),
+            2 => Json::UInt(rng.next_u64() >> rng.gen_range(0..64u32)),
+            3 => Json::Int(-((rng.next_u64() >> rng.gen_range(1..64u32)) as i64) - 1),
+            4 => loop {
+                let f = f64::from_bits(rng.next_u64());
+                if f.is_finite() {
+                    break Json::Float(f);
+                }
+            },
+            5 => Json::Str(crate::check::unicode_string(rng, 0, 12)),
+            6 => Json::Arr(
+                (0..rng.gen_range(0..4usize))
+                    .map(|_| arb_json(rng, depth + 1))
+                    .collect(),
+            ),
+            _ => Json::Obj(
+                (0..rng.gen_range(0..4usize))
+                    .map(|_| {
+                        (
+                            crate::check::unicode_string(rng, 0, 8),
+                            arb_json(rng, depth + 1),
+                        )
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The round-trip property from the module docs: `parse(dump(x)) == x`
+    /// for arbitrary canonical trees — escapes, extreme-magnitude floats,
+    /// unicode keys, deep nesting and all.
+    #[test]
+    fn prop_parse_dump_roundtrip() {
+        crate::check::for_each_case(0x15EA_050E, 256, |rng| {
+            let v = arb_json(rng, 0);
+            let text = v.dump();
+            let back = parse(&text).unwrap_or_else(|e| panic!("{e} in {text:?}"));
+            assert_eq!(back, v, "round-trip mismatch for {text:?}");
+        });
+    }
+
+    /// Whitespace-insensitive re-parse: pretty variants of the same
+    /// document parse to the same tree.
+    #[test]
+    fn whitespace_is_insignificant() {
+        let compact = r#"{"a":[1,2],"b":{"c":null}}"#;
+        let spaced = "{ \"a\" : [ 1 ,\n\t2 ] , \"b\" : { \"c\" : null } }";
+        assert_eq!(parse(compact).unwrap(), parse(spaced).unwrap());
     }
 }

@@ -192,6 +192,39 @@ mod tests {
         assert_eq!(Histogram::new().quantile(0.5), 0.0);
     }
 
+    /// Edge-case contract: p50/p95 of an empty histogram are exactly 0.0 —
+    /// never NaN, never a panic — for every quantile the tooling asks for.
+    #[test]
+    fn empty_histogram_quantiles_are_well_defined() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!((s.p50, s.p95), (0.0, 0.0));
+        assert!(!s.p50.is_nan() && !s.p95.is_nan());
+        assert_eq!((s.min, s.max, s.sum), (0.0, 0.0, 0.0), "no INFINITY leak");
+    }
+
+    /// Edge-case contract: with a single sample, every quantile *is* that
+    /// sample (the min==max clamp pins the bucket bound to it), including
+    /// zero, negative, and extreme-magnitude samples.
+    #[test]
+    fn single_sample_quantiles_return_the_sample() {
+        for sample in [5.0, 0.0, -3.0, 1e-12, 1e300, f64::MAX] {
+            let mut h = Histogram::new();
+            h.observe(sample);
+            let s = h.summary();
+            assert_eq!(s.count, 1);
+            for q in [0.0, 0.5, 0.95, 1.0] {
+                let v = h.quantile(q);
+                assert_eq!(v, sample, "sample {sample}, q={q}");
+                assert!(!v.is_nan());
+            }
+            assert_eq!((s.p50, s.p95), (sample, sample), "sample {sample}");
+        }
+    }
+
     #[test]
     fn non_positive_and_non_finite_handling() {
         let mut h = Histogram::new();

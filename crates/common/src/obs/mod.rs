@@ -97,6 +97,23 @@ impl Level {
             _ => None,
         }
     }
+
+    /// [`Level::parse`] for environment input: an unknown value warns once
+    /// to stderr (a typo'd `LARGEEA_LOG=verbose` should not silently
+    /// swallow the echo the user asked for) and falls back to
+    /// [`Level::Off`].
+    pub fn parse_env(s: &str) -> Level {
+        Level::parse(s).unwrap_or_else(|| {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "[obs] warning: unknown LARGEEA_LOG value {s:?}; \
+                     echo disabled (expected off|stage|detail|trace or 0|1|2|3)"
+                );
+            });
+            Level::Off
+        })
+    }
 }
 
 /// Recorder configuration: what gets stored and what gets echoed live.
@@ -121,12 +138,13 @@ impl Default for ObsConfig {
 
 impl ObsConfig {
     /// The default configuration with the echo gate taken from the
-    /// `LARGEEA_LOG` environment variable (`off` when unset or invalid).
+    /// `LARGEEA_LOG` environment variable (`off` when unset; an invalid
+    /// value warns once to stderr and disables the echo — see
+    /// [`Level::parse_env`]).
     pub fn from_env() -> Self {
         let echo = std::env::var("LARGEEA_LOG")
             .ok()
-            .and_then(|v| Level::parse(&v))
-            .unwrap_or(Level::Off);
+            .map_or(Level::Off, |v| Level::parse_env(&v));
         Self {
             echo,
             ..Self::default()
@@ -406,6 +424,18 @@ impl Recorder {
     }
 }
 
+/// The `LARGEEA_SLOW_SPAN=<name>:<millis>` test hook, read once per
+/// process. `None` when unset or malformed.
+fn slow_span_hook() -> Option<&'static (String, u64)> {
+    static HOOK: std::sync::OnceLock<Option<(String, u64)>> = std::sync::OnceLock::new();
+    HOOK.get_or_init(|| {
+        let v = std::env::var("LARGEEA_SLOW_SPAN").ok()?;
+        let (name, ms) = v.rsplit_once(':')?;
+        Some((name.to_owned(), ms.parse().ok()?))
+    })
+    .as_ref()
+}
+
 /// RAII guard for an open span (see [`Recorder::span_at`]).
 ///
 /// Dropping the guard closes the span with its elapsed wall-clock time;
@@ -445,6 +475,17 @@ impl SpanGuard {
         let Some(start) = self.start else {
             return 0.0;
         };
+        // Test hook: LARGEEA_SLOW_SPAN=<name>:<millis> inflates every
+        // recorded span named <name> by sleeping before the clock is read —
+        // how the regression-gate tests manufacture a genuinely slower run
+        // without touching pipeline code.
+        if let (Some((name, ms)), Some(inner), Some(idx)) =
+            (slow_span_hook(), &self.inner, self.idx)
+        {
+            if inner.lock().spans[idx].name == *name {
+                std::thread::sleep(std::time::Duration::from_millis(*ms));
+            }
+        }
         let seconds = start.elapsed().as_secs_f64();
         if let (Some(inner), Some(idx)) = (&self.inner, self.idx) {
             let mut st = inner.lock();
@@ -610,5 +651,17 @@ mod tests {
         assert_eq!(Level::parse("0"), Some(Level::Off));
         assert_eq!(Level::parse("nope"), None);
         assert!(Level::Stage < Level::Detail && Level::Detail < Level::Trace);
+    }
+
+    #[test]
+    fn parse_env_falls_back_to_off_on_unknown_values() {
+        // known values pass through…
+        assert_eq!(Level::parse_env("detail"), Level::Detail);
+        assert_eq!(Level::parse_env("3"), Level::Trace);
+        // …unknown ones warn (once) and disable the echo instead of
+        // silently ignoring the variable
+        assert_eq!(Level::parse_env("verbose"), Level::Off);
+        assert_eq!(Level::parse_env(""), Level::Off);
+        assert_eq!(Level::parse_env("Trace!"), Level::Off);
     }
 }

@@ -48,6 +48,15 @@ impl TraceSpan {
         self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Wall-clock seconds spent in this span *excluding* its children —
+    /// the "self time" flame graphs and summaries attribute to a frame.
+    /// Clamped at zero (children overlapping from other threads can sum
+    /// past the parent's wall-clock).
+    pub fn self_seconds(&self) -> f64 {
+        let children: f64 = self.children.iter().map(|c| c.seconds).sum();
+        (self.seconds - children).max(0.0)
+    }
+
     fn for_each(&self, f: &mut impl FnMut(&TraceSpan)) {
         f(self);
         for c in &self.children {
@@ -102,7 +111,152 @@ pub struct Trace {
     pub histograms: Vec<(String, HistogramSummary)>,
 }
 
+/// Shorthand for ingestion errors: a path-like context plus the problem.
+fn bad(ctx: &str, what: &str) -> String {
+    format!("invalid trace: {ctx}: {what}")
+}
+
+impl FieldValue {
+    fn from_json(j: &Json, key: &str) -> Result<FieldValue, String> {
+        Ok(match j {
+            Json::UInt(v) => FieldValue::U64(*v),
+            Json::Int(v) => FieldValue::I64(*v),
+            Json::Float(v) => FieldValue::F64(*v),
+            Json::Bool(v) => FieldValue::Bool(*v),
+            Json::Str(v) => FieldValue::Str(v.clone()),
+            _ => return Err(bad(&format!("field {key:?}"), "expected a scalar value")),
+        })
+    }
+}
+
+impl TraceSpan {
+    fn from_json(j: &Json) -> Result<TraceSpan, String> {
+        let name = j
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("span", "missing string \"name\""))?
+            .to_owned();
+        let seconds = j
+            .get("seconds")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(&name, "missing number \"seconds\""))?;
+        let fields = j
+            .get("fields")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad(&name, "missing object \"fields\""))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), FieldValue::from_json(v, k)?)))
+            .collect::<Result<Vec<_>, String>>()?;
+        let children = j
+            .get("children")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad(&name, "missing array \"children\""))?
+            .iter()
+            .map(TraceSpan::from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(TraceSpan {
+            name,
+            seconds,
+            fields,
+            children,
+        })
+    }
+}
+
+impl HistogramSummary {
+    fn from_json(j: &Json, name: &str) -> Result<HistogramSummary, String> {
+        let num = |key: &str| {
+            j.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                bad(
+                    &format!("histogram {name:?}"),
+                    &format!("missing number {key:?}"),
+                )
+            })
+        };
+        Ok(HistogramSummary {
+            count: j
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(&format!("histogram {name:?}"), "missing integer \"count\""))?,
+            sum: num("sum")?,
+            min: num("min")?,
+            max: num("max")?,
+            p50: num("p50")?,
+            p95: num("p95")?,
+        })
+    }
+}
+
 impl Trace {
+    /// Parses the JSON text a `--trace-out` run (or [`Trace::to_json_string`])
+    /// produced back into a typed trace — the read half of the schema-v1
+    /// contract. `Trace → JSON → Trace` is the identity (property-tested),
+    /// so traces can be written, shipped, and diffed losslessly.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let json = crate::json::parse(text).map_err(|e| e.to_string())?;
+        Trace::from_json(&json)
+    }
+
+    /// Builds a trace from an already-parsed [`Json`] tree (see
+    /// [`Trace::parse`]). Requires `"version": 1`; unknown extra keys are
+    /// ignored so older readers keep working across additive schema growth.
+    pub fn from_json(json: &Json) -> Result<Trace, String> {
+        let version = json
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("root", "missing integer \"version\""))?;
+        if version != 1 {
+            return Err(bad(
+                "root",
+                &format!("unsupported schema version {version}"),
+            ));
+        }
+        let spans = json
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("root", "missing array \"spans\""))?
+            .iter()
+            .map(TraceSpan::from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        let counters = json
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("root", "missing object \"counters\""))?
+            .iter()
+            .map(|(k, v)| {
+                let v = v.as_u64().ok_or_else(|| {
+                    bad(&format!("counter {k:?}"), "expected an unsigned integer")
+                })?;
+                Ok((k.clone(), v))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let gauges = json
+            .get("gauges")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("root", "missing object \"gauges\""))?
+            .iter()
+            .map(|(k, v)| {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| bad(&format!("gauge {k:?}"), "expected a number"))?;
+                Ok((k.clone(), v))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let histograms = json
+            .get("histograms")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("root", "missing object \"histograms\""))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), HistogramSummary::from_json(v, k)?)))
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Trace {
+            spans,
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+
     /// The value of counter `name` (`0` if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
@@ -328,6 +482,77 @@ mod tests {
         assert_eq!(t.total_seconds("round"), 4.5);
         assert_eq!(t.span_count("round"), 3);
         assert_eq!(t.total_seconds("missing"), 0.0);
+    }
+
+    #[test]
+    fn parse_inverts_to_json_string() {
+        let t = sample_trace().map_seconds(|_| 0.25);
+        let text = t.to_json_string();
+        let back = Trace::parse(&text).expect("round-trip parse");
+        assert_eq!(back, t, "Trace → JSON → Trace must be the identity");
+        // and the re-dump is byte-identical (canonical forms all the way)
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn parse_accepts_empty_trace() {
+        let t =
+            Trace::parse(r#"{"version":1,"spans":[],"counters":{},"gauges":{},"histograms":{}}"#)
+                .unwrap();
+        assert_eq!(t, Trace::default());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_version_and_shape() {
+        for (text, needle) in [
+            ("[]", "version"),
+            (
+                r#"{"version":2,"spans":[],"counters":{},"gauges":{},"histograms":{}}"#,
+                "version 2",
+            ),
+            (
+                r#"{"version":1,"counters":{},"gauges":{},"histograms":{}}"#,
+                "spans",
+            ),
+            (
+                r#"{"version":1,"spans":[{"seconds":0.0,"fields":{},"children":[]}],"counters":{},"gauges":{},"histograms":{}}"#,
+                "name",
+            ),
+            (
+                r#"{"version":1,"spans":[],"counters":{"c":-1},"gauges":{},"histograms":{}}"#,
+                "unsigned",
+            ),
+            (
+                r#"{"version":1,"spans":[],"counters":{},"gauges":{"g":"x"},"histograms":{}}"#,
+                "number",
+            ),
+            (
+                r#"{"version":1,"spans":[],"counters":{},"gauges":{},"histograms":{"h":{"count":1}}}"#,
+                "sum",
+            ),
+            ("{not json", "parse error"),
+        ] {
+            let err = Trace::parse(text).unwrap_err();
+            assert!(err.contains(needle), "error {err:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn parse_ignores_unknown_extra_keys() {
+        let t = Trace::parse(
+            r#"{"version":1,"future":"stuff","spans":[],"counters":{},"gauges":{},"histograms":{}}"#,
+        )
+        .unwrap();
+        assert_eq!(t, Trace::default());
+    }
+
+    #[test]
+    fn self_seconds_excludes_children() {
+        let t = sample_trace().map_seconds(|_| 0.25);
+        let pipeline = t.find("pipeline").unwrap();
+        // pipeline 0.25s with one 0.25s child → zero self time
+        assert_eq!(pipeline.self_seconds(), 0.0);
+        assert_eq!(t.find("partition").unwrap().self_seconds(), 0.25);
     }
 
     #[test]

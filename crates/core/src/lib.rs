@@ -44,6 +44,7 @@ pub mod name_channel;
 pub mod pipeline;
 pub mod report;
 pub mod structure_channel;
+pub mod throughput;
 
 pub use analysis::{accuracy_by_degree, attribute_channels, ChannelAttribution, DegreeBucket};
 pub use augment::{augment_seeds, AugmentReport};
@@ -53,3 +54,4 @@ pub use mem::MemTracker;
 pub use name_channel::{NameChannel, NameChannelConfig, NameChannelOutput};
 pub use pipeline::{LargeEa, LargeEaConfig, LargeEaReport, PartitionStrategy};
 pub use structure_channel::{StructureChannel, StructureChannelConfig, StructureChannelOutput};
+pub use throughput::{derived_throughputs, Throughput};

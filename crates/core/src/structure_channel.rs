@@ -108,6 +108,14 @@ impl StructureChannel {
         seeds: &AlignmentSeeds,
         rec: &Recorder,
     ) -> MiniBatches {
+        // Work-unit counter behind the partition stage's derived
+        // throughput (`throughput::derived_throughputs`): both KGs'
+        // triples flow through coarsening, so triples/sec is the
+        // scale-independent rate to trend across runs.
+        rec.add(
+            "partition.input_triples",
+            (pair.source.num_triples() + pair.target.num_triples()) as u64,
+        );
         let base = match self.cfg.partitioner {
             Partitioner::MetisCps => {
                 let mut cps = CpsConfig::new(self.cfg.k).with_seed(self.cfg.seed);
@@ -181,7 +189,12 @@ impl StructureChannel {
                 loss_count += 1;
                 batch_span.field("final_loss", last);
             }
-            fill_similarity(&bg, &report.embeddings, self.cfg.top_k, &mut m_s);
+            {
+                let mut topk_span = rec.span_at(Level::Detail, "topk");
+                topk_span.field("batch", batch.index);
+                rec.add("topk.scored_pairs", (bg.n_source * bg.n_target) as u64);
+                fill_similarity(&bg, &report.embeddings, self.cfg.top_k, &mut m_s);
+            }
             // one batch is live at a time — track the max, then release
             mem.set(
                 "structure_channel",

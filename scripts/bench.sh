@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_pipeline.json — the perf baseline `largeea trace check`
+# gates against (DESIGN.md §S0.5).
+#
+# Runs the deterministic synthetic pipeline REPEATS times at fixed seeds,
+# writes per-stage medians + exact counters to BENCH_pipeline.json at the
+# repo root, then immediately checks a fresh trace against the new baseline
+# so a freshly seeded file is known-green on the machine that produced it.
+#
+# Usage: scripts/bench.sh [repeats]   (default 5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPEATS="${1:-5}"
+FRESH="$(mktemp -t largeea_bench_fresh.XXXXXX.json)"
+trap 'rm -f "$FRESH"' EXIT
+
+echo "== bench: ${REPEATS} repeats → BENCH_pipeline.json =="
+cargo run -q --release --offline -p largeea-bench --bin bench_pipeline -- \
+  --repeats "$REPEATS" --out BENCH_pipeline.json --trace-out "$FRESH"
+
+echo "== bench: checking the fresh run against the new baseline =="
+cargo run -q --release --offline --bin largeea -- \
+  trace check "$FRESH" --baseline BENCH_pipeline.json
+
+echo "bench: OK"

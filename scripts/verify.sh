@@ -18,4 +18,16 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
+echo "== trace smoke =="
+# the full loop on a tiny dataset: traced run → summarize → self-diff
+# (exactly zero deltas, so --threshold-pct 0 must exit 0)
+SMOKE="$(mktemp -d -t largeea_smoke.XXXXXX)"
+trap 'rm -rf "$SMOKE"' EXIT
+L="target/release/largeea"
+"$L" generate --preset ids15k-en-fr --scale 0.01 --out "$SMOKE/data" > /dev/null
+"$L" align --data "$SMOKE/data" --model gcn --k 2 --epochs 8 --dim 16 \
+  --trace-out "$SMOKE/run.json" > /dev/null
+"$L" trace summarize "$SMOKE/run.json" > /dev/null
+"$L" trace diff "$SMOKE/run.json" "$SMOKE/run.json" --threshold-pct 0 > /dev/null
+
 echo "verify: OK"

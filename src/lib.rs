@@ -15,6 +15,7 @@
 //! | [`models`] | `largeea-models` | GCN-Align, RREA, baselines, trainer |
 //! | [`data`] | `largeea-data` | IDS15K/IDS100K/DBP1M-shaped synthetic benchmarks |
 //! | [`core`] | `largeea-core` | the LargeEA framework: channels, DA, fusion, metrics |
+//! | [`bench`] | `largeea-bench` | experiment harness + perf baselines (`BENCH_*.json`) |
 //!
 //! ## One-minute tour
 //!
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use largeea_bench as bench;
 pub use largeea_common as common;
 pub use largeea_core as core;
 pub use largeea_data as data;

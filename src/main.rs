@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod trace_cmd;
+
 use largeea::common::json::ToJson;
 use largeea::common::obs::Recorder;
 use largeea::core::pipeline::{LargeEa, LargeEaConfig};
@@ -38,12 +40,19 @@ USAGE:
                     [--csls n] [--rounds n] [--analysis] [--out <file>] [--sim-out <file>]
                     [--trace-out <file>]
   largeea eval      --data <dir> --predictions <file>
+  largeea trace     summarize <trace.json>
+  largeea trace     diff <a.json> <b.json> [--threshold-pct f] [--min-seconds f]
+  largeea trace     flame <trace.json>
+  largeea trace     check <trace.json> --baseline <BENCH.json> [--tolerance-pct f]
 
 PRESETS: ids15k-en-fr  ids15k-en-de  ids100k-en-fr  ids100k-en-de
          dbp1m-en-fr   dbp1m-en-de
 
 `--trace-out` writes the run's span/metric trace as JSON (DESIGN.md §S0.5);
 set LARGEEA_LOG=stage|detail|trace to echo spans to stderr as they close.
+`trace` analyses those files: wall-clock trees with derived throughputs,
+span-by-span diffs with CI gating, folded flamegraph stacks, and budget
+checks against the BENCH_pipeline.json baseline (scripts/bench.sh).
 
 Every command is deterministic for fixed inputs and flags.";
 
@@ -53,6 +62,11 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `trace` takes positional file arguments and encodes its verdict in
+    // the exit code, so it owns its own parsing and returns directly.
+    if command == "trace" {
+        return trace_cmd::cmd_trace(&args[1..]);
+    }
     let flags = match parse_flags(&args[1..]) {
         Ok(f) => f,
         Err(e) => {

@@ -1,0 +1,364 @@
+//! The `largeea trace` subcommand family — analysis of `--trace-out` files.
+//!
+//! Everything here consumes the schema-v1 trace JSON the pipeline writes
+//! (DESIGN.md §S0.5) and answers perf questions offline:
+//!
+//! - `summarize <trace>` — wall-clock tree (total/self, same-name siblings
+//!   aggregated), metric tables, and derived throughputs;
+//! - `diff <a> <b>` — per-stage deltas sorted by regression size, with
+//!   optional `--threshold-pct` exit-code gating for CI;
+//! - `flame <trace>` — collapsed stacks (`a;b;c <self-µs>`), the folded
+//!   format flamegraph tooling eats;
+//! - `check <trace> --baseline <file>` — asserts the stage budgets and
+//!   exact counters of a `BENCH_*.json` baseline (see `scripts/bench.sh`).
+
+use largeea::bench::Baseline;
+use largeea::common::obs::{Trace, TraceSpan};
+use largeea::core::throughput::derived_throughputs;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const TRACE_USAGE: &str = "largeea trace — analyse --trace-out JSON files
+
+USAGE:
+  largeea trace summarize <trace.json>
+  largeea trace diff <a.json> <b.json> [--threshold-pct f] [--min-seconds f]
+  largeea trace flame <trace.json>
+  largeea trace check <trace.json> --baseline <BENCH.json> [--tolerance-pct f]
+
+`diff` exits non-zero when --threshold-pct is given and any stage in <b>
+regressed past it; `check` exits non-zero on any budget or counter
+violation. Regenerate baselines with scripts/bench.sh.";
+
+/// Entry point from `main` (args exclude the leading `trace`). Returns the
+/// process exit code directly because `diff`/`check` encode their verdict
+/// in it.
+pub fn cmd_trace(args: &[String]) -> ExitCode {
+    match run(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{TRACE_USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (positionals, flags) = parse_mixed(args)?;
+    let Some(sub) = positionals.first() else {
+        return Err("trace needs a subcommand (summarize|diff|flame|check)".into());
+    };
+    let file = |i: usize| -> Result<Trace, String> {
+        let path = positionals
+            .get(i)
+            .ok_or_else(|| format!("{sub} needs a trace file argument"))?;
+        load_trace(path)
+    };
+    match sub.as_str() {
+        "summarize" => {
+            summarize(&file(1)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let threshold: Option<f64> = flags
+                .get("threshold-pct")
+                .map(|v| v.parse().map_err(|_| format!("--threshold-pct got {v:?}")))
+                .transpose()?;
+            let min_seconds: f64 = match flags.get("min-seconds") {
+                Some(v) => v.parse().map_err(|_| format!("--min-seconds got {v:?}"))?,
+                None => 0.001,
+            };
+            Ok(diff(&file(1)?, &file(2)?, threshold, min_seconds))
+        }
+        "flame" => {
+            flame(&file(1)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let baseline_path = flags
+                .get("baseline")
+                .ok_or("check needs --baseline <BENCH.json>")?;
+            let text = std::fs::read_to_string(baseline_path)
+                .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+            let baseline =
+                Baseline::parse(&text).map_err(|e| format!("parsing {baseline_path}: {e}"))?;
+            let tolerance: f64 = match flags.get("tolerance-pct") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--tolerance-pct got {v:?}"))?,
+                None => 50.0,
+            };
+            Ok(check(&file(1)?, &baseline, tolerance, baseline_path))
+        }
+        other => Err(format!("unknown trace subcommand {other:?}")),
+    }
+}
+
+/// Splits `args` into positionals and `--flag value` pairs (the trace
+/// subcommands mix both, unlike the flag-only pipeline commands).
+fn parse_mixed(args: &[String]) -> Result<(Vec<String>, BTreeMap<String, String>), String> {
+    let mut positionals = Vec::new();
+    let mut flags = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.strip_prefix("--") {
+            None => positionals.push(a.clone()),
+            Some(name) => {
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.insert(name.to_owned(), value.clone());
+            }
+        }
+    }
+    Ok((positionals, flags))
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Trace::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+// --- summarize -----------------------------------------------------------
+
+/// Same-name siblings folded into one row (50 `epoch` spans are one line).
+struct Rollup<'a> {
+    name: &'a str,
+    total: f64,
+    self_secs: f64,
+    count: usize,
+    children: Vec<&'a TraceSpan>,
+}
+
+fn rollup<'a>(spans: &[&'a TraceSpan]) -> Vec<Rollup<'a>> {
+    let mut rows: Vec<Rollup> = Vec::new();
+    for s in spans {
+        match rows.iter_mut().find(|r| r.name == s.name) {
+            Some(r) => {
+                r.total += s.seconds;
+                r.self_secs += s.self_seconds();
+                r.count += 1;
+                r.children.extend(s.children.iter());
+            }
+            None => rows.push(Rollup {
+                name: &s.name,
+                total: s.seconds,
+                self_secs: s.self_seconds(),
+                count: 1,
+                children: s.children.iter().collect(),
+            }),
+        }
+    }
+    rows
+}
+
+fn print_rollup(spans: &[&TraceSpan], depth: usize, root_total: f64) {
+    for r in rollup(spans) {
+        let label = if r.count > 1 {
+            format!("{}{} ×{}", "  ".repeat(depth), r.name, r.count)
+        } else {
+            format!("{}{}", "  ".repeat(depth), r.name)
+        };
+        println!(
+            "  {label:<38} {:>9.3}s {:>9.3}s {:>5.1}%",
+            r.total,
+            r.self_secs,
+            if root_total > 0.0 {
+                100.0 * r.total / root_total
+            } else {
+                0.0
+            }
+        );
+        print_rollup(&r.children, depth + 1, root_total);
+    }
+}
+
+fn summarize(trace: &Trace) {
+    let roots: Vec<&TraceSpan> = trace.spans.iter().collect();
+    let root_total: f64 = trace.spans.iter().map(|s| s.seconds).sum();
+    println!(
+        "  {:<38} {:>10} {:>10} {:>6}",
+        "span", "total", "self", "share"
+    );
+    print_rollup(&roots, 0, root_total);
+
+    if !trace.counters.is_empty() {
+        println!("\ncounters:");
+        for (name, v) in &trace.counters {
+            println!("  {name:<38} {v:>12}");
+        }
+    }
+    if !trace.gauges.is_empty() {
+        println!("\ngauges:");
+        for (name, v) in &trace.gauges {
+            println!("  {name:<38} {v:>12.3}");
+        }
+    }
+    if !trace.histograms.is_empty() {
+        println!("\nhistograms:");
+        for (name, h) in &trace.histograms {
+            println!(
+                "  {name:<38} count {} sum {:.4} min {:.4} p50 {:.4} p95 {:.4} max {:.4}",
+                h.count, h.sum, h.min, h.p50, h.p95, h.max
+            );
+        }
+    }
+    let rates = derived_throughputs(trace);
+    if !rates.is_empty() {
+        println!("\nderived throughputs:");
+        for t in rates {
+            println!(
+                "  {:<38} {:>12.1} {}/s  ({} {} over {:.3}s)",
+                t.name, t.per_sec, t.unit, t.count, t.unit, t.seconds
+            );
+        }
+    }
+}
+
+// --- diff ----------------------------------------------------------------
+
+/// Per-name totals over the whole tree: `name → (seconds, span count)`.
+fn aggregate(trace: &Trace) -> BTreeMap<String, (f64, usize)> {
+    fn walk(spans: &[TraceSpan], into: &mut BTreeMap<String, (f64, usize)>) {
+        for s in spans {
+            let e = into.entry(s.name.clone()).or_insert((0.0, 0));
+            e.0 += s.seconds;
+            e.1 += 1;
+            walk(&s.children, into);
+        }
+    }
+    let mut m = BTreeMap::new();
+    walk(&trace.spans, &mut m);
+    m
+}
+
+fn diff(a: &Trace, b: &Trace, threshold_pct: Option<f64>, min_seconds: f64) -> ExitCode {
+    let (agg_a, agg_b) = (aggregate(a), aggregate(b));
+    let names: Vec<&String> = {
+        let mut n: Vec<&String> = agg_a.keys().chain(agg_b.keys()).collect();
+        n.sort();
+        n.dedup();
+        n
+    };
+    struct Row<'a> {
+        name: &'a str,
+        a: f64,
+        b: f64,
+        delta: f64,
+    }
+    let mut rows: Vec<Row> = names
+        .into_iter()
+        .map(|name| {
+            let sa = agg_a.get(name).map_or(0.0, |v| v.0);
+            let sb = agg_b.get(name).map_or(0.0, |v| v.0);
+            Row {
+                name,
+                a: sa,
+                b: sb,
+                delta: sb - sa,
+            }
+        })
+        .collect();
+    rows.sort_by(|x, y| y.delta.abs().total_cmp(&x.delta.abs()));
+
+    println!(
+        "  {:<28} {:>10} {:>10} {:>10} {:>8}",
+        "span", "a", "b", "delta", "pct"
+    );
+    for r in &rows {
+        let pct = if r.a > 0.0 {
+            format!("{:>+7.1}%", 100.0 * r.delta / r.a)
+        } else {
+            "     new".to_owned()
+        };
+        println!(
+            "  {:<28} {:>9.3}s {:>9.3}s {:>+9.3}s {pct}",
+            r.name, r.a, r.b, r.delta
+        );
+    }
+
+    let mut counter_drift = false;
+    for (name, vb) in &b.counters {
+        let va = a.counter(name);
+        if va != *vb {
+            counter_drift = true;
+            println!(
+                "  counter {name}: {va} → {vb} ({:+})",
+                *vb as i128 - va as i128
+            );
+        }
+    }
+    for (name, va) in &a.counters {
+        if !b.counters.iter().any(|(n, _)| n == name) {
+            counter_drift = true;
+            println!("  counter {name}: {va} → absent");
+        }
+    }
+    if counter_drift {
+        println!("  (counter drift means the computation changed, not just the clock)");
+    }
+
+    let Some(pct) = threshold_pct else {
+        return ExitCode::SUCCESS;
+    };
+    let regressions: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.delta > min_seconds && (r.a == 0.0 || r.delta > r.a * pct / 100.0))
+        .collect();
+    if regressions.is_empty() {
+        println!("\nOK: no span regressed more than {pct}% (noise floor {min_seconds}s)");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nREGRESSION: {} span(s) past the {pct}% threshold:",
+            regressions.len()
+        );
+        for r in &regressions {
+            println!("  {}: {:.3}s → {:.3}s ({:+.3}s)", r.name, r.a, r.b, r.delta);
+        }
+        ExitCode::FAILURE
+    }
+}
+
+// --- flame ---------------------------------------------------------------
+
+fn flame(trace: &Trace) {
+    fn walk(spans: &[TraceSpan], prefix: &str, into: &mut BTreeMap<String, u64>) {
+        for s in spans {
+            let stack = if prefix.is_empty() {
+                s.name.clone()
+            } else {
+                format!("{prefix};{}", s.name)
+            };
+            let micros = (s.self_seconds() * 1e6).round() as u64;
+            *into.entry(stack.clone()).or_insert(0) += micros;
+            walk(&s.children, &stack, into);
+        }
+    }
+    let mut folded = BTreeMap::new();
+    walk(&trace.spans, "", &mut folded);
+    for (stack, micros) in folded {
+        println!("{stack} {micros}");
+    }
+}
+
+// --- check ---------------------------------------------------------------
+
+fn check(trace: &Trace, baseline: &Baseline, tolerance_pct: f64, baseline_path: &str) -> ExitCode {
+    let violations = baseline.check(trace, tolerance_pct);
+    if violations.is_empty() {
+        println!(
+            "OK: within {baseline_path} budgets ({} stages at +{tolerance_pct}%, {} counters exact)",
+            baseline.stages.len(),
+            baseline.counters.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "FAIL: {} violation(s) against {baseline_path}:",
+            violations.len()
+        );
+        for v in &violations {
+            println!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

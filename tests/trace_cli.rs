@@ -1,0 +1,261 @@
+//! Integration tests for `largeea trace`: the analysis loop over
+//! `--trace-out` files — summarize, self-diff (exactly zero deltas),
+//! regression gating against a deliberately slowed stage, folded flame
+//! stacks, and budget checks against a bench baseline.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_largeea"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("largeea_trace_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout_of(out: &std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Generates a tiny dataset and runs one traced align into `trace_path`.
+/// `slow` optionally sets the `LARGEEA_SLOW_SPAN=<span>:<millis>` test hook
+/// so a chosen stage genuinely takes longer.
+fn traced_align(dir: &Path, trace_path: &Path, slow: Option<&str>) {
+    let data = dir.join("data");
+    if !data.exists() {
+        let out = bin()
+            .args([
+                "generate",
+                "--preset",
+                "ids15k-en-fr",
+                "--scale",
+                "0.01",
+                "--out",
+            ])
+            .arg(&data)
+            .output()
+            .unwrap();
+        stdout_of(&out);
+    }
+    let mut cmd = bin();
+    cmd.args(["align", "--data"])
+        .arg(&data)
+        .args(["--model", "gcn", "--k", "2", "--epochs", "8", "--dim", "16"])
+        .arg("--trace-out")
+        .arg(trace_path);
+    if let Some(spec) = slow {
+        cmd.env("LARGEEA_SLOW_SPAN", spec);
+    }
+    stdout_of(&cmd.output().unwrap());
+}
+
+#[test]
+fn summarize_prints_tree_metrics_and_throughputs() {
+    let dir = tempdir("summarize");
+    let trace = dir.join("run.json");
+    traced_align(&dir, &trace, None);
+
+    let out = bin()
+        .arg("trace")
+        .arg("summarize")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    let text = stdout_of(&out);
+    for needle in [
+        "pipeline",
+        "structure_channel",
+        "epoch ×", // same-name siblings are folded
+        "counters:",
+        "partition.input_triples",
+        "derived throughputs:",
+        "train.epochs_per_sec",
+        "topk.pairs_per_sec",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_of_a_trace_with_itself_is_all_zeros_and_exits_zero() {
+    let dir = tempdir("selfdiff");
+    let trace = dir.join("run.json");
+    traced_align(&dir, &trace, None);
+
+    let out = bin()
+        .arg("trace")
+        .arg("diff")
+        .arg(&trace)
+        .arg(&trace)
+        .args(["--threshold-pct", "0"])
+        .output()
+        .unwrap();
+    let text = stdout_of(&out);
+    assert!(text.contains("OK: no span regressed"), "{text}");
+    assert!(!text.contains("REGRESSION"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_catches_a_deliberately_slowed_stage() {
+    let dir = tempdir("slowdiff");
+    let fast = dir.join("fast.json");
+    let slow = dir.join("slow.json");
+    traced_align(&dir, &fast, None);
+    // the test hook makes every `stns` span sleep 400ms — a genuine,
+    // machine-independent regression far past any scheduler noise
+    traced_align(&dir, &slow, Some("stns:400"));
+
+    let out = bin()
+        .arg("trace")
+        .arg("diff")
+        .arg(&fast)
+        .arg(&slow)
+        .args(["--threshold-pct", "10"])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "slowed stns must trip the 10% gate:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("stns"), "{text}");
+
+    // without a threshold the same diff is informational: exit 0
+    let out = bin()
+        .arg("trace")
+        .arg("diff")
+        .arg(&fast)
+        .arg(&slow)
+        .output()
+        .unwrap();
+    stdout_of(&out);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flame_emits_folded_stacks_with_self_micros() {
+    let dir = tempdir("flame");
+    let trace = dir.join("run.json");
+    traced_align(&dir, &trace, None);
+
+    let out = bin()
+        .arg("trace")
+        .arg("flame")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    let text = stdout_of(&out);
+    let mut saw_nested = false;
+    for line in text.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("folded line has a value");
+        value.parse::<u64>().expect("self-time is integer micros");
+        saw_nested |= stack.contains(';');
+    }
+    assert!(saw_nested, "expected at least one nested stack:\n{text}");
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("pipeline;structure_channel;train")),
+        "{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_gates_against_handcrafted_baselines() {
+    let dir = tempdir("check");
+    let trace_path = dir.join("run.json");
+    traced_align(&dir, &trace_path, None);
+
+    // a generous baseline the run must satisfy: huge budgets, counters
+    // copied from the run itself
+    let trace_text = std::fs::read_to_string(&trace_path).unwrap();
+    let counter = |name: &str| -> u64 {
+        let needle = format!("\"{name}\":");
+        let rest = &trace_text[trace_text.find(&needle).unwrap() + needle.len()..];
+        rest[..rest.find([',', '}']).unwrap()].parse().unwrap()
+    };
+    let lenient = dir.join("lenient.json");
+    std::fs::write(
+        &lenient,
+        format!(
+            r#"{{"schema":"largeea-bench-baseline","version":1,"config":{{}},"repeats":1,"stages":{{"pipeline":{{"median_seconds":3600.0,"min_seconds":3600.0,"max_seconds":3600.0}}}},"counters":{{"cps.virtual_edges":{}}}}}"#,
+            counter("cps.virtual_edges")
+        ),
+    )
+    .unwrap();
+    let out = bin()
+        .arg("trace")
+        .arg("check")
+        .arg(&trace_path)
+        .arg("--baseline")
+        .arg(&lenient)
+        .output()
+        .unwrap();
+    let text = stdout_of(&out);
+    assert!(text.contains("OK: within"), "{text}");
+
+    // an impossible baseline: zero time budget and a wrong counter
+    let strict = dir.join("strict.json");
+    std::fs::write(
+        &strict,
+        r#"{"schema":"largeea-bench-baseline","version":1,"config":{},"repeats":1,"stages":{"pipeline":{"median_seconds":0.0,"min_seconds":0.0,"max_seconds":0.0}},"counters":{"cps.virtual_edges":1}}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .arg("trace")
+        .arg("check")
+        .arg(&trace_path)
+        .arg("--baseline")
+        .arg(&strict)
+        .args(["--tolerance-pct", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAIL"), "{text}");
+    assert!(text.contains("stage pipeline"), "{text}");
+    assert!(text.contains("counter cps.virtual_edges"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_errors_are_reported_not_panicked() {
+    let dir = tempdir("errors");
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "{not json").unwrap();
+
+    for args in [
+        vec!["trace".to_owned()],
+        vec!["trace".into(), "frobnicate".into()],
+        vec!["trace".into(), "summarize".into()],
+        vec![
+            "trace".into(),
+            "summarize".into(),
+            garbage.display().to_string(),
+        ],
+        vec![
+            "trace".into(),
+            "check".into(),
+            garbage.display().to_string(),
+        ],
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "{args:?} → {err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
