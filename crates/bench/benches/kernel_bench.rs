@@ -1,0 +1,112 @@
+//! Micro-benchmarks for the dense kernels behind every hot stage.
+//!
+//! Two questions, both referenced from EXPERIMENTS.md ("Kernel notes"):
+//!
+//! 1. What does the production cache-blocked matmul cost vs the naive
+//!    triple loop it replaced?
+//! 2. Was the old `aik == 0.0` skip in the i-k-j inner loop worth keeping?
+//!    The skip turns the unit-stride AXPY that the compiler can vectorise
+//!    into a branchy loop; it only pays when A is mostly zeros. Both
+//!    variants are reimplemented here verbatim so the comparison survives
+//!    the skip's removal from the production kernel.
+
+use largeea_common::bench::Bench;
+use largeea_common::rng::Rng;
+use largeea_tensor::Matrix;
+
+const N: usize = 160;
+
+fn random_dense(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+    )
+}
+
+/// `a` with each entry zeroed with probability `p` — models the sparse-ish
+/// activations the old skip was betting on.
+fn sparsify(rng: &mut Rng, a: &Matrix, p: f64) -> Matrix {
+    let data = a
+        .as_slice()
+        .iter()
+        .map(|&x| if rng.gen_bool(p) { 0.0 } else { x })
+        .collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+/// The pre-PR inner loop, skip included: `if aik == 0.0 { continue; }`.
+fn ikj_with_skip(a: &Matrix, b: &Matrix) -> Matrix {
+    let (n, k_dim, m) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(n, m);
+    for i in 0..n {
+        for kk in 0..k_dim {
+            let aik = a[(i, kk)];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b.as_slice()[kk * m..(kk + 1) * m];
+            let orow = &mut out.as_mut_slice()[i * m..(i + 1) * m];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Same loop without the skip — a branch-free unit-stride AXPY.
+fn ikj_no_skip(a: &Matrix, b: &Matrix) -> Matrix {
+    let (n, k_dim, m) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(n, m);
+    for i in 0..n {
+        for kk in 0..k_dim {
+            let aik = a[(i, kk)];
+            let brow = &b.as_slice()[kk * m..(kk + 1) * m];
+            let orow = &mut out.as_mut_slice()[i * m..(i + 1) * m];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+    out
+}
+
+fn bench_skip_variants(bench: &mut Bench) {
+    let mut rng = Rng::seed_from_u64(7);
+    let dense = random_dense(&mut rng, N, N);
+    let sparse90 = sparsify(&mut rng, &dense, 0.9);
+    let b = random_dense(&mut rng, N, N);
+    let mut group = bench.group("matmul_aik_skip");
+    group.bench_function("dense_with_skip", |br| {
+        br.iter(|| ikj_with_skip(&dense, &b))
+    });
+    group.bench_function("dense_no_skip", |br| br.iter(|| ikj_no_skip(&dense, &b)));
+    group.bench_function("sparse90_with_skip", |br| {
+        br.iter(|| ikj_with_skip(&sparse90, &b))
+    });
+    group.bench_function("sparse90_no_skip", |br| {
+        br.iter(|| ikj_no_skip(&sparse90, &b))
+    });
+    group.finish();
+}
+
+fn bench_production_kernels(bench: &mut Bench) {
+    let mut rng = Rng::seed_from_u64(8);
+    let a = random_dense(&mut rng, N, N);
+    let b = random_dense(&mut rng, N, N);
+    let tall = random_dense(&mut rng, 4 * N, N);
+    let mut group = bench.group("production_kernels");
+    group.bench_function("matmul_blocked_160", |br| br.iter(|| a.matmul(&b)));
+    group.bench_function("matmul_naive_ikj_160", |br| br.iter(|| ikj_no_skip(&a, &b)));
+    group.bench_function("transpose_640x160", |br| br.iter(|| tall.transpose()));
+    group.finish();
+}
+
+fn main() {
+    let mut bench = Bench::new();
+    bench_skip_variants(&mut bench);
+    bench_production_kernels(&mut bench);
+}

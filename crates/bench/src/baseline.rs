@@ -52,6 +52,25 @@ pub struct Baseline {
 /// noise, not signal.
 pub const ABS_SLACK_SECONDS: f64 = 0.025;
 
+/// `config` entries describing the parallel substrate a baseline was
+/// measured under: `threads` (the global pool's width, i.e. what
+/// `LARGEEA_THREADS` resolved to) and `host_parallelism` (what the OS
+/// reports). Counters are thread-invariant by construction, but stage
+/// *medians* are not — recording the width makes a baseline taken on one
+/// machine legible on another.
+pub fn thread_config() -> Vec<(String, String)> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    vec![
+        (
+            "threads".to_owned(),
+            largeea_common::pool::Pool::global().threads().to_string(),
+        ),
+        ("host_parallelism".to_owned(), host.to_string()),
+    ]
+}
+
 fn collect_span_names(spans: &[TraceSpan], into: &mut Vec<String>) {
     for s in spans {
         into.push(s.name.clone());

@@ -60,7 +60,7 @@ fn main() {
         traces.push(report.trace);
     }
 
-    let config = vec![
+    let mut config = vec![
         ("preset".to_owned(), "ids15k-en-fr".to_owned()),
         ("scale".to_owned(), format!("{scale}")),
         ("k".to_owned(), format!("{k}")),
@@ -68,6 +68,7 @@ fn main() {
         ("epochs".to_owned(), format!("{epochs}")),
         ("dim".to_owned(), format!("{dim}")),
     ];
+    config.extend(largeea_bench::thread_config());
     let baseline =
         Baseline::from_traces(config, &traces).unwrap_or_else(|e| panic!("building baseline: {e}"));
     let mut doc = baseline.to_json_string();

@@ -14,7 +14,7 @@
 
 pub mod baseline;
 
-pub use baseline::{Baseline, StageStat};
+pub use baseline::{thread_config, Baseline, StageStat};
 
 use largeea_common::json::ToJson;
 use largeea_common::obs::Recorder;

@@ -5,7 +5,7 @@
 //! *LargeEA* (Ge et al., VLDB 2021) compiles and tests **fully offline**:
 //! no crates.io registry, no network, no vendored third-party code.
 //!
-//! Five subsystems (DESIGN.md §S0, §S0.5):
+//! Six subsystems (DESIGN.md §S0, §S0.5, §S0.6):
 //!
 //! | Module | Replaces | Provides |
 //! |--------|----------|----------|
@@ -13,6 +13,7 @@
 //! | [`json`] | `serde`/`serde_json` | [`json::Json`] value tree + [`json::ToJson`] trait, byte-compatible with the previous `serde_json` row output |
 //! | [`check`] | `proptest` | [`check::for_each_case`] deterministic randomized-input harness with seed-replay failure reporting |
 //! | [`bench`] | `criterion` | warmup + median wall-clock micro-benchmark timer |
+//! | [`pool`] | `rayon`/`crossbeam` | persistent [`pool::Pool`] of worker threads: scoped chunked jobs, shared-cursor stealing, bit-identical results at any width |
 //! | [`obs`] | `tracing`/`metrics` | thread-safe [`obs::Recorder`]: hierarchical spans, counters/gauges/histograms, JSON [`obs::Trace`] export, `LARGEEA_LOG` echo |
 //!
 //! ## Determinism contract
@@ -24,12 +25,16 @@
 //! platform (the PRNG is defined purely over `u64` wrapping arithmetic).
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: `pool` contains the workspace's single audited
+// unsafe block (a lifetime erasure required for scoped jobs on persistent
+// threads — see the SAFETY comment there). Everything else stays safe code.
+#![deny(unsafe_code)]
 
 pub mod bench;
 pub mod check;
 pub mod json;
 pub mod obs;
+pub mod pool;
 pub mod rng;
 
 pub use json::{Json, ToJson};

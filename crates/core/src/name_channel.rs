@@ -13,9 +13,10 @@
 
 use crate::mem::MemTracker;
 use largeea_common::obs::{Level, ObsConfig, Recorder};
+use largeea_common::pool::Pool;
 use largeea_kg::KnowledgeGraph;
 use largeea_sim::{segmented_topk_traced, Metric, SparseSimMatrix};
-use largeea_text::{jaccard::shingles, normalize_name, HashEncoder, LshIndex, MinHasher};
+use largeea_text::{batch, normalize_name, HashEncoder, LshIndex, MinHasher};
 
 /// Name-channel hyper-parameters (paper defaults in §3.1).
 #[derive(Debug, Clone, Copy)]
@@ -174,46 +175,73 @@ impl NameChannel {
     ) -> (SparseSimMatrix, f64) {
         let mut span = rec.span("stns");
         span.field("theta", self.cfg.theta);
+        let pool = Pool::global();
         let hasher = MinHasher::new(self.cfg.minhash_perms, self.cfg.seed);
         let normalized_t: Vec<String> = target.labels().iter().map(|l| normalize_name(l)).collect();
         let mut index = LshIndex::with_threshold(self.cfg.minhash_perms, self.cfg.theta);
-        let mut sigs_t = Vec::with_capacity(normalized_t.len());
-        {
-            let _s = rec.span_at(Level::Detail, "sketch");
-            for (i, label) in normalized_t.iter().enumerate() {
-                let sig = hasher.signature(&shingles(label, self.cfg.shingle_k));
-                index.insert(i as u32, &sig);
-                sigs_t.push(sig);
+        let sigs_t = {
+            let mut s = rec.span_at(Level::Detail, "sketch");
+            s.field("threads", pool.threads());
+            // Signatures in parallel (allocation-free per item); the index
+            // itself needs `&mut`, so inserts stay sequential — they are a
+            // few hash pushes per entity, not the hot part.
+            let sigs =
+                batch::minhash_signatures_in(&hasher, &normalized_t, self.cfg.shingle_k, pool);
+            for (i, sig) in sigs.iter().enumerate() {
+                index.insert(i as u32, sig);
             }
-        }
+            sigs
+        };
         mem.add(
             "name_channel",
             sigs_t.len() * self.cfg.minhash_perms * std::mem::size_of::<u64>(),
         );
 
-        // Hot loop: accumulate locally, hit the recorder once at the end.
+        // Hot loop, parallel over source rows: each block scores its rows
+        // against the read-only index and returns (hits, local counters);
+        // blocks merge in row order, so the matrix and the counters are
+        // identical to the sequential loop for any thread count.
+        let mut score_span = rec.span_at(Level::Detail, "score");
+        score_span.field("threads", pool.threads());
+        let source_labels = source.labels();
+        let blocks = pool.map_blocks(source_labels.len(), 32, |range| {
+            let mut hits: Vec<(usize, u32, f32)> = Vec::new();
+            let (mut cands, mut pruned, mut pairs) = (0u64, 0u64, 0u64);
+            for s in range {
+                let label = normalize_name(&source_labels[s]);
+                let sig = hasher.signature_of(&label, self.cfg.shingle_k);
+                for cand in index.candidates(&sig) {
+                    cands += 1;
+                    // cheap estimated-Jaccard gate before paying for
+                    // Levenshtein
+                    if hasher.estimate(&sig, &sigs_t[cand as usize]) < self.cfg.theta {
+                        pruned += 1;
+                        continue;
+                    }
+                    pairs += 1;
+                    let sim =
+                        largeea_text::levenshtein_similarity(&label, &normalized_t[cand as usize]);
+                    if sim > 0.0 {
+                        hits.push((s, cand, sim as f32));
+                    }
+                }
+            }
+            (hits, cands, pruned, pairs)
+        });
         let mut lsh_candidates = 0u64;
         let mut pruned_below_theta = 0u64;
         let mut levenshtein_pairs = 0u64;
         let mut m_st = SparseSimMatrix::new(source.num_entities(), target.num_entities());
-        for (s, raw) in source.labels().iter().enumerate() {
-            let label = normalize_name(raw);
-            let sig = hasher.signature(&shingles(&label, self.cfg.shingle_k));
-            for cand in index.candidates(&sig) {
-                lsh_candidates += 1;
-                // cheap estimated-Jaccard gate before paying for Levenshtein
-                if hasher.estimate(&sig, &sigs_t[cand as usize]) < self.cfg.theta {
-                    pruned_below_theta += 1;
-                    continue;
-                }
-                levenshtein_pairs += 1;
-                let sim =
-                    largeea_text::levenshtein_similarity(&label, &normalized_t[cand as usize]);
-                if sim > 0.0 {
-                    m_st.insert(s, cand, sim as f32);
-                }
+        for (hits, cands, pruned, pairs) in blocks {
+            lsh_candidates += cands;
+            pruned_below_theta += pruned;
+            levenshtein_pairs += pairs;
+            for (s, cand, sim) in hits {
+                m_st.insert(s, cand, sim);
             }
         }
+        score_span.field("pairs", levenshtein_pairs);
+        score_span.finish();
         rec.add("stns.lsh_candidates", lsh_candidates);
         rec.add("stns.pruned_below_theta", pruned_below_theta);
         rec.add("stns.levenshtein_pairs", levenshtein_pairs);

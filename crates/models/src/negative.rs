@@ -6,7 +6,8 @@
 //! baseline (ablation D5 in DESIGN.md).
 
 use crate::batch_graph::BatchGraph;
-use largeea_common::rng::Rng;
+use largeea_common::pool::Pool;
+use largeea_common::rng::{splitmix64, Rng};
 use largeea_sim::{topk_search, Metric};
 use largeea_tensor::Matrix;
 
@@ -49,18 +50,33 @@ pub fn sample_negatives(
 }
 
 fn random_negatives(bg: &BatchGraph, n_neg: usize, seed: u64) -> Negatives {
-    let mut rng = Rng::seed_from_u64(seed);
-    let mut corrupt_target = Vec::with_capacity(bg.train_pairs.len());
-    let mut corrupt_source = Vec::with_capacity(bg.train_pairs.len());
-    for &(s, t) in &bg.train_pairs {
-        corrupt_target.push(draw(
-            &mut rng,
-            n_neg,
-            bg.n_source as u32,
-            bg.n_total() as u32,
-            t,
-        ));
-        corrupt_source.push(draw(&mut rng, n_neg, 0, bg.n_source as u32, s));
+    // One RNG per pair, seeded from (seed, pair index): the stream a pair
+    // sees is independent of how pairs are chunked across threads, so the
+    // sample is identical for any pool width (and for the sequential path).
+    let pairs = &bg.train_pairs;
+    let blocks = Pool::global().map_blocks(pairs.len(), 256, |range| {
+        let mut ct = Vec::with_capacity(range.len());
+        let mut cs = Vec::with_capacity(range.len());
+        for pi in range {
+            let (s, t) = pairs[pi];
+            let mut derive = seed ^ (pi as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut rng = Rng::seed_from_u64(splitmix64(&mut derive));
+            ct.push(draw(
+                &mut rng,
+                n_neg,
+                bg.n_source as u32,
+                bg.n_total() as u32,
+                t,
+            ));
+            cs.push(draw(&mut rng, n_neg, 0, bg.n_source as u32, s));
+        }
+        (ct, cs)
+    });
+    let mut corrupt_target = Vec::with_capacity(pairs.len());
+    let mut corrupt_source = Vec::with_capacity(pairs.len());
+    for (ct, cs) in blocks {
+        corrupt_target.extend(ct);
+        corrupt_source.extend(cs);
     }
     Negatives {
         corrupt_target,
@@ -117,29 +133,41 @@ fn nearest_negatives(bg: &BatchGraph, emb: &Matrix, n_neg: usize, seed: u64) -> 
     let hits_t = topk_search(&qs, &tgt_emb, n_neg + 2, Metric::Manhattan);
     let hits_s = topk_search(&qt, &src_emb, n_neg + 2, Metric::Manhattan);
 
+    // Assembly is pure per-pair filtering; parallel blocks concatenate in
+    // pair order, so the result matches the sequential loop exactly.
+    let blocks = Pool::global().map_blocks(bg.train_pairs.len(), 512, |range| {
+        let mut ct_block = Vec::with_capacity(range.len());
+        let mut cs_block = Vec::with_capacity(range.len());
+        for pi in range {
+            let (s, t) = bg.train_pairs[pi];
+            let mut ct: Vec<u32> = hits_t[pi]
+                .iter()
+                .map(|&(id, _)| id + bg.n_source as u32)
+                .filter(|&c| c != t)
+                .take(n_neg)
+                .collect();
+            if ct.is_empty() {
+                ct.push(t); // degenerate single-candidate side
+            }
+            ct_block.push(ct);
+            let mut cs: Vec<u32> = hits_s[pi]
+                .iter()
+                .map(|&(id, _)| id)
+                .filter(|&c| c != s)
+                .take(n_neg)
+                .collect();
+            if cs.is_empty() {
+                cs.push(s);
+            }
+            cs_block.push(cs);
+        }
+        (ct_block, cs_block)
+    });
     let mut corrupt_target = Vec::with_capacity(bg.train_pairs.len());
     let mut corrupt_source = Vec::with_capacity(bg.train_pairs.len());
-    for (pi, &(s, t)) in bg.train_pairs.iter().enumerate() {
-        let mut ct: Vec<u32> = hits_t[pi]
-            .iter()
-            .map(|&(id, _)| id + bg.n_source as u32)
-            .filter(|&c| c != t)
-            .take(n_neg)
-            .collect();
-        if ct.is_empty() {
-            ct.push(t); // degenerate single-candidate side
-        }
-        corrupt_target.push(ct);
-        let mut cs: Vec<u32> = hits_s[pi]
-            .iter()
-            .map(|&(id, _)| id)
-            .filter(|&c| c != s)
-            .take(n_neg)
-            .collect();
-        if cs.is_empty() {
-            cs.push(s);
-        }
-        corrupt_source.push(cs);
+    for (ct, cs) in blocks {
+        corrupt_target.extend(ct);
+        corrupt_source.extend(cs);
     }
     Negatives {
         corrupt_target,

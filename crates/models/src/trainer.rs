@@ -246,7 +246,7 @@ pub fn train_traced(
         let mut grads: Vec<Option<Matrix>> = vec![None; model.store().len()];
         for &(pid, var) in &fp.params {
             if let Some(g) = tape.grad(var) {
-                grads[pid_index(model.store(), pid)] = Some(g.clone());
+                grads[pid.index()] = Some(g.clone());
             }
         }
         if rec.is_enabled() {
@@ -275,15 +275,6 @@ pub fn train_traced(
         losses,
         peak_bytes,
     }
-}
-
-/// ParamIds are dense registration indices; recover the index for the grads
-/// vector. (Kept as a function so the invariant is written down once.)
-fn pid_index(store: &ParamStore, pid: ParamId) -> usize {
-    store
-        .ids()
-        .position(|id| id == pid)
-        .expect("ParamId belongs to this store")
 }
 
 #[cfg(test)]

@@ -8,6 +8,8 @@
 //! weights accumulate all fine edges between the clusters.
 
 use crate::graph::PartGraph;
+use largeea_common::obs::Recorder;
+use largeea_common::pool::Pool;
 use largeea_common::rng::{Rng, SliceRandom};
 
 /// One coarsening step: the coarse graph and the fine→coarse vertex map.
@@ -66,21 +68,40 @@ pub fn coarsen_once(g: &PartGraph, seed: u64) -> CoarseLevel {
         next += 1;
     }
 
-    // Coarse vertex weights and edges.
+    // Coarse vertex weights and edges. The greedy matching above is
+    // inherently sequential (each decision depends on all earlier ones),
+    // but projecting the fine graph through `map` is not: blocks of fine
+    // vertices produce partial weight sums (u64, order-free) and partial
+    // edge lists that concatenate in block order — so `from_edges` sees the
+    // same sequence the sequential loop produced, for any thread count.
+    let pool = Pool::global();
+    let vwgt_blocks = pool.map_blocks(nv, 4096, |range| {
+        let mut partial = vec![0u64; next as usize];
+        for v in range {
+            partial[map[v] as usize] += g.vwgt(v as u32);
+        }
+        partial
+    });
     let mut vwgt = vec![0u64; next as usize];
-    for v in 0..nv as u32 {
-        vwgt[map[v as usize] as usize] += g.vwgt(v);
-    }
-    let mut edges = Vec::with_capacity(g.ne());
-    for v in 0..nv as u32 {
-        let cv = map[v as usize];
-        for (n, w) in g.neighbors(v) {
-            let cn = map[n as usize];
-            if cv < cn {
-                edges.push((cv, cn, w));
-            }
+    for partial in vwgt_blocks {
+        for (acc, x) in vwgt.iter_mut().zip(partial) {
+            *acc += x;
         }
     }
+    let edge_blocks = pool.map_blocks(nv, 1024, |range| {
+        let mut partial: Vec<(u32, u32, f64)> = Vec::new();
+        for v in range {
+            let cv = map[v];
+            for (n, w) in g.neighbors(v as u32) {
+                let cn = map[n as usize];
+                if cv < cn {
+                    partial.push((cv, cn, w));
+                }
+            }
+        }
+        partial
+    });
+    let edges: Vec<(u32, u32, f64)> = edge_blocks.into_iter().flatten().collect();
     let graph = PartGraph::from_edges(next as usize, edges).with_vertex_weights(vwgt);
     CoarseLevel { graph, map }
 }
@@ -89,6 +110,18 @@ pub fn coarsen_once(g: &PartGraph, seed: u64) -> CoarseLevel {
 /// a round shrinks it by less than ~10 % (diminishing returns). Returns the
 /// levels from finest to coarsest.
 pub fn coarsen_to(g: &PartGraph, target_nv: usize, seed: u64) -> Vec<CoarseLevel> {
+    coarsen_to_traced(g, target_nv, seed, &Recorder::disabled())
+}
+
+/// [`coarsen_to`] with telemetry: totals across rounds land in the
+/// `coarsen.rounds` and `coarsen.edges_projected` counters (the latter
+/// counts coarse edges built by the parallel graph projection).
+pub fn coarsen_to_traced(
+    g: &PartGraph,
+    target_nv: usize,
+    seed: u64,
+    rec: &Recorder,
+) -> Vec<CoarseLevel> {
     let mut levels: Vec<CoarseLevel> = Vec::new();
     let mut current_nv = g.nv();
     let mut round = 0u64;
@@ -98,6 +131,8 @@ pub fn coarsen_to(g: &PartGraph, target_nv: usize, seed: u64) -> Vec<CoarseLevel
             coarsen_once(src, seed.wrapping_add(round))
         };
         let new_nv = level.graph.nv();
+        rec.add("coarsen.rounds", 1);
+        rec.add("coarsen.edges_projected", level.graph.ne() as u64);
         let shrunk_enough = (new_nv as f64) < current_nv as f64 * 0.9;
         levels.push(level);
         if !shrunk_enough {

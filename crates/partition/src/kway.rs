@@ -1,6 +1,6 @@
 //! The public multilevel k-way partitioning driver — the METIS substitute.
 
-use crate::coarsen::coarsen_to;
+use crate::coarsen::coarsen_to_traced;
 use crate::graph::PartGraph;
 use crate::initial::initial_partition;
 use crate::refine::refine_kway_traced;
@@ -152,7 +152,7 @@ pub fn partition_kway_traced(g: &PartGraph, cfg: &PartitionConfig, rec: &Recorde
     let target_nv = (k * cfg.coarsen_factor).max(64);
     let levels = {
         let mut s = rec.span_at(Level::Detail, "coarsen");
-        let levels = coarsen_to(g, target_nv, cfg.seed);
+        let levels = coarsen_to_traced(g, target_nv, cfg.seed, rec);
         s.field("levels", levels.len());
         s.field(
             "coarsest_nv",

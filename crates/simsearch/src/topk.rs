@@ -1,8 +1,8 @@
 //! Exact blocked top-k similarity search — the Faiss substitute.
 
 use largeea_common::obs::{Level, Recorder};
-use largeea_tensor::parallel::par_map_blocks;
-use largeea_tensor::Matrix;
+use largeea_tensor::parallel::{par_map_blocks, Pool};
+use largeea_tensor::{dot, l1_distance, Matrix};
 
 /// Similarity metric for the search. All variants are expressed as
 /// *similarities* (larger is better); distances are negated.
@@ -16,13 +16,16 @@ pub enum Metric {
 }
 
 impl Metric {
-    /// Similarity between two equal-length vectors.
+    /// Similarity between two equal-length vectors. Uses the unrolled
+    /// reductions from `largeea-tensor` ([`l1_distance`] / [`dot`]) —
+    /// the scoring loop here dominates SENS wall-clock, and a strict
+    /// sequential FP sum never vectorises.
     #[inline]
     pub fn similarity(self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
         match self {
-            Metric::Manhattan => -a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f32>(),
-            Metric::InnerProduct => a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>(),
+            Metric::Manhattan => -l1_distance(a, b),
+            Metric::InnerProduct => dot(a, b),
         }
     }
 }
@@ -95,13 +98,26 @@ pub fn topk_search(
     k: usize,
     metric: Metric,
 ) -> Vec<Vec<(u32, f32)>> {
+    topk_search_in(queries, base, k, metric, Pool::global())
+}
+
+/// [`topk_search`] on an explicit pool, so tests can pin the width. Each
+/// query row's candidate scan is independent and collected in row order,
+/// so results are bit-identical for any thread count.
+pub fn topk_search_in(
+    queries: &Matrix,
+    base: &Matrix,
+    k: usize,
+    metric: Metric,
+    pool: &Pool,
+) -> Vec<Vec<(u32, f32)>> {
     assert_eq!(
         queries.cols(),
         base.cols(),
         "query/base dimensionality mismatch"
     );
     assert!(k >= 1, "k must be at least 1");
-    let blocks = par_map_blocks(queries.rows(), 64, |range| {
+    let blocks = pool.map_blocks(queries.rows(), 64, |range| {
         let mut out = Vec::with_capacity(range.len());
         for q in range {
             let qrow = queries.row(q);

@@ -11,8 +11,9 @@
 //!   ReLU, reflections, reductions), validated against finite differences;
 //! - [`optim`] — Adam and SGD over a [`ParamStore`];
 //! - [`init`] — seeded Xavier/normal initialisers;
-//! - [`parallel`] — scoped-thread blocked parallel map used by the hot
-//!   kernels.
+//! - [`parallel`] — blocked parallel helpers over the persistent worker
+//!   pool from `largeea-common` (DESIGN.md §S0.6); hot kernels also have
+//!   `*_in(&Pool)` variants for explicit widths.
 //!
 //! Determinism: all randomness is seeded, all parallel reductions are
 //! per-block with a fixed combination order, so training runs are exactly
@@ -30,6 +31,7 @@ pub mod parallel;
 pub mod sparse;
 
 pub use autograd::{SpOp, Tape, Var};
-pub use matrix::Matrix;
+pub use matrix::{dot, l1_distance, Matrix};
 pub use optim::{Adam, AdamConfig, ParamStore, Sgd};
+pub use parallel::Pool;
 pub use sparse::SparseMatrix;

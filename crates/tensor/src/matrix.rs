@@ -1,11 +1,66 @@
-//! Dense row-major `f32` matrix with parallel blocked kernels.
+//! Dense row-major `f32` matrix with cache-blocked parallel kernels.
 
-use crate::parallel::par_chunks_mut;
+use crate::parallel::{par_rows_mut, Pool};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
 /// Minimum number of output elements before a kernel goes parallel.
 const PAR_THRESHOLD: usize = 64 * 64;
+
+/// Depth (k) tile for the packed-panel matmul: a KC×NC panel of B stays
+/// resident in L1/L2 while MR rows of A stream against it.
+const KC: usize = 128;
+/// Column (j) tile for the packed-panel matmul.
+const NC: usize = 256;
+/// Register rows per micro-kernel call.
+const MR: usize = 4;
+
+/// Unrolled L1 (Manhattan) distance between two slices, truncated to the
+/// shorter length.
+///
+/// A plain `zip().map().sum()` is a strict sequential FP reduction the
+/// compiler may not reassociate, so it never vectorises; eight independent
+/// accumulators recover SIMD throughput. The accumulator split and the
+/// pairwise combine are fixed functions of the slice length — never of
+/// thread count or chunking — so the result is deterministic.
+pub fn l1_distance(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for j in 0..8 {
+            acc[j] += (xa[j] - xb[j]).abs();
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += (x - y).abs();
+    }
+    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
+}
+
+/// Unrolled dot product between two slices, truncated to the shorter
+/// length. Same eight-accumulator scheme (and determinism argument) as
+/// [`l1_distance`].
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for j in 0..8 {
+            acc[j] += xa[j] * xb[j];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
+}
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -115,8 +170,25 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Matrix product `self @ other` (parallel over output-row blocks).
+    /// Matrix product `self @ other` — cache-blocked and parallel over
+    /// output-row blocks on the global pool.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_in(other, Pool::global())
+    }
+
+    /// [`Matrix::matmul`] on an explicit pool, so tests can pin the width.
+    ///
+    /// i-k-j loop order with KC×NC panel blocking: each task packs the
+    /// active B panel into contiguous scratch and streams MR rows of A
+    /// against it per micro-kernel call. Every output element accumulates
+    /// its products strictly in ascending-`k` order — one add per `k` —
+    /// so the result is bit-identical to the naive triple loop for any
+    /// blocking and any thread count.
+    ///
+    /// There is deliberately no `a[i,k] == 0.0` skip: the branch defeats
+    /// vectorisation of the inner j-loop and loses on dense inputs (see
+    /// EXPERIMENTS.md); sparse operands belong in [`crate::SparseMatrix`].
+    pub fn matmul_in(&self, other: &Matrix, pool: &Pool) -> Matrix {
         assert_eq!(
             self.cols,
             other.rows,
@@ -125,39 +197,46 @@ impl Matrix {
             other.shape()
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        let cols = other.cols;
+        let m = other.cols;
         let k_dim = self.cols;
+        if self.rows == 0 || m == 0 || k_dim == 0 {
+            return out;
+        }
         let a = &self.data;
         let b = &other.data;
-        par_chunks_mut(&mut out.data, PAR_THRESHOLD, |block, start| {
-            let row0 = start / cols;
-            let nrows = block.len() / cols;
-            for (ri, out_row) in block.chunks_mut(cols).enumerate() {
-                let i = row0 + ri;
-                debug_assert!(ri < nrows);
-                let a_row = &a[i * k_dim..(i + 1) * k_dim];
-                for (k, &aik) in a_row.iter().enumerate() {
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[k * cols..(k + 1) * cols];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += aik * bv;
-                    }
-                }
-            }
+        let min_rows = (PAR_THRESHOLD / m).max(MR);
+        pool.rows_mut(&mut out.data, m, min_rows, |block, first_row| {
+            matmul_block(a, b, block, first_row, k_dim, m);
         });
         out
     }
 
-    /// Transposed copy.
+    /// Transposed copy — tiled to keep both source and destination
+    /// accesses cache-resident (the naive loop does strided column writes),
+    /// parallel over output-row bands on the global pool.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
+        const TILE: usize = 32;
+        let (rows, cols) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(cols, rows);
+        if rows == 0 || cols == 0 {
+            return out;
         }
+        let src = &self.data;
+        let min_rows = (PAR_THRESHOLD / rows).max(TILE);
+        Pool::global().rows_mut(&mut out.data, rows, min_rows, |block, first_row| {
+            // Output rows are source columns `first_row..`; walk the source
+            // in TILE-row strips so each strip is read once per ~TILE
+            // output rows while it is still cached.
+            for i0 in (0..rows).step_by(TILE) {
+                let i1 = (i0 + TILE).min(rows);
+                for (ci, out_row) in block.chunks_mut(rows).enumerate() {
+                    let c = first_row + ci;
+                    for (o, i) in out_row[i0..i1].iter_mut().zip(i0..i1) {
+                        *o = src[i * cols + c];
+                    }
+                }
+            }
+        });
         out
     }
 
@@ -207,9 +286,13 @@ impl Matrix {
     /// all-zero row).
     pub fn l2_normalize_rows(&mut self, eps: f32) {
         let cols = self.cols;
-        par_chunks_mut(&mut self.data, PAR_THRESHOLD, |block, _| {
+        if cols == 0 {
+            return;
+        }
+        let min_rows = (PAR_THRESHOLD / cols).max(1);
+        par_rows_mut(&mut self.data, cols, min_rows, |block, _| {
             for row in block.chunks_mut(cols) {
-                let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+                let norm = dot(row, row).sqrt();
                 let inv = 1.0 / (norm + eps);
                 for x in row {
                     *x *= inv;
@@ -225,23 +308,17 @@ impl Matrix {
 
     /// Manhattan (L1) distance between row `i` of `self` and row `j` of
     /// `other` — the paper's similarity metric for both channels.
+    /// Unrolled via [`l1_distance`].
     pub fn manhattan(&self, i: usize, other: &Matrix, j: usize) -> f32 {
         debug_assert_eq!(self.cols, other.cols);
-        self.row(i)
-            .iter()
-            .zip(other.row(j))
-            .map(|(a, b)| (a - b).abs())
-            .sum()
+        l1_distance(self.row(i), other.row(j))
     }
 
     /// Dot product between row `i` of `self` and row `j` of `other`.
+    /// Unrolled via [`dot`].
     pub fn row_dot(&self, i: usize, other: &Matrix, j: usize) -> f32 {
         debug_assert_eq!(self.cols, other.cols);
-        self.row(i)
-            .iter()
-            .zip(other.row(j))
-            .map(|(a, b)| a * b)
-            .sum()
+        dot(self.row(i), other.row(j))
     }
 
     /// Copies the rows of `self` selected by `indices` into a new matrix.
@@ -276,6 +353,90 @@ impl Matrix {
     /// Maximum absolute element (0 for the empty matrix).
     pub fn max_abs(&self) -> f32 {
         self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+}
+
+/// Computes `block = A[first_row.., :] @ B` for one row-aligned output
+/// block (`block.len()` is a multiple of `m`). See [`Matrix::matmul_in`]
+/// for the blocking scheme and the determinism argument.
+fn matmul_block(a: &[f32], b: &[f32], block: &mut [f32], first_row: usize, k_dim: usize, m: usize) {
+    let nrows = block.len() / m;
+    let mut panel = vec![0.0f32; KC.min(k_dim) * NC.min(m)];
+    for kc in (0..k_dim).step_by(KC) {
+        let kc_len = KC.min(k_dim - kc);
+        for jc in (0..m).step_by(NC) {
+            let nc_len = NC.min(m - jc);
+            let packed: &[f32] = if nc_len == m {
+                // The whole row band of B is already contiguous.
+                &b[kc * m..(kc + kc_len) * m]
+            } else {
+                for (dst, kk) in panel.chunks_mut(nc_len).zip(0..kc_len) {
+                    let src = (kc + kk) * m + jc;
+                    dst.copy_from_slice(&b[src..src + nc_len]);
+                }
+                &panel[..kc_len * nc_len]
+            };
+            let a_strip = |i: usize| &a[i * k_dim + kc..i * k_dim + kc + kc_len];
+            let mut r = 0;
+            while r + MR <= nrows {
+                let rows = &mut block[r * m..(r + MR) * m];
+                let (o0, rest) = rows.split_at_mut(m);
+                let (o1, rest) = rest.split_at_mut(m);
+                let (o2, o3) = rest.split_at_mut(m);
+                let i = first_row + r;
+                kernel4(
+                    [a_strip(i), a_strip(i + 1), a_strip(i + 2), a_strip(i + 3)],
+                    packed,
+                    nc_len,
+                    [
+                        &mut o0[jc..jc + nc_len],
+                        &mut o1[jc..jc + nc_len],
+                        &mut o2[jc..jc + nc_len],
+                        &mut o3[jc..jc + nc_len],
+                    ],
+                );
+                r += MR;
+            }
+            while r < nrows {
+                let out_row = &mut block[r * m + jc..r * m + jc + nc_len];
+                kernel1(a_strip(first_row + r), packed, nc_len, out_row);
+                r += 1;
+            }
+        }
+    }
+}
+
+/// MR=4 register micro-kernel: four A rows against one packed B panel.
+/// The output sub-rows are pre-sliced to exactly `nc_len`, so every index
+/// below is provably in bounds and the j-loop vectorises.
+#[inline]
+fn kernel4(a: [&[f32]; MR], packed: &[f32], nc_len: usize, o: [&mut [f32]; MR]) {
+    let [a0, a1, a2, a3] = a;
+    let [o0, o1, o2, o3] = o;
+    for (kk, ((&x0, &x1), (&x2, &x3))) in a0.iter().zip(a1).zip(a2.iter().zip(a3)).enumerate() {
+        let brow = &packed[kk * nc_len..(kk + 1) * nc_len];
+        for (((c0, c1), (c2, c3)), &bv) in o0
+            .iter_mut()
+            .zip(o1.iter_mut())
+            .zip(o2.iter_mut().zip(o3.iter_mut()))
+            .zip(brow)
+        {
+            *c0 += x0 * bv;
+            *c1 += x1 * bv;
+            *c2 += x2 * bv;
+            *c3 += x3 * bv;
+        }
+    }
+}
+
+/// Single-row remainder micro-kernel.
+#[inline]
+fn kernel1(a_row: &[f32], packed: &[f32], nc_len: usize, out_row: &mut [f32]) {
+    for (kk, &x) in a_row.iter().enumerate() {
+        let brow = &packed[kk * nc_len..(kk + 1) * nc_len];
+        for (o, &bv) in out_row.iter_mut().zip(brow) {
+            *o += x * bv;
+        }
     }
 }
 

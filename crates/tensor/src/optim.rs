@@ -20,6 +20,14 @@ pub struct ParamStore {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParamId(usize);
 
+impl ParamId {
+    /// The parameter's dense registration index — valid as a direct slot
+    /// into per-parameter arrays sized by [`ParamStore::len`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 impl ParamStore {
     /// An empty store.
     pub fn new() -> Self {

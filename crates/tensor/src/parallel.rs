@@ -1,87 +1,59 @@
-//! Scoped-thread parallel helpers for blocked kernels.
+//! Parallel helpers for blocked kernels, backed by the persistent
+//! [`Pool`] in `largeea-common` (DESIGN.md §S0.6).
 //!
-//! The hot kernels (matmul, spmm, top-k search) split work by output-row
-//! blocks. Blocks are disjoint, so plain `std::thread::scope` suffices — no
-//! work stealing, no unsafe, deterministic output regardless of thread
-//! count. Thread count comes from `LARGEEA_THREADS` or the machine's
-//! available parallelism.
+//! The hot kernels (matmul, SpMM, top-k search) split work by output-row
+//! blocks. Blocks are disjoint and results are collected in block order,
+//! so output is deterministic regardless of thread count. Work runs on the
+//! process-wide [`Pool::global`] — long-lived workers, no per-call thread
+//! spawn. Kernels that need an explicit width (determinism tests) take a
+//! `&Pool` via their `*_in` variants instead of racing on the env var.
 
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub use largeea_common::pool::Pool;
 
-/// Number of worker threads to use for blocked kernels.
+/// Number of worker threads the global kernel pool runs on.
 ///
-/// Resolution order: `LARGEEA_THREADS` env var (if a positive integer), then
-/// `std::thread::available_parallelism()`, then 1.
+/// Resolution order (fixed at first use, when the global pool is built):
+/// `LARGEEA_THREADS` env var (if a positive integer), then
+/// `std::thread::available_parallelism()`, then 1. Code that needs a
+/// *different* width must construct its own [`Pool`] — see
+/// [`largeea_common::pool::Pool::new`].
 pub fn num_threads() -> usize {
-    static CACHED: AtomicUsize = AtomicUsize::new(0);
-    let cached = CACHED.load(Ordering::Relaxed);
-    if cached != 0 {
-        return cached;
-    }
-    let n = std::env::var("LARGEEA_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        });
-    CACHED.store(n, Ordering::Relaxed);
-    n
+    Pool::global().threads()
 }
 
-/// Applies `f` to each chunk of `data` (split into at most [`num_threads`]
-/// contiguous chunks) in parallel. `f` receives the chunk and the index of
-/// its first element.
+/// Applies `f` to contiguous chunks of `data` in parallel on the global
+/// pool. `f` receives the chunk and the index of its first element.
 ///
-/// Falls back to a sequential call for small inputs (below `min_len`) to
-/// avoid thread-spawn overhead dominating.
+/// Falls back to a single sequential call for inputs below `min_len`.
+/// Chunk boundaries are arbitrary — use [`par_rows_mut`] when chunks must
+/// align to logical rows.
 pub fn par_chunks_mut<T: Send>(data: &mut [T], min_len: usize, f: impl Fn(&mut [T], usize) + Sync) {
-    let threads = num_threads();
-    if threads <= 1 || data.len() < min_len {
-        f(data, 0);
-        return;
-    }
-    let chunk = data.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        for (i, block) in data.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            s.spawn(move || f(block, i * chunk));
-        }
-    });
+    Pool::global().rows_mut(data, 1, min_len, f);
 }
 
-/// Parallel map over index ranges: splits `0..n` into blocks, runs `f(range)`
-/// on each, and returns the per-block results in block order.
+/// Row-aligned variant of [`par_chunks_mut`]: treats `data` as rows of
+/// `row_len` elements, hands `f` chunks that are exact row multiples plus
+/// the index of the chunk's first **row**. Kernels whose closures do
+/// `block.chunks_mut(row_len)` must use this — element-aligned splitting
+/// would silently shear rows at chunk boundaries on multi-core hosts.
+pub fn par_rows_mut<T: Send>(
+    data: &mut [T],
+    row_len: usize,
+    min_rows: usize,
+    f: impl Fn(&mut [T], usize) + Sync,
+) {
+    Pool::global().rows_mut(data, row_len, min_rows, f);
+}
+
+/// Parallel map over index ranges on the global pool: splits `0..n` into
+/// blocks of at least `min_len`, runs `f(range)` on each, and returns the
+/// per-block results in block order.
 pub fn par_map_blocks<R: Send>(
     n: usize,
     min_len: usize,
     f: impl Fn(std::ops::Range<usize>) -> R + Sync,
 ) -> Vec<R> {
-    let threads = num_threads();
-    if threads <= 1 || n < min_len {
-        if n == 0 {
-            return Vec::new();
-        }
-        return vec![f(0..n)];
-    }
-    let chunk = n.div_ceil(threads);
-    let ranges: Vec<_> = (0..n)
-        .step_by(chunk)
-        .map(|start| start..(start + chunk).min(n))
-        .collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| {
-                let f = &f;
-                s.spawn(move || f(r))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
+    Pool::global().map_blocks(n, min_len, f)
 }
 
 #[cfg(test)]
@@ -116,6 +88,21 @@ mod tests {
     }
 
     #[test]
+    fn par_rows_mut_never_shears_rows() {
+        let cols = 13;
+        let mut v = vec![0u64; 101 * cols];
+        par_rows_mut(&mut v, cols, 4, |block, first_row| {
+            assert_eq!(block.len() % cols, 0);
+            for (r, row) in block.chunks_mut(cols).enumerate() {
+                row.fill((first_row + r) as u64);
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / cols) as u64);
+        }
+    }
+
+    #[test]
     fn par_map_blocks_covers_range() {
         let blocks = par_map_blocks(1000, 1, |r| r.len());
         assert_eq!(blocks.iter().sum::<usize>(), 1000);
@@ -133,5 +120,23 @@ mod tests {
         let mut sorted = blocks.clone();
         sorted.sort_unstable();
         assert_eq!(blocks, sorted);
+    }
+
+    #[test]
+    fn explicit_pools_give_identical_results() {
+        let p1 = Pool::new(1);
+        let p4 = Pool::new(4);
+        let run = |p: &Pool| {
+            let mut v = vec![0u32; 5000];
+            p.rows_mut(&mut v, 10, 8, |block, first_row| {
+                for (r, row) in block.chunks_mut(10).enumerate() {
+                    for (j, x) in row.iter_mut().enumerate() {
+                        *x = ((first_row + r) * 31 + j) as u32;
+                    }
+                }
+            });
+            v
+        };
+        assert_eq!(run(&p1), run(&p4));
     }
 }

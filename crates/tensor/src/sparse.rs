@@ -1,7 +1,7 @@
 //! CSR sparse matrix — the GNN propagation primitive.
 
 use crate::matrix::Matrix;
-use crate::parallel::par_chunks_mut;
+use crate::parallel::Pool;
 
 /// A compressed-sparse-row matrix of `f32`.
 ///
@@ -157,8 +157,17 @@ impl SparseMatrix {
         out
     }
 
-    /// Sparse × dense product `self @ dense` (parallel over output rows).
+    /// Sparse × dense product `self @ dense` (parallel over output-row
+    /// blocks on the global pool).
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        self.spmm_in(dense, Pool::global())
+    }
+
+    /// [`SparseMatrix::spmm`] on an explicit pool, so tests can pin the
+    /// width. Output rows are disjoint per task and each row accumulates
+    /// its non-zeros in CSR (ascending-column) order, so results are
+    /// bit-identical for any thread count.
+    pub fn spmm_in(&self, dense: &Matrix, pool: &Pool) -> Matrix {
         assert_eq!(
             self.cols,
             dense.rows(),
@@ -169,13 +178,16 @@ impl SparseMatrix {
         );
         let cols = dense.cols();
         let mut out = Matrix::zeros(self.rows, cols);
+        if cols == 0 {
+            return out;
+        }
         let indptr = &self.indptr;
         let indices = &self.indices;
         let values = &self.values;
-        par_chunks_mut(out.as_mut_slice(), 64 * 64, |block, start| {
-            let row0 = start / cols;
+        let min_rows = ((64 * 64) / cols).max(1);
+        pool.rows_mut(out.as_mut_slice(), cols, min_rows, |block, first_row| {
             for (ri, out_row) in block.chunks_mut(cols).enumerate() {
-                let r = row0 + ri;
+                let r = first_row + ri;
                 for k in indptr[r]..indptr[r + 1] {
                     let c = indices[k] as usize;
                     let v = values[k];

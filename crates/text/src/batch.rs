@@ -1,0 +1,147 @@
+//! Parallel batch helpers for pairwise string work.
+//!
+//! The NFF string matrix is O(n²) string operations; these helpers fan the
+//! per-item work out over the persistent pool (DESIGN.md §S0.6). Every
+//! function collects per-block results in block order, and every item is
+//! computed independently, so outputs are bit-identical for any thread
+//! count. The `*_in` variants take an explicit [`Pool`] so tests can pin
+//! the width; the plain variants use [`Pool::global`].
+
+use crate::jaccard::{jaccard, shingles};
+use crate::levenshtein::levenshtein_similarity;
+use crate::minhash::{MinHasher, Signature};
+use largeea_tensor::parallel::Pool;
+
+/// MinHash signatures of `texts` (already-normalised labels), in input
+/// order, parallel over text blocks. Uses the allocation-free
+/// [`MinHasher::signature_of`] path per item.
+pub fn minhash_signatures<S: AsRef<str> + Sync>(
+    hasher: &MinHasher,
+    texts: &[S],
+    shingle_k: usize,
+) -> Vec<Signature> {
+    minhash_signatures_in(hasher, texts, shingle_k, Pool::global())
+}
+
+/// [`minhash_signatures`] on an explicit pool.
+pub fn minhash_signatures_in<S: AsRef<str> + Sync>(
+    hasher: &MinHasher,
+    texts: &[S],
+    shingle_k: usize,
+    pool: &Pool,
+) -> Vec<Signature> {
+    pool.map_blocks(texts.len(), 64, |range| {
+        range
+            .map(|i| hasher.signature_of(texts[i].as_ref(), shingle_k))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Normalised Levenshtein similarity for each `(a, b)` pair, in pair
+/// order, parallel over pair blocks.
+pub fn levenshtein_similarities<A: AsRef<str> + Sync, B: AsRef<str> + Sync>(
+    pairs: &[(A, B)],
+) -> Vec<f64> {
+    levenshtein_similarities_in(pairs, Pool::global())
+}
+
+/// [`levenshtein_similarities`] on an explicit pool.
+pub fn levenshtein_similarities_in<A: AsRef<str> + Sync, B: AsRef<str> + Sync>(
+    pairs: &[(A, B)],
+    pool: &Pool,
+) -> Vec<f64> {
+    pool.map_blocks(pairs.len(), 16, |range| {
+        range
+            .map(|i| levenshtein_similarity(pairs[i].0.as_ref(), pairs[i].1.as_ref()))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Exact Jaccard similarity over character `k`-shingles for each `(a, b)`
+/// pair, in pair order, parallel over pair blocks.
+pub fn jaccard_similarities<A: AsRef<str> + Sync, B: AsRef<str> + Sync>(
+    pairs: &[(A, B)],
+    shingle_k: usize,
+) -> Vec<f64> {
+    jaccard_similarities_in(pairs, shingle_k, Pool::global())
+}
+
+/// [`jaccard_similarities`] on an explicit pool.
+pub fn jaccard_similarities_in<A: AsRef<str> + Sync, B: AsRef<str> + Sync>(
+    pairs: &[(A, B)],
+    shingle_k: usize,
+    pool: &Pool,
+) -> Vec<f64> {
+    pool.map_blocks(pairs.len(), 16, |range| {
+        range
+            .map(|i| {
+                jaccard(
+                    &shingles(pairs[i].0.as_ref(), shingle_k),
+                    &shingles(pairs[i].1.as_ref(), shingle_k),
+                )
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_match_sequential_path() {
+        let mh = MinHasher::new(32, 7);
+        let texts: Vec<String> = (0..200).map(|i| format!("entity number {i}")).collect();
+        let par = minhash_signatures(&mh, &texts, 3);
+        for (i, t) in texts.iter().enumerate() {
+            assert_eq!(par[i], mh.signature_of(t, 3), "text {i}");
+        }
+    }
+
+    #[test]
+    fn levenshtein_batch_matches_single_calls() {
+        let pairs: Vec<(String, String)> = (0..100)
+            .map(|i| (format!("label {i}"), format!("label {}", i / 2)))
+            .collect();
+        let sims = levenshtein_similarities(&pairs);
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            assert_eq!(sims[i], levenshtein_similarity(a, b));
+        }
+    }
+
+    #[test]
+    fn jaccard_batch_matches_single_calls() {
+        let pairs = [("london", "londres"), ("tokyo", "kyoto"), ("", "")];
+        let sims = jaccard_similarities(&pairs, 3);
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            assert_eq!(sims[i], jaccard(&shingles(a, 3), &shingles(b, 3)));
+        }
+    }
+
+    #[test]
+    fn explicit_widths_agree() {
+        let mh = MinHasher::new(16, 3);
+        let texts: Vec<String> = (0..300).map(|i| format!("name-{i}")).collect();
+        let p1 = Pool::new(1);
+        let p4 = Pool::new(4);
+        assert_eq!(
+            minhash_signatures_in(&mh, &texts, 2, &p1),
+            minhash_signatures_in(&mh, &texts, 2, &p4)
+        );
+        let pairs: Vec<(String, String)> =
+            texts.iter().map(|t| (t.clone(), format!("{t}x"))).collect();
+        assert_eq!(
+            levenshtein_similarities_in(&pairs, &p1),
+            levenshtein_similarities_in(&pairs, &p4)
+        );
+    }
+}

@@ -17,7 +17,7 @@
 use crate::hashing::hash_str;
 use crate::normalize::normalize_name;
 use crate::tokenize::{char_ngrams, tokens};
-use largeea_tensor::parallel::par_chunks_mut;
+use largeea_tensor::parallel::Pool;
 use largeea_tensor::Matrix;
 
 /// Subword feature-hashing name encoder. See the [module docs](self).
@@ -122,14 +122,20 @@ impl HashEncoder {
 
     /// Encodes a batch of labels into a row-per-name matrix with
     /// L2-normalised rows (the paper's `h_e ← h_e / (‖h_e‖₂ + ε)`).
-    /// Parallel over name blocks.
+    /// Parallel over name blocks on the global pool.
     pub fn encode_batch<S: AsRef<str> + Sync>(&self, names: &[S]) -> Matrix {
+        self.encode_batch_in(names, Pool::global())
+    }
+
+    /// [`HashEncoder::encode_batch`] on an explicit pool, so tests can pin
+    /// the width. Each row is encoded independently and rows never span
+    /// task boundaries, so results are bit-identical for any thread count.
+    pub fn encode_batch_in<S: AsRef<str> + Sync>(&self, names: &[S], pool: &Pool) -> Matrix {
         let mut out = Matrix::zeros(names.len(), self.dim);
         let dim = self.dim;
-        par_chunks_mut(out.as_mut_slice(), 64 * self.dim, |block, start| {
-            let row0 = start / dim;
+        pool.rows_mut(out.as_mut_slice(), dim, 64, |block, first_row| {
             for (ri, row) in block.chunks_mut(dim).enumerate() {
-                let v = self.encode(names[row0 + ri].as_ref());
+                let v = self.encode(names[first_row + ri].as_ref());
                 row.copy_from_slice(&v);
             }
         });

@@ -12,11 +12,14 @@
 //!
 //! Everything is deterministic given its seed and requires no training or
 //! model downloads — which mirrors the paper's design goal of a *training
-//! free* name channel.
+//! free* name channel. Pairwise hot paths (MinHash sketching, Levenshtein,
+//! Jaccard) have parallel batch variants in [`batch`] running on the
+//! persistent worker pool.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod hash_encoder;
 pub mod hashing;
 pub mod jaccard;

@@ -48,15 +48,54 @@ impl MinHasher {
     pub fn signature(&self, shingles: &BTreeSet<String>) -> Signature {
         let mut sig = vec![u64::MAX; self.num_perms];
         for sh in shingles {
-            let base = fnv1a(sh.as_bytes());
-            for (slot, &s) in sig.iter_mut().zip(&self.seeds) {
-                let h = mix(base, s);
-                if h < *slot {
-                    *slot = h;
-                }
+            self.absorb(&mut sig, sh.as_bytes());
+        }
+        sig
+    }
+
+    /// The signature of `text`'s character `k`-shingles, computed directly
+    /// from the string — no `BTreeSet`, no per-shingle `String`.
+    ///
+    /// Bit-identical to `signature(&shingles(text, k))`: a signature keeps
+    /// component-wise minima, which are invariant to shingle order and
+    /// duplicates, and each shingle hashes the same UTF-8 bytes the
+    /// set-based path would. This is the STNS sketching hot path — the
+    /// set-based construction allocated one `String` plus a tree node per
+    /// shingle per entity name.
+    pub fn signature_of(&self, text: &str, k: usize) -> Signature {
+        assert!(k >= 1, "shingle size must be >= 1");
+        let mut sig = vec![u64::MAX; self.num_perms];
+        if text.is_empty() {
+            return sig;
+        }
+        // Byte offset of each char start, plus the end sentinel, so every
+        // shingle is a borrowed subslice of `text`.
+        let starts: Vec<usize> = text
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain(std::iter::once(text.len()))
+            .collect();
+        let n_chars = starts.len() - 1;
+        if n_chars <= k {
+            self.absorb(&mut sig, text.as_bytes());
+        } else {
+            for w in starts.windows(k + 1) {
+                self.absorb(&mut sig, &text.as_bytes()[w[0]..w[k]]);
             }
         }
         sig
+    }
+
+    /// Folds one shingle's hash into the running component-wise minima.
+    #[inline]
+    fn absorb(&self, sig: &mut [u64], shingle: &[u8]) {
+        let base = fnv1a(shingle);
+        for (slot, &s) in sig.iter_mut().zip(&self.seeds) {
+            let h = mix(base, s);
+            if h < *slot {
+                *slot = h;
+            }
+        }
     }
 
     /// Estimates Jaccard similarity from two signatures.
@@ -121,5 +160,27 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn too_few_perms_rejected() {
         MinHasher::new(1, 0);
+    }
+
+    #[test]
+    fn signature_of_matches_set_based_signature() {
+        let mh = MinHasher::new(64, 9);
+        for text in [
+            "",
+            "a",
+            "ab",
+            "abc",
+            "aaaaaa", // duplicate shingles
+            "new york city",
+            "münchen żółć", // multi-byte chars
+        ] {
+            for k in [1, 2, 3, 5] {
+                assert_eq!(
+                    mh.signature_of(text, k),
+                    mh.signature(&shingles(text, k)),
+                    "text={text:?} k={k}"
+                );
+            }
+        }
     }
 }

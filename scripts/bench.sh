@@ -16,6 +16,10 @@ FRESH="$(mktemp -t largeea_bench_fresh.XXXXXX.json)"
 trap 'rm -f "$FRESH"' EXIT
 
 echo "== bench: ${REPEATS} repeats → BENCH_pipeline.json =="
+# The baseline records the pool width it was measured under (config.threads
+# + config.host_parallelism); pin LARGEEA_THREADS here to bench a width
+# other than the machine default.
+echo "== bench: pool width ${LARGEEA_THREADS:-auto ($(nproc 2>/dev/null || echo '?') hw)} =="
 cargo run -q --release --offline -p largeea-bench --bin bench_pipeline -- \
   --repeats "$REPEATS" --out BENCH_pipeline.json --trace-out "$FRESH"
 

@@ -12,6 +12,12 @@ cargo build --release --offline --workspace
 echo "== test (offline) =="
 cargo test -q --offline --workspace
 
+echo "== test (serial gate: LARGEEA_THREADS=1) =="
+# Kernels promise bit-identical results for any pool width; running the
+# whole suite again with a width-1 global pool catches code that only
+# works when the pool actually fans out (or only when it doesn't).
+LARGEEA_THREADS=1 cargo test -q --offline --workspace
+
 echo "== fmt =="
 cargo fmt --check
 
