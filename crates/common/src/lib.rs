@@ -5,7 +5,7 @@
 //! *LargeEA* (Ge et al., VLDB 2021) compiles and tests **fully offline**:
 //! no crates.io registry, no network, no vendored third-party code.
 //!
-//! Six subsystems (DESIGN.md §S0, §S0.5, §S0.6):
+//! Eight subsystems (DESIGN.md §S0, §S0.5, §S0.6, §S0.7):
 //!
 //! | Module | Replaces | Provides |
 //! |--------|----------|----------|
@@ -15,6 +15,8 @@
 //! | [`bench`] | `criterion` | warmup + median wall-clock micro-benchmark timer |
 //! | [`pool`] | `rayon`/`crossbeam` | persistent [`pool::Pool`] of worker threads: scoped chunked jobs, shared-cursor stealing, bit-identical results at any width |
 //! | [`obs`] | `tracing`/`metrics` | thread-safe [`obs::Recorder`]: hierarchical spans, counters/gauges/histograms, JSON [`obs::Trace`] export, `LARGEEA_LOG` echo |
+//! | [`failpoint`] | `fail` crate | named deterministic fault-injection points (`LARGEEA_FAILPOINTS`), branch-on-disabled-flag no-ops in normal runs |
+//! | [`fsio`] | `tempfile`+`crc32fast` | atomic durable writes (temp → fsync → rename) and CRC32-checksummed framed reads — torn writes are detected, never silently loaded |
 //!
 //! ## Determinism contract
 //!
@@ -32,6 +34,8 @@
 
 pub mod bench;
 pub mod check;
+pub mod failpoint;
+pub mod fsio;
 pub mod json;
 pub mod obs;
 pub mod pool;

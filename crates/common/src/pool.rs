@@ -447,13 +447,45 @@ mod tests {
                 }
             });
         }));
-        assert!(result.is_err());
+        // The caller sees the *original* payload, not a generic wrapper —
+        // a crash report pointing at the real panic site is the difference
+        // between a fixable bug and a mystery.
+        let payload = result.expect_err("panic must reach the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom from task 5");
         // The pool must still be usable after a panicked job.
         let sum = AtomicUsize::new(0);
         pool.run(8, |i| {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.into_inner(), 28);
+    }
+
+    #[test]
+    fn pool_survives_repeated_and_total_panics() {
+        // A worker dying with a job must not poison the pool: repeated
+        // panic/recover cycles — including rounds where *every* task
+        // panics — keep producing correct results and never deadlock.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let pool = Pool::new(3);
+        for round in 0..5 {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(16, |i| {
+                    // odd rounds: every task panics; even rounds: one does
+                    if round % 2 == 1 || i == round {
+                        panic!("round {round} task {i}");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "round {round} should panic");
+            let sum = AtomicUsize::new(0);
+            pool.run(16, |i| {
+                sum.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.into_inner(), 136, "pool broken after round {round}");
+        }
+        std::panic::set_hook(prev_hook);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Integration of fault injection with crash-safe file I/O.
+//!
+//! Failpoint state is process-global, so every scenario runs sequentially
+//! inside one `#[test]` — this binary owns the whole table.
+
+use largeea_common::{failpoint, fsio};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("largeea_fpio_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn injected_failures_follow_the_crash_contract() {
+    // --- err: clean injected error, nothing written ----------------------
+    failpoint::configure("io.err=err").unwrap();
+    let p = tmp("err.ckpt");
+    let e = fsio::write_framed_atomic(&p, b"payload", "io.err").unwrap_err();
+    assert!(e.to_string().contains("io.err"), "{e}");
+    assert!(e.to_string().contains("err.ckpt"), "{e}");
+    assert!(!p.exists(), "err mode must not touch the filesystem");
+
+    // --- panic: hard crash before the write ------------------------------
+    failpoint::configure("io.panic=panic").unwrap();
+    let p = tmp("panic.ckpt");
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        fsio::write_framed_atomic(&p, b"payload", "io.panic")
+    }));
+    assert!(r.is_err(), "panic mode must unwind");
+    assert!(!p.exists(), "panic mode dies before any bytes hit disk");
+
+    // --- partial: torn write at the final path, then death ---------------
+    failpoint::configure("io.partial=partial").unwrap();
+    let p = tmp("partial.ckpt");
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        fsio::write_framed_atomic(&p, b"a payload long enough to tear", "io.partial")
+    }));
+    assert!(r.is_err(), "partial mode must unwind after the torn write");
+    assert!(p.exists(), "partial mode leaves the torn file behind");
+    let err = fsio::read_framed(&p).unwrap_err();
+    assert_eq!(
+        err.kind(),
+        std::io::ErrorKind::InvalidData,
+        "a torn frame is detected, not silently loaded: {err}"
+    );
+
+    // --- ordinal: only the Nth write dies, earlier ones land -------------
+    failpoint::configure("io.nth=err@2").unwrap();
+    let p = tmp("nth.ckpt");
+    fsio::write_framed_atomic(&p, b"first", "io.nth").unwrap();
+    assert_eq!(fsio::read_framed(&p).unwrap(), b"first");
+    assert!(fsio::write_framed_atomic(&p, b"second", "io.nth").is_err());
+    assert_eq!(
+        fsio::read_framed(&p).unwrap(),
+        b"first",
+        "failed second write must not clobber the durable first one"
+    );
+    // disarmed after firing: the third write succeeds
+    fsio::write_framed_atomic(&p, b"third", "io.nth").unwrap();
+    assert_eq!(fsio::read_framed(&p).unwrap(), b"third");
+
+    failpoint::clear();
+    assert!(!failpoint::armed());
+    std::fs::remove_dir_all(tmp("x").parent().unwrap()).ok();
+}

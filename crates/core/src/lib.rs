@@ -37,6 +37,7 @@
 
 pub mod analysis;
 pub mod augment;
+pub mod checkpoint;
 pub mod eval;
 pub mod fusion;
 pub mod mem;
@@ -48,6 +49,7 @@ pub mod throughput;
 
 pub use analysis::{accuracy_by_degree, attribute_channels, ChannelAttribution, DegreeBucket};
 pub use augment::{augment_seeds, AugmentReport};
+pub use checkpoint::{Checkpoint, CkptError, RunMeta};
 pub use eval::{evaluate, EvalResult};
 pub use fusion::fuse;
 pub use mem::MemTracker;

@@ -7,11 +7,12 @@
 //!    keep the top-k candidates — the block-sparse structural similarity
 //!    matrix `M_s`.
 
+use crate::checkpoint::{Checkpoint, CkptError};
 use crate::mem::MemTracker;
 use largeea_common::obs::{Level, ObsConfig, Recorder};
 use largeea_kg::{AlignmentSeeds, KgPair};
 use largeea_models::scoring::fill_similarity;
-use largeea_models::{train_traced, BatchGraph, ModelKind, TrainConfig};
+use largeea_models::{train_hooked, train_traced, BatchGraph, ModelKind, TrainConfig};
 use largeea_partition::{metis_cps_traced, vps_traced, CpsConfig, MiniBatches};
 use largeea_sim::SparseSimMatrix;
 
@@ -160,10 +161,58 @@ impl StructureChannel {
         seeds: &AlignmentSeeds,
         rec: &Recorder,
     ) -> StructureChannelOutput {
+        self.run_traced_checkpointed(pair, seeds, rec, None, 0)
+            .expect("without a checkpoint no checkpoint error can occur")
+    }
+
+    /// [`StructureChannel::run_traced`] with crash-safe checkpointing. With
+    /// `ckpt = Some(..)` the channel persists its natural boundaries under
+    /// `round`-scoped stage keys — `r<R>.partition` (the mini-batch
+    /// assignment), `r<R>.b<I>.emb` (each batch's trained embeddings),
+    /// `r<R>.b<I>.sim` (each batch's similarity block) and `r<R>.ms` (the
+    /// round's normalised `M_s`) — and skips any stage the manifest already
+    /// marks done. Because per-batch training is seeded independently
+    /// (`cfg.seed ^ batch.index`) and `M_s` assembly merges blocks in batch
+    /// order, a resumed channel produces a bit-identical `M_s`.
+    ///
+    /// With `ckpt = None` this is exactly [`StructureChannel::run_traced`]
+    /// (similarity goes straight into `M_s`, nothing touches disk).
+    pub fn run_traced_checkpointed(
+        &self,
+        pair: &KgPair,
+        seeds: &AlignmentSeeds,
+        rec: &Recorder,
+        mut ckpt: Option<&mut Checkpoint>,
+        round: usize,
+    ) -> Result<StructureChannelOutput, CkptError> {
         let channel_span = rec.span("structure_channel");
         let partition_span = rec.span("partition");
-        let batches = self.make_batches_traced(pair, seeds, rec);
+        let pkey = format!("r{round}.partition");
+        let batches = match ckpt.as_mut().and_then(|c| c.load_batches(&pkey, rec)) {
+            Some(b) => b,
+            None => {
+                let b = self.make_batches_traced(pair, seeds, rec);
+                if let Some(c) = ckpt.as_mut() {
+                    c.save_batches(&pkey, &b, rec)?;
+                }
+                b
+            }
+        };
         let partition_seconds = partition_span.finish();
+
+        // A completed round short-circuits the whole training loop.
+        let mskey = format!("r{round}.ms");
+        if let Some(m_s) = ckpt.as_mut().and_then(|c| c.load_sim(&mskey, rec)) {
+            channel_span.finish();
+            return Ok(StructureChannelOutput {
+                m_s,
+                batches,
+                partition_seconds,
+                training_seconds: 0.0,
+                peak_bytes: 0,
+                final_loss: 0.0,
+            });
+        }
 
         let mut mem = MemTracker::new();
         let mut m_s = SparseSimMatrix::new(pair.source.num_entities(), pair.target.num_entities());
@@ -173,40 +222,85 @@ impl StructureChannel {
         for batch in &batches.batches {
             let mut batch_span = rec.span_at(Level::Detail, "minibatch");
             batch_span.field("batch", batch.index);
+            let skey = format!("r{round}.b{}.sim", batch.index);
+            if let Some(block) = ckpt.as_mut().and_then(|c| c.load_sim(&skey, rec)) {
+                merge_block(&mut m_s, &block);
+                continue;
+            }
             let bg = BatchGraph::from_mini_batch(pair, batch);
             batch_span.field("source_entities", bg.n_source);
             batch_span.field("target_entities", bg.n_target);
             if bg.n_source == 0 || bg.n_target == 0 {
                 continue;
             }
-            let mut model =
-                self.cfg
-                    .model
-                    .build(&bg, self.cfg.train.dim, self.cfg.seed ^ batch.index as u64);
-            let report = train_traced(model.as_mut(), &bg, &self.cfg.train, rec);
-            if let Some(&last) = report.losses.last() {
-                loss_sum += last as f64;
-                loss_count += 1;
-                batch_span.field("final_loss", last);
-            }
+            let ekey = format!("r{round}.b{}.emb", batch.index);
+            let (embeddings, train_peak) = match ckpt
+                .as_mut()
+                .and_then(|c| c.load_matrix(&ekey, rec))
+            {
+                Some(m) => (m, 0usize),
+                None => {
+                    let mut model = self.cfg.model.build(
+                        &bg,
+                        self.cfg.train.dim,
+                        self.cfg.seed ^ batch.index as u64,
+                    );
+                    let report = match ckpt.as_deref_mut() {
+                        Some(c) => {
+                            let cref: &Checkpoint = c;
+                            let bidx = batch.index;
+                            let mut hook = |epoch: usize, loss: f32| {
+                                cref.epoch_progress(round, bidx, epoch, loss);
+                            };
+                            train_hooked(model.as_mut(), &bg, &self.cfg.train, rec, Some(&mut hook))
+                        }
+                        None => train_traced(model.as_mut(), &bg, &self.cfg.train, rec),
+                    };
+                    if let Some(&last) = report.losses.last() {
+                        loss_sum += last as f64;
+                        loss_count += 1;
+                        batch_span.field("final_loss", last);
+                    }
+                    if let Some(c) = ckpt.as_mut() {
+                        c.save_matrix(&ekey, &report.embeddings, rec)?;
+                    }
+                    (report.embeddings, report.peak_bytes)
+                }
+            };
             {
                 let mut topk_span = rec.span_at(Level::Detail, "topk");
                 topk_span.field("batch", batch.index);
                 rec.add("topk.scored_pairs", (bg.n_source * bg.n_target) as u64);
-                fill_similarity(&bg, &report.embeddings, self.cfg.top_k, &mut m_s);
+                match ckpt.as_mut() {
+                    Some(c) => {
+                        // fill a fresh block so it can be persisted before
+                        // merging — same final content as filling `m_s`
+                        // directly (each (row, col) is unique within a batch
+                        // and cross-batch duplicates accumulate by `+=`
+                        // either way)
+                        let mut block = SparseSimMatrix::new(m_s.n_rows(), m_s.n_cols());
+                        fill_similarity(&bg, &embeddings, self.cfg.top_k, &mut block);
+                        c.save_sim(&skey, &block, rec)?;
+                        merge_block(&mut m_s, &block);
+                    }
+                    None => fill_similarity(&bg, &embeddings, self.cfg.top_k, &mut m_s),
+                }
             }
             // one batch is live at a time — track the max, then release
             mem.set(
                 "structure_channel",
-                report.peak_bytes + report.embeddings.nbytes() + m_s.nbytes(),
+                train_peak + embeddings.nbytes() + m_s.nbytes(),
             );
         }
         m_s.normalize_global_minmax();
+        if let Some(c) = ckpt.as_mut() {
+            c.save_sim(&mskey, &m_s, rec)?;
+        }
         let training_seconds = train_span.finish();
         channel_span.finish();
         mem.record_into(rec);
 
-        StructureChannelOutput {
+        Ok(StructureChannelOutput {
             m_s,
             batches,
             partition_seconds,
@@ -217,6 +311,15 @@ impl StructureChannel {
             } else {
                 loss_sum / loss_count as f64
             },
+        })
+    }
+}
+
+/// Accumulates a persisted per-batch similarity block into `m_s`.
+fn merge_block(m_s: &mut SparseSimMatrix, block: &SparseSimMatrix) {
+    for r in 0..block.n_rows() {
+        for &(c, s) in block.row(r) {
+            m_s.insert(r, c, s);
         }
     }
 }

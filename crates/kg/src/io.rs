@@ -17,8 +17,14 @@
 //! double as labels, the DBpedia convention).
 //!
 //! Readers are line-oriented and streaming; malformed lines produce a
-//! [`KgError::Parse`] carrying the file name and line number.
+//! [`KgError::Parse`] carrying the file name and line number. Files that
+//! passed through Windows tooling (CRLF line endings) or end in trailing
+//! blank lines load identically to their pristine form, and exact duplicate
+//! `ent_links` lines — common in concatenated benchmark dumps — are
+//! deduplicated (a duplicate link carries no information, but double-counts
+//! in seed splits and evaluation).
 
+use std::collections::HashSet;
 use std::fs::{self, File};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -26,6 +32,13 @@ use std::path::Path;
 use crate::error::KgError;
 use crate::graph::KnowledgeGraph;
 use crate::pair::KgPair;
+
+/// Normalises one raw line: strips a trailing `\r` so CRLF files parse like
+/// LF files (otherwise the carriage return silently becomes part of the
+/// last field and every key lookup misses).
+fn clean_line(line: &str) -> &str {
+    line.strip_suffix('\r').unwrap_or(line)
+}
 
 /// Parses a triple file from any reader. `source_name` is used in errors.
 pub fn read_triples<R: BufRead>(
@@ -36,6 +49,7 @@ pub fn read_triples<R: BufRead>(
     let mut kg = KnowledgeGraph::new(kg_name);
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
+        let line = clean_line(&line);
         if line.is_empty() {
             continue;
         }
@@ -65,8 +79,10 @@ pub fn read_links<R: BufRead>(
     target: &KnowledgeGraph,
 ) -> Result<Vec<(crate::EntityId, crate::EntityId)>, KgError> {
     let mut links = Vec::new();
+    let mut seen = HashSet::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
+        let line = clean_line(&line);
         if line.is_empty() {
             continue;
         }
@@ -90,7 +106,9 @@ pub fn read_links<R: BufRead>(
                 name: b.to_owned(),
                 side: "target",
             })?;
-        links.push((sa, tb));
+        if seen.insert((sa, tb)) {
+            links.push((sa, tb));
+        }
     }
     Ok(links)
 }
@@ -105,8 +123,10 @@ pub fn read_links_interning<R: BufRead>(
     target: &mut KnowledgeGraph,
 ) -> Result<Vec<(crate::EntityId, crate::EntityId)>, KgError> {
     let mut links = Vec::new();
+    let mut seen = HashSet::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
+        let line = clean_line(&line);
         if line.is_empty() {
             continue;
         }
@@ -118,7 +138,10 @@ pub fn read_links_interning<R: BufRead>(
                 message: format!("expected 2 tab-separated fields, got {line:?}"),
             });
         };
-        links.push((source.add_entity(a), target.add_entity(b)));
+        let link = (source.add_entity(a), target.add_entity(b));
+        if seen.insert(link) {
+            links.push(link);
+        }
     }
     Ok(links)
 }
@@ -158,6 +181,7 @@ fn apply_labels(path: std::path::PathBuf, kg: &mut KnowledgeGraph) -> Result<(),
     };
     for (lineno, line) in BufReader::new(file).lines().enumerate() {
         let line = line?;
+        let line = clean_line(&line);
         if line.is_empty() {
             continue;
         }
@@ -257,6 +281,30 @@ mod tests {
     }
 
     #[test]
+    fn read_triples_handles_crlf_and_trailing_blank_lines() {
+        // a Windows-edited dump: CRLF endings plus trailing blank lines
+        let crlf = "a\tr\tb\r\nb\tr\tc\r\n\r\n\n";
+        let kg = read_triples(Cursor::new(crlf), "mem", "EN").unwrap();
+        assert_eq!(kg.num_triples(), 2);
+        // the carriage return must not leak into the tail entity's key
+        assert!(kg.entity_id("c").is_some(), "key 'c' polluted by \\r");
+        assert!(kg.entity_id("c\r").is_none());
+        // and the result is identical to the pristine LF file
+        let lf = read_triples(Cursor::new("a\tr\tb\nb\tr\tc\n"), "mem", "EN").unwrap();
+        assert_eq!(kg.num_entities(), lf.num_entities());
+        assert_eq!(kg.num_triples(), lf.num_triples());
+    }
+
+    #[test]
+    fn crlf_line_with_bad_field_count_still_reports_cleanly() {
+        let err =
+            read_triples(Cursor::new("a\tr\tb\r\nonly-one-field\r\n"), "mem", "EN").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("mem:2"), "{msg}");
+        assert!(!msg.contains("\\r"), "error quotes the cleaned line: {msg}");
+    }
+
+    #[test]
     fn read_links_resolves_both_sides() {
         let s = read_triples(Cursor::new("a\tr\tb\n"), "s", "EN").unwrap();
         let t = read_triples(Cursor::new("x\tr\ty\n"), "t", "FR").unwrap();
@@ -270,6 +318,20 @@ mod tests {
         let t = read_triples(Cursor::new("x\tr\ty\n"), "t", "FR").unwrap();
         let err = read_links(Cursor::new("a\tmissing\n"), "l", &s, &t).unwrap_err();
         assert!(err.to_string().contains("target"));
+    }
+
+    #[test]
+    fn duplicate_links_are_deduplicated() {
+        let mut s = read_triples(Cursor::new("a\tr\tb\n"), "s", "EN").unwrap();
+        let mut t = read_triples(Cursor::new("x\tr\ty\n"), "t", "FR").unwrap();
+        // the same link three times (once with CRLF), plus a distinct one
+        let data = "a\tx\na\tx\r\nb\ty\na\tx\n";
+        let links = read_links(Cursor::new(data), "l", &s, &t).unwrap();
+        assert_eq!(links.len(), 2, "duplicates must collapse: {links:?}");
+        assert_eq!(links[0], links.iter().copied().next().unwrap());
+        // the interning variant dedups the same way and keeps first-seen order
+        let interned = read_links_interning(Cursor::new(data), "l", &mut s, &mut t).unwrap();
+        assert_eq!(interned, links);
     }
 
     #[test]

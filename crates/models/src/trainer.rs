@@ -152,6 +152,21 @@ pub fn train_traced(
     cfg: &TrainConfig,
     rec: &Recorder,
 ) -> TrainReport {
+    train_hooked(model, bg, cfg, rec, None)
+}
+
+/// [`train_traced`] with an optional per-epoch hook, called after each Adam
+/// step with `(epoch, mean loss)`. The checkpoint subsystem uses this to
+/// persist training progress without the trainer knowing anything about
+/// checkpoints; the hook must not mutate the model (it only observes), so
+/// training with `None` and with a pure observer hook is bit-identical.
+pub fn train_hooked(
+    model: &mut dyn EaModel,
+    bg: &BatchGraph,
+    cfg: &TrainConfig,
+    rec: &Recorder,
+    mut hook: Option<&mut dyn FnMut(usize, f32)>,
+) -> TrainReport {
     let mut batch_span = rec.span_at(Level::Detail, "train_batch");
     batch_span.field("epochs", cfg.epochs);
     batch_span.field("pairs", bg.train_pairs.len());
@@ -265,6 +280,9 @@ pub fn train_traced(
         }
         adam.step(model.store_mut(), &grads);
         peak_bytes = peak_bytes.max(model.store().nbytes() + adam.nbytes());
+        if let Some(h) = hook.as_deref_mut() {
+            h(epoch, epoch_loss);
+        }
     }
     rec.gauge_max("train.peak_bytes", peak_bytes as f64);
 
@@ -437,6 +455,35 @@ mod tests {
         assert_eq!(t.counter("train.negatives_resampled"), 2);
         assert_eq!(t.histogram("train.epoch_loss").unwrap().count, 6);
         assert!(t.gauge("train.peak_bytes").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn epoch_hook_sees_every_loss_and_does_not_perturb_training() {
+        let (pair, seeds) = ring_pair(12);
+        let bg = whole_graph(&pair, &seeds);
+        let cfg = TrainConfig {
+            epochs: 7,
+            dim: 16,
+            ..Default::default()
+        };
+        let mut m1 = ModelKind::GcnAlign.build(&bg, 16, 9);
+        let plain = train(m1.as_mut(), &bg, &cfg);
+        let mut seen: Vec<(usize, f32)> = Vec::new();
+        let mut m2 = ModelKind::GcnAlign.build(&bg, 16, 9);
+        let mut hook = |e: usize, l: f32| seen.push((e, l));
+        let hooked = train_hooked(
+            m2.as_mut(),
+            &bg,
+            &cfg,
+            &Recorder::disabled(),
+            Some(&mut hook),
+        );
+        assert_eq!(plain.embeddings, hooked.embeddings, "hook must be passive");
+        assert_eq!(seen.len(), 7, "one call per epoch");
+        for (i, &(e, l)) in seen.iter().enumerate() {
+            assert_eq!(e, i);
+            assert_eq!(l, hooked.losses[i], "hook sees the recorded loss");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use largeea_kg::{AlignmentSeeds, EntityId, KgPair};
 
 /// One mini-batch: entity membership on both sides plus the alignment pairs
 /// fully contained in it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MiniBatch {
     /// Batch index.
     pub index: usize,
@@ -28,7 +28,7 @@ pub struct MiniBatch {
 
 /// A full set of mini-batches plus the per-entity membership lists
 /// (an entity belongs to several batches only when overlap `D_ov > 1`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MiniBatches {
     /// The batches.
     pub batches: Vec<MiniBatch>,
@@ -92,6 +92,30 @@ impl MiniBatches {
         }
         let source_membership = source_assignment.iter().map(|&b| vec![b]).collect();
         let target_membership = target_assignment.iter().map(|&b| vec![b]).collect();
+        Self {
+            batches,
+            source_membership,
+            target_membership,
+        }
+    }
+
+    /// Rebuilds a `MiniBatches` from bare batches (e.g. deserialised from a
+    /// checkpoint), deriving the per-entity membership lists. `n_source` and
+    /// `n_target` are the entity counts of the two KGs. Membership lists
+    /// come out in ascending batch order — exactly what
+    /// [`MiniBatches::from_assignments`] and [`MiniBatches::overlapped`]
+    /// produce — so a serialise/deserialise round trip is `==`.
+    pub fn from_batches(batches: Vec<MiniBatch>, n_source: usize, n_target: usize) -> Self {
+        let mut source_membership = vec![Vec::new(); n_source];
+        let mut target_membership = vec![Vec::new(); n_target];
+        for b in &batches {
+            for &e in &b.source_entities {
+                source_membership[e.idx()].push(b.index as u32);
+            }
+            for &e in &b.target_entities {
+                target_membership[e.idx()].push(b.index as u32);
+            }
+        }
         Self {
             batches,
             source_membership,
@@ -343,6 +367,25 @@ mod tests {
         let r = mb.retention(&empty);
         assert_eq!(r.total, 1.0);
         assert_eq!(mb.edge_cut_rate(&pair), 2.0 / 5.0);
+    }
+
+    #[test]
+    fn from_batches_reconstructs_memberships() {
+        let (pair, seeds, mb) = setup();
+        let rebuilt = MiniBatches::from_batches(
+            mb.batches.clone(),
+            pair.source.num_entities(),
+            pair.target.num_entities(),
+        );
+        assert_eq!(rebuilt, mb);
+        // overlapping batches round-trip too (multi-entry memberships)
+        let ov = mb.overlapped(&pair, &seeds, 2);
+        let rebuilt = MiniBatches::from_batches(
+            ov.batches.clone(),
+            pair.source.num_entities(),
+            pair.target.num_entities(),
+        );
+        assert_eq!(rebuilt, ov);
     }
 
     #[test]

@@ -71,14 +71,23 @@ pub fn read_sparse_sim<R: Read>(mut r: R) -> io::Result<SparseSimMatrix> {
     Ok(m)
 }
 
-/// Convenience: write to a file path.
-pub fn save_sparse_sim(m: &SparseSimMatrix, path: &std::path::Path) -> io::Result<()> {
-    write_sparse_sim(m, io::BufWriter::new(std::fs::File::create(path)?))
+/// Prefixes `path` onto an I/O error so callers see *which* file failed —
+/// a bare "failed to fill whole buffer" is undebuggable in a checkpoint
+/// directory full of artifacts.
+fn with_path(path: &std::path::Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
 }
 
-/// Convenience: read from a file path.
+/// Convenience: write to a file path. Errors name the file.
+pub fn save_sparse_sim(m: &SparseSimMatrix, path: &std::path::Path) -> io::Result<()> {
+    let f = std::fs::File::create(path).map_err(|e| with_path(path, e))?;
+    write_sparse_sim(m, io::BufWriter::new(f)).map_err(|e| with_path(path, e))
+}
+
+/// Convenience: read from a file path. Errors name the file.
 pub fn load_sparse_sim(path: &std::path::Path) -> io::Result<SparseSimMatrix> {
-    read_sparse_sim(io::BufReader::new(std::fs::File::open(path)?))
+    let f = std::fs::File::open(path).map_err(|e| with_path(path, e))?;
+    read_sparse_sim(io::BufReader::new(f)).map_err(|e| with_path(path, e))
 }
 
 #[cfg(test)]
@@ -134,5 +143,41 @@ mod tests {
         let back = load_sparse_sim(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_sparse_sim(&m, &mut buf).unwrap();
+        // header boundaries: mid-magic, mid-dims, mid-row-length, mid-entry
+        for cut in [3, 6 + 4, 6 + 16 + 4, 6 + 16 + 8 + 5, buf.len() - 1] {
+            assert!(
+                read_sparse_sim(&buf[..cut]).is_err(),
+                "accepted a file truncated to {cut} bytes"
+            );
+        }
+        // a row length promising entries the file does not contain
+        let mut evil = buf.clone();
+        evil[6 + 16..6 + 16 + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_sparse_sim(&evil[..]).is_err());
+    }
+
+    #[test]
+    fn path_errors_name_the_file() {
+        let missing = std::path::Path::new("/nonexistent/leas_nope.bin");
+        let err = load_sparse_sim(missing).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("leas_nope.bin"), "{err}");
+
+        // a corrupt file on disk also names itself
+        let path = std::env::temp_dir().join(format!("leas_corrupt_{}.bin", std::process::id()));
+        let m = sample();
+        save_sparse_sim(&m, &path).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        let err = load_sparse_sim(&path).unwrap_err();
+        assert!(err.to_string().contains("leas_corrupt"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

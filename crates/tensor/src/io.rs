@@ -54,14 +54,23 @@ pub fn read_matrix<R: Read>(mut r: R) -> io::Result<Matrix> {
     Ok(Matrix::from_vec(rows, cols, data))
 }
 
-/// Convenience: write to a file path.
-pub fn save_matrix(m: &Matrix, path: &std::path::Path) -> io::Result<()> {
-    write_matrix(m, io::BufWriter::new(std::fs::File::create(path)?))
+/// Prefixes `path` onto an I/O error so callers see *which* file failed —
+/// a bare "failed to fill whole buffer" is undebuggable in a checkpoint
+/// directory full of artifacts.
+fn with_path(path: &std::path::Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
 }
 
-/// Convenience: read from a file path.
+/// Convenience: write to a file path. Errors name the file.
+pub fn save_matrix(m: &Matrix, path: &std::path::Path) -> io::Result<()> {
+    let f = std::fs::File::create(path).map_err(|e| with_path(path, e))?;
+    write_matrix(m, io::BufWriter::new(f)).map_err(|e| with_path(path, e))
+}
+
+/// Convenience: read from a file path. Errors name the file.
 pub fn load_matrix(path: &std::path::Path) -> io::Result<Matrix> {
-    read_matrix(io::BufReader::new(std::fs::File::open(path)?))
+    let f = std::fs::File::open(path).map_err(|e| with_path(path, e))?;
+    read_matrix(io::BufReader::new(f)).map_err(|e| with_path(path, e))
 }
 
 #[cfg(test)]
@@ -114,5 +123,23 @@ mod tests {
         let back = load_matrix(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn path_errors_name_the_file() {
+        let missing = std::path::Path::new("/nonexistent/leam_nope.bin");
+        let err = load_matrix(missing).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("leam_nope.bin"), "{err}");
+
+        // a truncated file on disk also names itself
+        let path = std::env::temp_dir().join(format!("leam_trunc_{}.bin", std::process::id()));
+        let m = Matrix::from_fn(4, 4, |r, c| (r + c) as f32);
+        save_matrix(&m, &path).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 7]).unwrap();
+        let err = load_matrix(&path).unwrap_err();
+        assert!(err.to_string().contains("leam_trunc"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

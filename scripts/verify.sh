@@ -36,4 +36,20 @@ L="target/release/largeea"
 "$L" trace summarize "$SMOKE/run.json" > /dev/null
 "$L" trace diff "$SMOKE/run.json" "$SMOKE/run.json" --threshold-pct 0 > /dev/null
 
+echo "== crash-recovery smoke =="
+# kill a checkpointed run with an injected failpoint, resume it, and demand
+# a byte-identical similarity matrix (DESIGN.md §S0.7)
+"$L" align --data "$SMOKE/data" --model gcn --k 2 --epochs 8 --dim 16 \
+  --checkpoint-dir "$SMOKE/ckpt_base" --sim-out "$SMOKE/base.sim" > /dev/null
+if LARGEEA_FAILPOINTS=ckpt.sim=panic@1 "$L" align --data "$SMOKE/data" \
+  --model gcn --k 2 --epochs 8 --dim 16 \
+  --checkpoint-dir "$SMOKE/ckpt_crash" > /dev/null 2>&1; then
+  echo "crash smoke: injected failpoint did not kill the run" >&2
+  exit 1
+fi
+"$L" align --data "$SMOKE/data" --model gcn --k 2 --epochs 8 --dim 16 \
+  --checkpoint-dir "$SMOKE/ckpt_crash" --resume --sim-out "$SMOKE/resumed.sim" > /dev/null
+cmp "$SMOKE/base.sim" "$SMOKE/resumed.sim"
+"$L" ckpt inspect "$SMOKE/ckpt_crash" > /dev/null
+
 echo "verify: OK"

@@ -15,10 +15,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod ckpt_cmd;
 mod trace_cmd;
 
 use largeea::common::json::ToJson;
 use largeea::common::obs::Recorder;
+use largeea::core::checkpoint::Checkpoint;
 use largeea::core::pipeline::{LargeEa, LargeEaConfig};
 use largeea::core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
 use largeea::data::Preset;
@@ -38,8 +40,9 @@ USAGE:
   largeea align     --data <dir> [--model gcn|rrea|mtranse] [--k n]
                     [--epochs n] [--dim n] [--seed-ratio f] [--unsupervised]
                     [--csls n] [--rounds n] [--analysis] [--out <file>] [--sim-out <file>]
-                    [--trace-out <file>]
+                    [--trace-out <file>] [--checkpoint-dir <dir>] [--resume]
   largeea eval      --data <dir> --predictions <file>
+  largeea ckpt      inspect <dir>
   largeea trace     summarize <trace.json>
   largeea trace     diff <a.json> <b.json> [--threshold-pct f] [--min-seconds f]
   largeea trace     flame <trace.json>
@@ -54,6 +57,11 @@ set LARGEEA_LOG=stage|detail|trace to echo spans to stderr as they close.
 span-by-span diffs with CI gating, folded flamegraph stacks, and budget
 checks against the BENCH_pipeline.json baseline (scripts/bench.sh).
 
+`--checkpoint-dir` makes `align` checkpoint every completed pipeline stage
+into a crash-safe run directory (DESIGN.md §S0.7); `--resume` continues an
+interrupted run, skipping completed stages bit-identically. `ckpt inspect`
+prints a checkpoint directory's manifest and training progress.
+
 Every command is deterministic for fixed inputs and flags.";
 
 fn main() -> ExitCode {
@@ -66,6 +74,10 @@ fn main() -> ExitCode {
     // the exit code, so it owns its own parsing and returns directly.
     if command == "trace" {
         return trace_cmd::cmd_trace(&args[1..]);
+    }
+    // `ckpt` likewise takes a positional directory argument.
+    if command == "ckpt" {
+        return ckpt_cmd::cmd_ckpt(&args[1..]);
     }
     let flags = match parse_flags(&args[1..]) {
         Ok(f) => f,
@@ -105,7 +117,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got {a:?}"));
         };
         // boolean flags take no value
-        if name == "unsupervised" || name == "analysis" {
+        if name == "unsupervised" || name == "analysis" || name == "resume" {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }
@@ -286,9 +298,23 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
             .transpose()?,
         ..LargeEaConfig::default()
     };
-    let rounds: usize = parse_or(flags, "rounds", 1)?;
+    let rounds: usize = parse_or(flags, "rounds", 1)?.max(1);
     let rec = Recorder::from_env();
-    let report = LargeEa::new(cfg).run_recorded(&pair, &seeds, rounds.max(1), &rec);
+    if flags.contains_key("resume") && !flags.contains_key("checkpoint-dir") {
+        return Err("--resume needs --checkpoint-dir".to_owned());
+    }
+    let report = match flags.get("checkpoint-dir") {
+        Some(dir) => {
+            let meta = cfg.run_meta(&seeds, rounds);
+            let resume = flags.contains_key("resume");
+            let mut ckpt =
+                Checkpoint::open(Path::new(dir), meta, resume, &rec).map_err(|e| e.to_string())?;
+            LargeEa::new(cfg)
+                .run_checkpointed(&pair, &seeds, rounds, &rec, &mut ckpt)
+                .map_err(|e| e.to_string())?
+        }
+        None => LargeEa::new(cfg).run_recorded(&pair, &seeds, rounds, &rec),
+    };
     println!(
         "H@1 {:.1}%  H@5 {:.1}%  MRR {:.2}  ({} test pairs, {:.1}s, pseudo seeds {} @ {:.1}%)",
         report.eval.hits1,

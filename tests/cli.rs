@@ -153,6 +153,165 @@ fn full_workflow_generate_stats_partition_align_eval() {
 }
 
 #[test]
+fn checkpointed_align_survives_crash_and_resumes_identically() {
+    let dir = tempdir("ckpt");
+    let data = dir.join("data");
+    let out = bin()
+        .args([
+            "generate",
+            "--preset",
+            "ids15k-en-fr",
+            "--scale",
+            "0.01",
+            "--out",
+        ])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let align = |extra_env: Option<(&str, &str)>, ckpt: &PathBuf, resume: bool, sim: &PathBuf| {
+        let mut cmd = bin();
+        cmd.args(["align", "--data"])
+            .arg(&data)
+            .args(["--model", "gcn", "--k", "2", "--epochs", "5", "--dim", "16"])
+            .arg("--checkpoint-dir")
+            .arg(ckpt)
+            .arg("--sim-out")
+            .arg(sim);
+        if resume {
+            cmd.arg("--resume");
+        }
+        if let Some((k, v)) = extra_env {
+            cmd.env(k, v);
+        }
+        cmd.output().unwrap()
+    };
+
+    // uninterrupted baseline
+    let base_sim = dir.join("base.sim");
+    let out = align(None, &dir.join("ckpt_base"), false, &base_sim);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // a run killed mid-similarity-write by an injected failpoint...
+    let crash_ckpt = dir.join("ckpt_crash");
+    let crash_sim = dir.join("crash.sim");
+    let out = align(
+        Some(("LARGEEA_FAILPOINTS", "ckpt.sim=panic@1")),
+        &crash_ckpt,
+        false,
+        &crash_sim,
+    );
+    assert!(
+        !out.status.success(),
+        "injected failpoint must kill the run"
+    );
+    assert!(
+        !crash_sim.exists(),
+        "the crashed run must not produce output"
+    );
+
+    // ...resumes to a bit-identical similarity matrix
+    let out = align(None, &crash_ckpt, true, &crash_sim);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&base_sim).unwrap(),
+        std::fs::read(&crash_sim).unwrap(),
+        "resumed run produced a different similarity matrix"
+    );
+
+    // checkpoint counters surface in `trace summarize` (a fully warm
+    // resume: everything loads, nothing is written)
+    let trace_path = dir.join("resume_trace.json");
+    let out = bin()
+        .args(["align", "--data"])
+        .arg(&data)
+        .args(["--model", "gcn", "--k", "2", "--epochs", "5", "--dim", "16"])
+        .arg("--checkpoint-dir")
+        .arg(&crash_ckpt)
+        .arg("--resume")
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["trace", "summarize"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("ckpt.resume_skipped_stages"),
+        "summarize missing resume counter: {text}"
+    );
+    // and a fresh checkpointed run reports its write volume
+    let fresh_trace = dir.join("fresh_trace.json");
+    let out = bin()
+        .args(["align", "--data"])
+        .arg(&data)
+        .args(["--model", "gcn", "--k", "2", "--epochs", "5", "--dim", "16"])
+        .arg("--checkpoint-dir")
+        .arg(dir.join("ckpt_fresh"))
+        .arg("--trace-out")
+        .arg(&fresh_trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["trace", "summarize"])
+        .arg(&fresh_trace)
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("ckpt.write_bytes"),
+        "summarize missing write counter: {text}"
+    );
+
+    // the checkpoint directory is inspectable
+    let out = bin()
+        .args(["ckpt", "inspect"])
+        .arg(&crash_ckpt)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["config_hash", "stages", "fused", "r0.partition"] {
+        assert!(
+            text.contains(needle),
+            "inspect output missing {needle:?}: {text}"
+        );
+    }
+
+    // --resume without --checkpoint-dir is a usage error
+    let out = bin()
+        .args(["align", "--data"])
+        .arg(&data)
+        .arg("--resume")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--checkpoint-dir"), "{err}");
+
+    // inspecting a non-checkpoint directory fails cleanly
+    let out = bin().args(["ckpt", "inspect"]).arg(&data).output().unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unsupervised_align_runs() {
     let dir = tempdir("unsup");
     let data = dir.join("data");
