@@ -8,14 +8,16 @@
 //!
 //! Flags: `--repeats <n>` (default 5), `--scale <f>` (default 0.02),
 //! `--k <n>` (default 2), `--epochs <n>` (default 15), `--dim <n>`
-//! (default 32), `--out <path>` (default `BENCH_pipeline.json`),
+//! (default 32), `--mem-budget <bytes>` (default 0 = unbounded in-RAM;
+//! non-zero switches to the out-of-core path so the baseline carries
+//! `mem.spill.*` counters), `--out <path>` (default `BENCH_pipeline.json`),
 //! `--trace-out <path>` (also write the last repeat's raw trace — handy as
 //! the "fresh run" for `largeea trace check`).
 
 use largeea_bench::{arg_f64, arg_str, arg_usize, Baseline};
 use largeea_common::json::ToJson;
 use largeea_common::obs::{ObsConfig, Recorder};
-use largeea_core::pipeline::{LargeEa, LargeEaConfig};
+use largeea_core::pipeline::{ExecOptions, LargeEa, LargeEaConfig};
 use largeea_core::structure_channel::{Partitioner, StructureChannelConfig};
 use largeea_data::Preset;
 use largeea_models::{ModelKind, TrainConfig};
@@ -26,6 +28,7 @@ fn main() {
     let k = arg_usize("k", 2);
     let epochs = arg_usize("epochs", 15);
     let dim = arg_usize("dim", 32);
+    let mem_budget = arg_usize("mem-budget", 0);
     let out = arg_str("out").unwrap_or_else(|| "BENCH_pipeline.json".into());
     assert!(repeats >= 1, "--repeats must be at least 1");
 
@@ -47,10 +50,19 @@ fn main() {
         ..LargeEaConfig::default()
     };
 
+    let exec = ExecOptions {
+        mem_budget: (mem_budget > 0).then_some(mem_budget),
+        spill_dir: (mem_budget > 0).then(|| {
+            std::env::temp_dir().join(format!("largeea_bench_spill_{}", std::process::id()))
+        }),
+    };
+
     let mut traces = Vec::with_capacity(repeats);
     for i in 0..repeats {
         let rec = Recorder::new(ObsConfig::default());
-        let report = LargeEa::new(cfg).run_recorded(&pair, &seeds, 1, &rec);
+        let report = LargeEa::new(cfg)
+            .run_exec(&pair, &seeds, 1, &rec, None, &exec)
+            .unwrap_or_else(|e| panic!("bench run failed (mem_budget {mem_budget}): {e}"));
         eprintln!(
             "[bench] repeat {}/{repeats}: {:.2}s wall, H@1 {:.1}%",
             i + 1,
@@ -67,6 +79,7 @@ fn main() {
         ("model".to_owned(), "gcn-align".to_owned()),
         ("epochs".to_owned(), format!("{epochs}")),
         ("dim".to_owned(), format!("{dim}")),
+        ("mem_budget".to_owned(), format!("{mem_budget}")),
     ];
     config.extend(largeea_bench::thread_config());
     let baseline =

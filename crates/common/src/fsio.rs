@@ -117,6 +117,29 @@ fn atomic_replace(path: &Path, bytes: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
+/// Dispatches an armed [`crate::failpoint`] guarding a framed write: an
+/// injected clean error, a panic before the write, or a torn write of half
+/// the frame straight to the final path followed by a panic (simulating a
+/// crash mid-write on a filesystem that does not honour the atomic-replace
+/// contract).
+fn fp_dispatch(path: &Path, buf: &[u8], fp: &str) -> io::Result<()> {
+    match failpoint::hit(fp) {
+        Some(FpAction::Err) => Err(io::Error::other(format!(
+            "{}: injected failure at failpoint {fp:?}",
+            path.display()
+        ))),
+        Some(FpAction::Panic) => {
+            panic!("failpoint {fp:?} panic before writing {}", path.display());
+        }
+        Some(FpAction::Partial) => {
+            let torn = &buf[..buf.len() / 2];
+            let _ = fs::write(path, torn);
+            panic!("failpoint {fp:?} torn write at {}", path.display());
+        }
+        None => Ok(()),
+    }
+}
+
 /// Atomically and durably writes `payload` to `path` as a checksummed
 /// frame; returns the total bytes written. `fp` names the
 /// [`crate::failpoint`] guarding this write — an armed failpoint can turn
@@ -124,27 +147,26 @@ fn atomic_replace(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// panic (see the failpoint module docs).
 pub fn write_framed_atomic(path: &Path, payload: &[u8], fp: &str) -> io::Result<u64> {
     let buf = frame(payload);
-    match failpoint::hit(fp) {
-        Some(FpAction::Err) => {
-            return Err(io::Error::other(format!(
-                "{}: injected failure at failpoint {fp:?}",
-                path.display()
-            )));
-        }
-        Some(FpAction::Panic) => {
-            panic!("failpoint {fp:?} panic before writing {}", path.display());
-        }
-        Some(FpAction::Partial) => {
-            // Torn write: half the frame, straight to the final path, no
-            // fsync, no rename — then die. Simulates a crash mid-write on a
-            // filesystem that does not honour the atomic-replace contract.
-            let torn = &buf[..buf.len() / 2];
-            let _ = fs::write(path, torn);
-            panic!("failpoint {fp:?} torn write at {}", path.display());
-        }
-        None => {}
-    }
+    fp_dispatch(path, &buf, fp)?;
     atomic_replace(path, &buf)?;
+    Ok(buf.len() as u64)
+}
+
+/// Writes `payload` to `path` as a checksummed frame **without** the
+/// atomic-replace discipline (single plain write: no temp file, no fsync,
+/// no rename); returns the total bytes written.
+///
+/// This is the working-storage flavour for spill artifacts (DESIGN.md
+/// §S0.8): spill files never need to survive a crash — a restarted run
+/// recomputes or re-spills them — so paying two fsyncs per block would be
+/// pure overhead. The frame CRC still catches torn or bit-rotted files at
+/// read time, which is what turns a crashed spill into a clean recompute
+/// instead of silent corruption. Same failpoint semantics as
+/// [`write_framed_atomic`].
+pub fn write_framed(path: &Path, payload: &[u8], fp: &str) -> io::Result<u64> {
+    let buf = frame(payload);
+    fp_dispatch(path, &buf, fp)?;
+    fs::write(path, &buf).map_err(|e| ctx(path, e))?;
     Ok(buf.len() as u64)
 }
 
@@ -253,6 +275,24 @@ mod tests {
         let err = read_framed(&missing).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
         assert!(err.to_string().contains("does_not_exist"), "{err}");
+    }
+
+    #[test]
+    fn non_durable_write_framed_roundtrips_and_is_checksummed() {
+        let p = tmp("spillish.spill");
+        let n = write_framed(&p, b"working storage", "test.none").unwrap();
+        assert_eq!(n as usize, HEADER_LEN + 15);
+        assert_eq!(read_framed(&p).unwrap(), b"working storage");
+        // both flavours produce the identical frame bytes
+        let q = tmp("spillish_atomic.ckpt");
+        write_framed_atomic(&q, b"working storage", "test.none").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), fs::read(&q).unwrap());
+        // a torn non-durable file is still caught by the CRC
+        let raw = fs::read(&p).unwrap();
+        fs::write(&p, &raw[..raw.len() - 3]).unwrap();
+        assert!(read_framed(&p).is_err());
+        fs::remove_file(&p).ok();
+        fs::remove_file(&q).ok();
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod mem;
 pub mod name_channel;
 pub mod pipeline;
 pub mod report;
+pub mod spill;
 pub mod structure_channel;
 pub mod throughput;
 
@@ -52,8 +53,11 @@ pub use augment::{augment_seeds, AugmentReport};
 pub use checkpoint::{Checkpoint, CkptError, RunMeta};
 pub use eval::{evaluate, EvalResult};
 pub use fusion::fuse;
-pub use mem::MemTracker;
+pub use mem::{BudgetExceeded, MemTracker};
 pub use name_channel::{NameChannel, NameChannelConfig, NameChannelOutput};
-pub use pipeline::{LargeEa, LargeEaConfig, LargeEaReport, PartitionStrategy};
+pub use pipeline::{
+    ExecOptions, LargeEa, LargeEaConfig, LargeEaReport, PartitionStrategy, RunError,
+};
+pub use spill::SpillStore;
 pub use structure_channel::{StructureChannel, StructureChannelConfig, StructureChannelOutput};
 pub use throughput::{derived_throughputs, Throughput};

@@ -1,46 +1,182 @@
-//! Byte accounting — the stand-in for the paper's GPU-memory metric.
+//! Byte accounting — the stand-in for the paper's GPU-memory metric, and
+//! the enforcement point for `--mem-budget` (DESIGN.md §S0.8).
 //!
 //! The paper reports "maximum GPU memory cost" per channel (Table 6,
 //! measured with NVIDIA Nsight). This reproduction trains on the CPU, so
 //! the analogous quantity is the peak bytes of live model state, feature
 //! matrices and similarity blocks. Components report their allocations to a
 //! [`MemTracker`]; the harness reads per-label peaks.
+//!
+//! For out-of-core runs the tracker additionally maintains a **total**
+//! (sum over labels) and an optional hard budget: [`MemTracker::charge`]
+//! behaves like [`MemTracker::add`] but returns a typed
+//! [`BudgetExceeded`] error the moment the tracked total would pass the
+//! budget, so the pipeline fails fast instead of thrashing.
+//!
+//! Updates take `&str` labels and only allocate the label string the first
+//! time a label is seen; the per-update hot path is a map lookup, not a
+//! `String` allocation (labels here are `'static` literals in practice,
+//! but the map must own its keys, so first-touch interns them).
 
 use largeea_common::obs::Recorder;
 use std::collections::BTreeMap;
 
-/// Tracks the current and peak bytes of named components.
+/// Tracks the current and peak bytes of named components, plus the
+/// across-label total, against an optional hard budget.
 #[derive(Debug, Default, Clone)]
 pub struct MemTracker {
     current: BTreeMap<String, usize>,
     peak: BTreeMap<String, usize>,
+    total_current: usize,
+    total_peak: usize,
+    budget: Option<usize>,
 }
 
+/// Typed error for a [`MemTracker::charge`] that would exceed the budget.
+///
+/// Carries enough context to print an actionable message: which label was
+/// being charged, how many bytes the charge asked for, what the tracked
+/// total reached, and what the budget was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The label being charged when the budget was crossed.
+    pub label: String,
+    /// The size of the offending charge, in bytes.
+    pub requested: usize,
+    /// The tracked total after the charge, in bytes.
+    pub tracked: usize,
+    /// The configured budget, in bytes.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory budget exceeded: charging {} to {:?} brings tracked bytes \
+             to {} > budget {} — raise --mem-budget or shrink the workload",
+            MemTracker::fmt_bytes(self.requested),
+            self.label,
+            MemTracker::fmt_bytes(self.tracked),
+            MemTracker::fmt_bytes(self.budget),
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
 impl MemTracker {
-    /// An empty tracker.
+    /// An empty tracker with no budget (tracking only, never errors).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty tracker enforcing `budget` bytes across all labels.
+    pub fn with_budget(budget: usize) -> Self {
+        Self {
+            budget: Some(budget),
+            ..Self::default()
+        }
+    }
+
+    /// An empty tracker with an optional budget (`None` = tracking only).
+    pub fn with_budget_opt(budget: Option<usize>) -> Self {
+        Self {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Writes `bytes` into `label`'s current slot (allocating the label key
+    /// only on first touch), returns the previous value, and refreshes the
+    /// per-label and total peaks.
+    fn update_current(&mut self, label: &str, bytes: usize) {
+        let old = match self.current.get_mut(label) {
+            Some(slot) => std::mem::replace(slot, bytes),
+            None => {
+                self.current.insert(label.to_owned(), bytes);
+                0
+            }
+        };
+        self.total_current = self.total_current - old + bytes;
+        self.total_peak = self.total_peak.max(self.total_current);
+        match self.peak.get_mut(label) {
+            Some(p) => *p = (*p).max(bytes),
+            None => {
+                self.peak.insert(label.to_owned(), bytes);
+            }
+        }
+    }
+
     /// Sets the live byte count of `label`, updating its peak.
     pub fn set(&mut self, label: &str, bytes: usize) {
-        self.current.insert(label.to_owned(), bytes);
-        let p = self.peak.entry(label.to_owned()).or_insert(0);
-        *p = (*p).max(bytes);
+        self.update_current(label, bytes);
     }
 
     /// Adds to the live byte count of `label`, updating its peak.
     pub fn add(&mut self, label: &str, bytes: usize) {
-        let c = self.current.entry(label.to_owned()).or_insert(0);
-        *c += bytes;
-        let now = *c;
-        let p = self.peak.entry(label.to_owned()).or_insert(0);
-        *p = (*p).max(now);
+        let now = self.current.get(label).copied().unwrap_or(0) + bytes;
+        self.update_current(label, now);
+    }
+
+    /// Like [`MemTracker::add`], but fails with a typed [`BudgetExceeded`]
+    /// if the tracked total passes the budget. The charge is still recorded
+    /// either way, so the trace of a failed run shows the peak that broke
+    /// the budget.
+    pub fn charge(&mut self, label: &str, bytes: usize) -> Result<(), BudgetExceeded> {
+        self.add(label, bytes);
+        match self.budget {
+            Some(budget) if self.total_current > budget => Err(BudgetExceeded {
+                label: label.to_owned(),
+                requested: bytes,
+                tracked: self.total_current,
+                budget,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Checks the budget without changing any counts: errors if the tracked
+    /// total already exceeds the budget. Pair with [`MemTracker::set`] when
+    /// a component replaces (rather than grows) its live state and wants
+    /// the replacement validated.
+    pub fn enforce(&self, label: &str, requested: usize) -> Result<(), BudgetExceeded> {
+        match self.budget {
+            Some(budget) if self.total_current > budget => Err(BudgetExceeded {
+                label: label.to_owned(),
+                requested,
+                tracked: self.total_current,
+                budget,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Reverses (part of) a charge: subtracts `bytes` from `label`'s
+    /// current count, saturating at zero. Peaks are kept.
+    pub fn uncharge(&mut self, label: &str, bytes: usize) {
+        let now = self
+            .current
+            .get(label)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(bytes);
+        self.update_current(label, now);
     }
 
     /// Marks `label` as released (current = 0; peak is kept).
     pub fn release(&mut self, label: &str) {
-        self.current.insert(label.to_owned(), 0);
+        self.update_current(label, 0);
+    }
+
+    /// The current live bytes of `label` (0 if never set).
+    pub fn current(&self, label: &str) -> usize {
+        self.current.get(label).copied().unwrap_or(0)
     }
 
     /// The peak bytes recorded for `label` (0 if never set).
@@ -53,6 +189,18 @@ impl MemTracker {
         self.peak.values().copied().max().unwrap_or(0)
     }
 
+    /// The current tracked total across all labels.
+    pub fn total_current(&self) -> usize {
+        self.total_current
+    }
+
+    /// The peak of the tracked total across all labels. Note this is the
+    /// peak of the *sum*, not the sum of per-label peaks: labels that are
+    /// never live at the same time do not inflate it.
+    pub fn total_peak(&self) -> usize {
+        self.total_peak
+    }
+
     /// `(label, peak_bytes)` rows in label order.
     pub fn table(&self) -> Vec<(String, usize)> {
         self.peak.iter().map(|(k, &v)| (k.clone(), v)).collect()
@@ -60,11 +208,13 @@ impl MemTracker {
 
     /// Folds every per-label peak into `rec` as a `mem.<label>.peak_bytes`
     /// gauge (peak semantics: repeated folds keep the maximum), so time and
-    /// memory land in one trace artifact.
+    /// memory land in one trace artifact. The total peak is folded as
+    /// `mem.tracked.peak_bytes`.
     pub fn record_into(&self, rec: &Recorder) {
         for (label, &bytes) in &self.peak {
             rec.gauge_max(&format!("mem.{label}.peak_bytes"), bytes as f64);
         }
+        rec.gauge_max("mem.tracked.peak_bytes", self.total_peak as f64);
     }
 
     /// Formats bytes the way the paper's tables do (`"4.04G"`, `"0.13G"`,
@@ -72,11 +222,16 @@ impl MemTracker {
     pub fn fmt_bytes(bytes: usize) -> String {
         const GB: f64 = 1024.0 * 1024.0 * 1024.0;
         const MB: f64 = 1024.0 * 1024.0;
+        const KB: f64 = 1024.0;
         let b = bytes as f64;
         if b >= 0.01 * GB {
             format!("{:.2}G", b / GB)
-        } else {
+        } else if b >= 0.1 * MB {
             format!("{:.1}M", b / MB)
+        } else if b >= KB {
+            format!("{:.1}K", b / KB)
+        } else {
+            format!("{bytes}B")
         }
     }
 }
@@ -116,12 +271,15 @@ mod tests {
     #[test]
     fn unknown_label_is_zero() {
         assert_eq!(MemTracker::new().peak("nope"), 0);
+        assert_eq!(MemTracker::new().current("nope"), 0);
     }
 
     #[test]
     fn byte_formatting() {
         assert_eq!(MemTracker::fmt_bytes(4 * 1024 * 1024 * 1024), "4.00G");
         assert_eq!(MemTracker::fmt_bytes(512 * 1024), "0.5M");
+        assert_eq!(MemTracker::fmt_bytes(16 * 1024), "16.0K");
+        assert_eq!(MemTracker::fmt_bytes(100), "100B");
     }
 
     #[test]
@@ -180,5 +338,97 @@ mod tests {
             trace.gauge("mem.structure_channel.peak_bytes"),
             Some(9000.0)
         );
+    }
+
+    // --- total / budget semantics -----------------------------------------
+
+    #[test]
+    fn total_peak_is_the_peak_of_the_sum() {
+        let mut t = MemTracker::new();
+        t.set("a", 100); // total 100
+        t.set("b", 50); // total 150 <- peak of the sum
+        t.release("a"); // total 50
+        t.set("b", 120); // total 120 (a released: never co-resident)
+        assert_eq!(t.total_current(), 120);
+        assert_eq!(t.total_peak(), 150);
+        // per-label peaks are unchanged by totals
+        assert_eq!(t.peak("a"), 100);
+        assert_eq!(t.peak("b"), 120);
+    }
+
+    #[test]
+    fn charge_within_budget_succeeds_and_uncharge_reverses() {
+        let mut t = MemTracker::with_budget(1000);
+        t.charge("emb", 400).unwrap();
+        t.charge("sim", 500).unwrap();
+        assert_eq!(t.total_current(), 900);
+        t.uncharge("emb", 400);
+        assert_eq!(t.total_current(), 500);
+        t.charge("emb", 450).unwrap(); // fits again after the uncharge
+        assert_eq!(t.total_peak(), 950);
+    }
+
+    #[test]
+    fn charge_over_budget_is_a_typed_error() {
+        let mut t = MemTracker::with_budget(1000);
+        t.charge("emb", 800).unwrap();
+        let err = t.charge("sim", 300).unwrap_err();
+        assert_eq!(err.label, "sim");
+        assert_eq!(err.requested, 300);
+        assert_eq!(err.tracked, 1100);
+        assert_eq!(err.budget, 1000);
+        let msg = err.to_string();
+        assert!(msg.contains("budget"), "{msg}");
+        assert!(msg.contains("--mem-budget"), "{msg}");
+        // the failed charge is still visible in the peak, for diagnostics
+        assert_eq!(t.total_peak(), 1100);
+    }
+
+    #[test]
+    fn no_budget_never_errors() {
+        let mut t = MemTracker::new();
+        assert_eq!(t.budget(), None);
+        t.charge("huge", usize::MAX / 2).unwrap();
+        assert_eq!(t.total_peak(), usize::MAX / 2);
+    }
+
+    #[test]
+    fn uncharge_saturates_at_zero() {
+        let mut t = MemTracker::with_budget(100);
+        t.charge("x", 30).unwrap();
+        t.uncharge("x", 99);
+        assert_eq!(t.current("x"), 0);
+        assert_eq!(t.total_current(), 0);
+        assert_eq!(t.peak("x"), 30);
+    }
+
+    #[test]
+    fn enforce_checks_without_mutating() {
+        let mut t = MemTracker::with_budget(100);
+        t.set("x", 80);
+        t.enforce("x", 80).unwrap();
+        t.set("x", 130);
+        let err = t.enforce("x", 130).unwrap_err();
+        assert_eq!(err.tracked, 130);
+        assert_eq!(t.total_current(), 130, "enforce does not mutate");
+        assert!(MemTracker::new().enforce("x", 999).is_ok(), "no budget");
+    }
+
+    #[test]
+    fn with_budget_opt_matches_both_constructors() {
+        assert_eq!(MemTracker::with_budget_opt(None).budget(), None);
+        assert_eq!(MemTracker::with_budget_opt(Some(7)).budget(), Some(7));
+        assert_eq!(MemTracker::with_budget(7).budget(), Some(7));
+    }
+
+    #[test]
+    fn record_into_exports_total_peak() {
+        use largeea_common::obs::{ObsConfig, Recorder};
+        let mut t = MemTracker::new();
+        t.set("a", 70);
+        t.set("b", 30);
+        let rec = Recorder::new(ObsConfig::default());
+        t.record_into(&rec);
+        assert_eq!(rec.trace().gauge("mem.tracked.peak_bytes"), Some(100.0));
     }
 }

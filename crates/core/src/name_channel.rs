@@ -12,10 +12,12 @@
 //!   Levenshtein computation.
 
 use crate::mem::MemTracker;
+use crate::pipeline::RunError;
+use crate::spill::SpillStore;
 use largeea_common::obs::{Level, ObsConfig, Recorder};
 use largeea_common::pool::Pool;
 use largeea_kg::KnowledgeGraph;
-use largeea_sim::{segmented_topk_traced, Metric, SparseSimMatrix};
+use largeea_sim::{segmented_topk_streamed, segmented_topk_traced, Metric, SparseSimMatrix};
 use largeea_text::{batch, normalize_name, HashEncoder, LshIndex, MinHasher};
 
 /// Name-channel hyper-parameters (paper defaults in §3.1).
@@ -108,22 +110,67 @@ impl NameChannel {
         target: &KnowledgeGraph,
         rec: &Recorder,
     ) -> NameChannelOutput {
-        let channel_span = rec.span("name_channel");
         let mut mem = MemTracker::new();
-        let (m_se, sens_seconds) = self.sens(source, target, &mut mem, rec);
-        let (m_st, stns_seconds) = self.stns(source, target, &mut mem, rec);
-        let m_n = m_se.scaled_add(&m_st, self.cfg.gamma);
-        mem.add("name_channel", m_n.nbytes());
-        channel_span.finish();
+        let out = self
+            .run_bounded(source, target, rec, &mut mem, None)
+            .unwrap_or_else(|e| unreachable!("unbudgeted in-RAM run cannot fail: {e}"));
         mem.record_into(rec);
-        NameChannelOutput {
+        out
+    }
+
+    /// [`NameChannel::run_traced`] under an explicit memory regime.
+    ///
+    /// Charges every major allocation against `mem` (typed
+    /// [`crate::mem::BudgetExceeded`] when a `--mem-budget` is set) and,
+    /// when `spill` is given, runs SENS out of core: embeddings are encoded
+    /// per segment, written through the [`SpillStore`], and streamed back
+    /// block pair by block pair, so at most one query + one base segment is
+    /// resident. Results are bit-identical to the in-RAM path — the encoder
+    /// is per-row deterministic and the streamed search visits block pairs
+    /// in the exact order of the in-RAM search.
+    ///
+    /// Does NOT call `mem.record_into` — the caller owns the tracker's
+    /// lifecycle (the pipeline shares one tracker across channels).
+    pub fn run_bounded(
+        &self,
+        source: &KnowledgeGraph,
+        target: &KnowledgeGraph,
+        rec: &Recorder,
+        mem: &mut MemTracker,
+        spill: Option<&mut SpillStore>,
+    ) -> Result<NameChannelOutput, RunError> {
+        let channel_span = rec.span("name_channel");
+        let out_of_core = spill.is_some();
+        let (m_se, sens_seconds) = match spill {
+            Some(store) => self.sens_spilled(source, target, mem, store, rec)?,
+            None => self.sens(source, target, mem, rec)?,
+        };
+        let (m_st, stns_seconds) = self.stns(source, target, mem, rec, out_of_core)?;
+        let (m_se, m_st, m_n) = if out_of_core {
+            // In-place fusion through the same `merge_rows` kernel as the
+            // allocating `scaled_add` → bit-identical entries; `m_se`/`m_st`
+            // diagnostics are dropped to keep only the fused matrix live.
+            let m_st_bytes = m_st.nbytes();
+            let mut m_n = m_se;
+            let before = m_n.nbytes();
+            m_n.scaled_add_assign(&m_st, self.cfg.gamma);
+            mem.charge("name_channel", m_n.nbytes().saturating_sub(before))?;
+            mem.uncharge("name_channel", m_st_bytes);
+            (SparseSimMatrix::new(0, 0), SparseSimMatrix::new(0, 0), m_n)
+        } else {
+            let m_n = m_se.scaled_add(&m_st, self.cfg.gamma);
+            mem.charge("name_channel", m_n.nbytes())?;
+            (m_se, m_st, m_n)
+        };
+        channel_span.finish();
+        Ok(NameChannelOutput {
             m_se,
             m_st,
             m_n,
             sens_seconds,
             stns_seconds,
             peak_bytes: mem.peak("name_channel"),
-        }
+        })
     }
 
     /// SENS: semantic name similarity via hash-encoder embeddings +
@@ -134,7 +181,7 @@ impl NameChannel {
         target: &KnowledgeGraph,
         mem: &mut MemTracker,
         rec: &Recorder,
-    ) -> (SparseSimMatrix, f64) {
+    ) -> Result<(SparseSimMatrix, f64), RunError> {
         let mut span = rec.span("sens");
         span.field("dim", self.cfg.dim);
         span.field("top_k", self.cfg.top_k);
@@ -147,7 +194,7 @@ impl NameChannel {
                 encoder.encode_batch(target.labels()),
             )
         };
-        mem.add("name_channel", emb_s.nbytes() + emb_t.nbytes());
+        mem.charge("name_channel", emb_s.nbytes() + emb_t.nbytes())?;
         let hits = segmented_topk_traced(
             &emb_s,
             &emb_t,
@@ -160,8 +207,81 @@ impl NameChannel {
         // negative distances → [0,1] per row so γ-weighted fusion and the
         // later channel fusion operate on one scale
         m_se.normalize_global_minmax();
-        mem.add("name_channel", m_se.nbytes());
-        (m_se, span.finish())
+        mem.charge("name_channel", m_se.nbytes())?;
+        Ok((m_se, span.finish()))
+    }
+
+    /// Out-of-core SENS: embeddings never exist as whole matrices. Each side
+    /// is encoded one segment at a time (`HashEncoder::encode_batch` is
+    /// per-row deterministic, so segment slices equal row slices of a full
+    /// encoding), written to the spill store under `sens.q<i>` / `sens.b<i>`
+    /// keys, and the streamed top-k search loads at most one query + one
+    /// base segment at a time — in exactly the order of the in-RAM search.
+    fn sens_spilled(
+        &self,
+        source: &KnowledgeGraph,
+        target: &KnowledgeGraph,
+        mem: &mut MemTracker,
+        store: &mut SpillStore,
+        rec: &Recorder,
+    ) -> Result<(SparseSimMatrix, f64), RunError> {
+        let mut span = rec.span("sens");
+        span.field("dim", self.cfg.dim);
+        span.field("top_k", self.cfg.top_k);
+        span.field("segments", self.cfg.segments);
+        let segments = self.cfg.segments;
+        assert!(segments >= 1, "need at least one segment");
+        let n_q = source.num_entities();
+        let n_b = target.num_entities();
+        // MUST match `segmented_topk_streamed`'s segment arithmetic so the
+        // loader's `range.start / seg` lands on the right spilled artifact.
+        let q_seg = n_q.div_ceil(segments).max(1);
+        let b_seg = n_b.div_ceil(segments).max(1);
+        {
+            let _s = rec.span_at(Level::Detail, "encode");
+            let encoder = HashEncoder::new(self.cfg.dim, self.cfg.seed);
+            for (labels, seg, side) in
+                [(source.labels(), q_seg, 'q'), (target.labels(), b_seg, 'b')]
+            {
+                for (idx, start) in (0..labels.len()).step_by(seg).enumerate() {
+                    let end = (start + seg).min(labels.len());
+                    let m = encoder.encode_batch(&labels[start..end]);
+                    mem.charge("name_channel", m.nbytes())?;
+                    store
+                        .put_matrix(&format!("sens.{side}{idx}"), &m, rec)
+                        .map_err(RunError::Spill)?;
+                    mem.uncharge("name_channel", m.nbytes());
+                }
+            }
+        }
+        // The streamed search holds one query + one base segment resident;
+        // charge that bound up front (the loaders can't borrow the tracker
+        // while both borrow the store).
+        let resident =
+            (q_seg.min(n_q) + b_seg.min(n_b)) * self.cfg.dim * std::mem::size_of::<f32>();
+        mem.charge("name_channel", resident)?;
+        let store_ref = &*store;
+        let hits = segmented_topk_streamed(
+            n_q,
+            n_b,
+            self.cfg.top_k,
+            Metric::Manhattan,
+            segments,
+            rec,
+            |r| store_ref.get_matrix(&format!("sens.q{}", r.start / q_seg), rec),
+            |r| store_ref.get_matrix(&format!("sens.b{}", r.start / b_seg), rec),
+        )
+        .map_err(RunError::Spill)?;
+        mem.uncharge("name_channel", resident);
+        for (seg, side, n) in [(q_seg, 'q', n_q), (b_seg, 'b', n_b)] {
+            for (idx, _) in (0..n).step_by(seg).enumerate() {
+                store.remove(&format!("sens.{side}{idx}"));
+            }
+        }
+        let mut m_se = SparseSimMatrix::from_topk(target.num_entities(), hits);
+        m_se.normalize_global_minmax();
+        mem.charge("name_channel", m_se.nbytes())?;
+        Ok((m_se, span.finish()))
     }
 
     /// STNS: string name similarity via MinHash-LSH candidates + banded
@@ -172,7 +292,8 @@ impl NameChannel {
         target: &KnowledgeGraph,
         mem: &mut MemTracker,
         rec: &Recorder,
-    ) -> (SparseSimMatrix, f64) {
+        out_of_core: bool,
+    ) -> Result<(SparseSimMatrix, f64), RunError> {
         let mut span = rec.span("stns");
         span.field("theta", self.cfg.theta);
         let pool = Pool::global();
@@ -192,10 +313,8 @@ impl NameChannel {
             }
             sigs
         };
-        mem.add(
-            "name_channel",
-            sigs_t.len() * self.cfg.minhash_perms * std::mem::size_of::<u64>(),
-        );
+        let sigs_bytes = sigs_t.len() * self.cfg.minhash_perms * std::mem::size_of::<u64>();
+        mem.charge("name_channel", sigs_bytes)?;
 
         // Hot loop, parallel over source rows: each block scores its rows
         // against the read-only index and returns (hits, local counters);
@@ -248,8 +367,15 @@ impl NameChannel {
         span.field("candidates", lsh_candidates);
         span.field("pruned", pruned_below_theta);
         m_st.truncate_topk(self.cfg.top_k);
-        mem.add("name_channel", m_st.nbytes());
-        (m_st, span.finish())
+        mem.charge("name_channel", m_st.nbytes())?;
+        if out_of_core {
+            // Signatures and the LSH index drop at return; give those bytes
+            // back so the bounded run's live total reflects reality. The
+            // in-RAM path keeps the legacy never-release accounting so its
+            // reported gauges stay comparable with historical traces.
+            mem.uncharge("name_channel", sigs_bytes);
+        }
+        Ok((m_st, span.finish()))
     }
 }
 

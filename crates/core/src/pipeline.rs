@@ -15,14 +15,79 @@ use crate::augment::augment_seeds;
 use crate::checkpoint::{fnv1a, Checkpoint, CkptError, RunMeta};
 use crate::eval::{evaluate, EvalResult};
 use crate::fusion::fuse;
+use crate::mem::{BudgetExceeded, MemTracker};
 use crate::name_channel::{NameChannel, NameChannelConfig, NameChannelOutput};
+use crate::spill::SpillStore;
 use crate::structure_channel::{StructureChannel, StructureChannelConfig};
 use largeea_common::obs::{ObsConfig, Recorder, Trace};
 use largeea_kg::{AlignmentSeeds, KgPair};
 use largeea_partition::batches::Retention;
 use largeea_sim::SparseSimMatrix;
+use std::io;
+use std::path::PathBuf;
 
 pub use crate::structure_channel::Partitioner as PartitionStrategy;
+
+/// Execution-regime options — everything about *how* a run executes that
+/// must not change its results. Kept separate from [`LargeEaConfig`] on
+/// purpose: the config fingerprint (what checkpoint resume validates)
+/// covers only result-affecting knobs, so the same checkpoint can be
+/// resumed bounded or unbounded.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Hard cap on tracked live bytes (`--mem-budget`): the run fails with
+    /// a typed [`RunError::Budget`] the moment the [`MemTracker`] total
+    /// would pass it. `None` = unbounded (tracking only).
+    pub mem_budget: Option<usize>,
+    /// Spill directory for out-of-core execution: per-segment embeddings
+    /// and per-batch similarity blocks are written through a [`SpillStore`]
+    /// here instead of accumulating in RAM. `None` = fully in RAM (the
+    /// bit-exact reference path).
+    pub spill_dir: Option<PathBuf>,
+}
+
+/// Everything a bounded pipeline run can fail with.
+#[derive(Debug)]
+pub enum RunError {
+    /// Checkpoint store failure or resume-validation mismatch.
+    Ckpt(CkptError),
+    /// The tracked live bytes passed the `--mem-budget`.
+    Budget(BudgetExceeded),
+    /// I/O failure in the spill store (out-of-core working storage).
+    Spill(io::Error),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Ckpt(e) => write!(f, "checkpoint: {e}"),
+            RunError::Budget(e) => write!(f, "{e}"),
+            RunError::Spill(e) => write!(f, "spill store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Ckpt(e) => Some(e),
+            RunError::Budget(e) => Some(e),
+            RunError::Spill(e) => Some(e),
+        }
+    }
+}
+
+impl From<CkptError> for RunError {
+    fn from(e: CkptError) -> Self {
+        RunError::Ckpt(e)
+    }
+}
+
+impl From<BudgetExceeded> for RunError {
+    fn from(e: BudgetExceeded) -> Self {
+        RunError::Budget(e)
+    }
+}
 
 /// Full pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -118,6 +183,10 @@ pub struct LargeEaReport {
     pub name_peak_bytes: usize,
     /// Structure-channel peak bytes (Table 6).
     pub structure_peak_bytes: usize,
+    /// Peak of the tracked live-byte *total* across all components — the
+    /// quantity `--mem-budget` bounds (also exported as the
+    /// `mem.tracked.peak_bytes` gauge).
+    pub tracked_peak_bytes: usize,
     /// Pseudo seeds generated by data augmentation (§3.5).
     pub pseudo_seeds: usize,
     /// Accuracy of those pseudo seeds against the ground truth (§3.5).
@@ -183,8 +252,8 @@ impl LargeEa {
         rounds: usize,
         rec: &Recorder,
     ) -> LargeEaReport {
-        self.run_maybe_checkpointed(pair, seeds, rounds, rec, None)
-            .expect("without a checkpoint no checkpoint error can occur")
+        self.run_exec(pair, seeds, rounds, rec, None, &ExecOptions::default())
+            .unwrap_or_else(|e| unreachable!("unbudgeted in-RAM run cannot fail: {e}"))
     }
 
     /// [`LargeEa::run_recorded`] with crash-safe checkpointing: every
@@ -204,52 +273,93 @@ impl LargeEa {
         rec: &Recorder,
         ckpt: &mut Checkpoint,
     ) -> Result<LargeEaReport, CkptError> {
-        let expect = self.cfg.run_meta(seeds, rounds);
-        let got = ckpt.meta();
-        for (field, manifest, current) in [
-            ("config_hash", got.config_hash, expect.config_hash),
-            ("seed", got.seed, expect.seed),
-            ("rounds", got.rounds, expect.rounds),
-        ] {
-            if manifest != current {
-                return Err(CkptError::Mismatch {
-                    field,
-                    manifest,
-                    current,
-                });
-            }
-        }
-        self.run_maybe_checkpointed(pair, seeds, rounds, rec, Some(ckpt))
+        self.run_exec(
+            pair,
+            seeds,
+            rounds,
+            rec,
+            Some(ckpt),
+            &ExecOptions::default(),
+        )
+        .map_err(|e| match e {
+            RunError::Ckpt(c) => c,
+            other => unreachable!("default exec options cannot fail with {other}"),
+        })
     }
 
-    fn run_maybe_checkpointed(
+    /// The most general entry point: [`LargeEa::run_recorded`] with optional
+    /// checkpointing *and* an execution regime ([`ExecOptions`]).
+    ///
+    /// With `exec.mem_budget`, every major allocation is charged against one
+    /// shared [`MemTracker`] and the run fails fast with a typed
+    /// [`RunError::Budget`] instead of thrashing. With `exec.spill_dir`, the
+    /// channels run out of core: per-segment name embeddings, per-batch
+    /// trained embeddings and similarity blocks write through a
+    /// [`SpillStore`] and are streamed back, so the tracked working set
+    /// stays bounded. The out-of-core path is bit-identical to the in-RAM
+    /// reference (`tests/spill_equivalence.rs`), because every streamed
+    /// computation visits blocks in exactly the in-RAM order.
+    pub fn run_exec(
         &self,
         pair: &KgPair,
         seeds: &AlignmentSeeds,
         rounds: usize,
         rec: &Recorder,
         mut ckpt: Option<&mut Checkpoint>,
-    ) -> Result<LargeEaReport, CkptError> {
+        exec: &ExecOptions,
+    ) -> Result<LargeEaReport, RunError> {
         assert!(rounds >= 1, "need at least one round");
+        if let Some(c) = ckpt.as_deref() {
+            let expect = self.cfg.run_meta(seeds, rounds);
+            let got = c.meta();
+            for (field, manifest, current) in [
+                ("config_hash", got.config_hash, expect.config_hash),
+                ("seed", got.seed, expect.seed),
+                ("rounds", got.rounds, expect.rounds),
+            ] {
+                if manifest != current {
+                    return Err(CkptError::Mismatch {
+                        field,
+                        manifest,
+                        current,
+                    }
+                    .into());
+                }
+            }
+        }
+        let mut mem = MemTracker::with_budget_opt(exec.mem_budget);
+        let mut spill = match &exec.spill_dir {
+            Some(dir) => Some(SpillStore::create(dir).map_err(RunError::Spill)?),
+            None => None,
+        };
+        let out_of_core = spill.is_some();
         let mut pipeline_span = rec.span("pipeline");
         pipeline_span.field("rounds", rounds);
 
         // --- name channel (once — it does not depend on seeds) -------------
         let name_out = if self.cfg.use_name {
             Some(match ckpt.as_mut().and_then(|c| c.load_sim("name", rec)) {
-                Some(m_n) => NameChannelOutput {
-                    // only M_n flows onward; the component matrices are
-                    // not checkpointed (report-only diagnostics)
-                    m_se: SparseSimMatrix::new(m_n.n_rows(), m_n.n_cols()),
-                    m_st: SparseSimMatrix::new(m_n.n_rows(), m_n.n_cols()),
-                    m_n,
-                    sens_seconds: 0.0,
-                    stns_seconds: 0.0,
-                    peak_bytes: 0,
-                },
+                Some(m_n) => {
+                    mem.charge("name_channel", m_n.nbytes())?;
+                    NameChannelOutput {
+                        // only M_n flows onward; the component matrices are
+                        // not checkpointed (report-only diagnostics)
+                        m_se: SparseSimMatrix::new(m_n.n_rows(), m_n.n_cols()),
+                        m_st: SparseSimMatrix::new(m_n.n_rows(), m_n.n_cols()),
+                        m_n,
+                        sens_seconds: 0.0,
+                        stns_seconds: 0.0,
+                        peak_bytes: mem.peak("name_channel"),
+                    }
+                }
                 None => {
-                    let out =
-                        NameChannel::new(self.cfg.name).run_traced(&pair.source, &pair.target, rec);
+                    let out = NameChannel::new(self.cfg.name).run_bounded(
+                        &pair.source,
+                        &pair.target,
+                        rec,
+                        &mut mem,
+                        spill.as_mut(),
+                    )?;
                     if let Some(c) = ckpt.as_mut() {
                         c.save_sim("name", &out.m_n, rec)?;
                     }
@@ -276,27 +386,51 @@ impl LargeEa {
         let mut round = 0;
         loop {
             structure_out = if self.cfg.use_structure {
-                Some(
-                    StructureChannel::new(self.cfg.structure).run_traced_checkpointed(
-                        pair,
-                        &train_seeds,
-                        rec,
-                        ckpt.as_deref_mut(),
-                        round,
-                    )?,
-                )
+                Some(StructureChannel::new(self.cfg.structure).run_bounded(
+                    pair,
+                    &train_seeds,
+                    rec,
+                    ckpt.as_deref_mut(),
+                    round,
+                    &mut mem,
+                    spill.as_mut(),
+                )?)
             } else {
                 structure_out // name-only pipelines don't benefit from rounds
             };
-            sim = match (&structure_out, &name_out) {
-                (Some(s), Some(n)) => fuse(&s.m_s, &n.m_n),
-                (Some(s), None) => s.m_s.clone(),
-                (None, Some(n)) => n.m_n.clone(),
-                (None, None) => unreachable!("constructor enforces one channel"),
+            sim = if out_of_core {
+                // Move M_s out and fuse in place (same `merge_rows` kernel
+                // as the allocating `fuse` → bit-identical), so one fused
+                // matrix is live instead of three copies.
+                match (&mut structure_out, &name_out) {
+                    (Some(s), Some(n)) => {
+                        let mut fused = std::mem::replace(&mut s.m_s, SparseSimMatrix::new(0, 0));
+                        mem.release("structure_channel"); // M_s moved; transients gone
+                        fused.add_assign(&n.m_n);
+                        fused
+                    }
+                    (Some(s), None) => {
+                        let fused = std::mem::replace(&mut s.m_s, SparseSimMatrix::new(0, 0));
+                        mem.release("structure_channel");
+                        fused
+                    }
+                    (None, Some(n)) => n.m_n.clone(),
+                    (None, None) => unreachable!("constructor enforces one channel"),
+                }
+            } else {
+                match (&structure_out, &name_out) {
+                    (Some(s), Some(n)) => fuse(&s.m_s, &n.m_n),
+                    (Some(s), None) => s.m_s.clone(),
+                    (None, Some(n)) => n.m_n.clone(),
+                    (None, None) => unreachable!("constructor enforces one channel"),
+                }
             };
             if let Some(k) = self.cfg.csls_k {
                 sim.csls(k);
             }
+            mem.release("fused"); // the previous round's fused matrix is replaced
+            mem.set("fused", sim.nbytes());
+            mem.enforce("fused", sim.nbytes())?;
             round += 1;
             if round >= rounds {
                 break;
@@ -312,7 +446,11 @@ impl LargeEa {
         // --- fused matrix M: the run's final durable artifact ----------------
         if let Some(c) = ckpt.as_mut() {
             match c.load_sim("fused", rec) {
-                Some(loaded) => sim = loaded,
+                Some(loaded) => {
+                    sim = loaded;
+                    mem.release("fused");
+                    mem.set("fused", sim.nbytes());
+                }
                 None => c.save_sim("fused", &sim, rec)?,
             }
         }
@@ -321,6 +459,8 @@ impl LargeEa {
         pipeline_span.field("pseudo_seeds", pseudo_seeds);
         pipeline_span.field("hits1", eval.hits1);
         let total_seconds = pipeline_span.finish();
+        let tracked_peak_bytes = mem.total_peak();
+        mem.record_into(rec);
         // Single source of truth: the report's timings are the trace's
         // (finish() returns the exact f64 stored in the span).
         let trace = rec.trace();
@@ -334,13 +474,20 @@ impl LargeEa {
             trace,
             name_peak_bytes: name_out.as_ref().map_or(0, |n| n.peak_bytes),
             structure_peak_bytes: structure_out.as_ref().map_or(0, |s| s.peak_bytes),
+            tracked_peak_bytes,
             pseudo_seeds,
             pseudo_seed_accuracy,
             retention: structure_out.as_ref().map(|s| s.batches.retention(seeds)),
             edge_cut_rate: structure_out
                 .as_ref()
                 .map_or(0.0, |s| s.batches.edge_cut_rate(pair)),
-            m_s: structure_out.map(|s| s.m_s),
+            // Out of core, M_s was moved into the fused matrix — the
+            // attribution diagnostics are an in-RAM-path feature.
+            m_s: if out_of_core {
+                None
+            } else {
+                structure_out.map(|s| s.m_s)
+            },
             m_n: name_out.map(|n| n.m_n),
             sim,
         })
@@ -432,8 +579,55 @@ mod tests {
         assert!(r.total_seconds > 0.0);
         assert!(r.name_peak_bytes > 0);
         assert!(r.structure_peak_bytes > 0);
+        assert!(
+            r.tracked_peak_bytes >= r.name_peak_bytes.max(r.structure_peak_bytes),
+            "the tracked total peak bounds every per-label peak"
+        );
         assert!(r.retention.is_some());
         assert!(r.edge_cut_rate >= 0.0 && r.edge_cut_rate <= 1.0);
+    }
+
+    #[test]
+    fn tiny_budget_fails_with_typed_error() {
+        let pair = Preset::Ids15kEnFr.spec(0.01).generate();
+        let seeds = pair.split_seeds(0.2, 3);
+        let exec = ExecOptions {
+            mem_budget: Some(1024),
+            spill_dir: None,
+        };
+        let rec = Recorder::new(ObsConfig::default());
+        let err = LargeEa::new(quick())
+            .run_exec(&pair, &seeds, 1, &rec, None, &exec)
+            .unwrap_err();
+        match err {
+            RunError::Budget(b) => {
+                assert!(
+                    b.tracked > 1024,
+                    "tracked {} should exceed budget",
+                    b.tracked
+                );
+                assert_eq!(b.budget, 1024);
+            }
+            other => panic!("expected a budget error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_run_matches_unbounded_bitwise() {
+        let pair = Preset::Ids15kEnFr.spec(0.01).generate();
+        let seeds = pair.split_seeds(0.2, 9);
+        let base = LargeEa::new(quick()).run(&pair, &seeds);
+        let exec = ExecOptions {
+            mem_budget: Some(1 << 30),
+            spill_dir: None,
+        };
+        let rec = Recorder::new(ObsConfig::default());
+        let r = LargeEa::new(quick())
+            .run_exec(&pair, &seeds, 1, &rec, None, &exec)
+            .unwrap();
+        assert_eq!(r.sim, base.sim, "budget tracking must not change results");
+        assert_eq!(r.eval.hits1, base.eval.hits1);
+        assert!(r.tracked_peak_bytes > 0 && r.tracked_peak_bytes <= 1 << 30);
     }
 
     #[test]

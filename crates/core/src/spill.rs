@@ -1,0 +1,256 @@
+//! Out-of-core working storage — the spill side of `--mem-budget`
+//! (DESIGN.md §S0.8, docs/ARTIFACT_FORMAT.md).
+//!
+//! A [`SpillStore`] is a directory of CRC-framed artifacts that pipeline
+//! stages write intermediate blocks *through* instead of accumulating them
+//! in RAM: per-segment name-channel embeddings, per-mini-batch trained
+//! embeddings, and per-batch similarity blocks. Fusion and top-k later
+//! stream the blocks back in, so the tracked working set stays under the
+//! budget enforced by [`crate::mem::MemTracker`].
+//!
+//! Spill artifacts reuse the exact payload encodings of checkpoint
+//! artifacts (`LEAM1` dense matrices, `LEAS1` sparse similarities) inside
+//! the same `LEAF1` frame, but differ in **durability class**: they are
+//! written with [`fsio::write_framed`] (plain write — no temp file, no
+//! fsync, no rename) because they never outlive the run. A crash mid-spill
+//! loses nothing: resume recomputes from the last durable *checkpoint*
+//! stage, and the frame CRC guarantees a torn spill file can never be
+//! silently loaded. Files are named `<key>.spill` and deleted as soon as
+//! their stage has streamed them back (or at [`Drop`], best-effort).
+//!
+//! Every write/read lands in the trace as `mem.spill.*` counters plus a
+//! `mem.spill.peak_disk_bytes` gauge, so a bounded run's disk traffic is
+//! as observable as its RAM peaks.
+
+use largeea_common::fsio;
+use largeea_common::obs::{Level, Recorder};
+use largeea_sim::SparseSimMatrix;
+use largeea_tensor::Matrix;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Every failpoint the spill subsystem can die at. Spill writes share one
+/// failpoint (they are all the same durability class), exercised by the
+/// crash-mid-spill test in `tests/spill_equivalence.rs`.
+pub const FAILPOINTS: &[&str] = &["spill.write"];
+
+/// A directory of transient, CRC-framed spill artifacts (working storage
+/// for memory-bounded runs — see the module docs for the durability
+/// contract).
+#[derive(Debug)]
+pub struct SpillStore {
+    dir: PathBuf,
+    /// Live artifacts: key → framed bytes on disk.
+    live: BTreeMap<String, u64>,
+    disk_bytes: u64,
+    peak_disk_bytes: u64,
+}
+
+impl SpillStore {
+    /// Creates (or reuses) `dir` as a spill directory. Pre-existing
+    /// `.spill` files from a crashed run are simply overwritten — spill
+    /// artifacts carry no cross-run state.
+    pub fn create(dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", dir.display())))?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            live: BTreeMap::new(),
+            disk_bytes: 0,
+            peak_disk_bytes: 0,
+        })
+    }
+
+    /// The spill directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of artifacts currently live.
+    pub fn artifact_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Framed bytes currently on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_bytes
+    }
+
+    /// Peak framed bytes ever on disk at once.
+    pub fn peak_disk_bytes(&self) -> u64 {
+        self.peak_disk_bytes
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.spill"))
+    }
+
+    fn put(&mut self, key: &str, payload: &[u8], rec: &Recorder) -> io::Result<()> {
+        let mut span = rec.span_at(Level::Detail, "spill_write");
+        span.field("key", key);
+        span.field("bytes", payload.len());
+        let framed = fsio::write_framed(&self.path_of(key), payload, "spill.write")?;
+        rec.add("mem.spill.writes", 1);
+        rec.add("mem.spill.write_bytes", framed);
+        let old = self.live.insert(key.to_owned(), framed).unwrap_or(0);
+        self.disk_bytes = self.disk_bytes - old + framed;
+        self.peak_disk_bytes = self.peak_disk_bytes.max(self.disk_bytes);
+        rec.gauge_max("mem.spill.peak_disk_bytes", self.peak_disk_bytes as f64);
+        Ok(())
+    }
+
+    fn get(&self, key: &str, rec: &Recorder) -> io::Result<Vec<u8>> {
+        let mut span = rec.span_at(Level::Detail, "spill_read");
+        span.field("key", key);
+        let payload = fsio::read_framed(&self.path_of(key))?;
+        rec.add("mem.spill.reads", 1);
+        rec.add("mem.spill.read_bytes", payload.len() as u64);
+        Ok(payload)
+    }
+
+    /// Spills a dense matrix under `key` (`LEAM1` payload in a `LEAF1`
+    /// frame), replacing any previous artifact with that key.
+    pub fn put_matrix(&mut self, key: &str, m: &Matrix, rec: &Recorder) -> io::Result<()> {
+        let mut payload = Vec::new();
+        largeea_tensor::io::write_matrix(m, &mut payload)?;
+        self.put(key, &payload, rec)
+    }
+
+    /// Streams a spilled dense matrix back in.
+    pub fn get_matrix(&self, key: &str, rec: &Recorder) -> io::Result<Matrix> {
+        let payload = self.get(key, rec)?;
+        largeea_tensor::io::read_matrix(&payload[..])
+    }
+
+    /// Spills a sparse similarity matrix under `key` (`LEAS1` payload in a
+    /// `LEAF1` frame), replacing any previous artifact with that key.
+    pub fn put_sim(&mut self, key: &str, m: &SparseSimMatrix, rec: &Recorder) -> io::Result<()> {
+        let mut payload = Vec::new();
+        largeea_sim::io::write_sparse_sim(m, &mut payload)?;
+        self.put(key, &payload, rec)
+    }
+
+    /// Streams a spilled sparse similarity matrix back in.
+    pub fn get_sim(&self, key: &str, rec: &Recorder) -> io::Result<SparseSimMatrix> {
+        let payload = self.get(key, rec)?;
+        largeea_sim::io::read_sparse_sim(&payload[..])
+    }
+
+    /// Deletes `key`'s artifact once its stage has streamed it back.
+    /// Best-effort: a leftover file only wastes disk until [`Drop`].
+    pub fn remove(&mut self, key: &str) {
+        if let Some(framed) = self.live.remove(key) {
+            self.disk_bytes -= framed;
+            std::fs::remove_file(self.path_of(key)).ok();
+        }
+    }
+}
+
+impl Drop for SpillStore {
+    /// Best-effort cleanup: spill artifacts are transient by contract, so
+    /// remove every live file and then the directory (which only succeeds
+    /// if nothing else put files there).
+    fn drop(&mut self) {
+        for key in std::mem::take(&mut self.live).into_keys() {
+            std::fs::remove_file(self.dir.join(format!("{key}.spill"))).ok();
+        }
+        std::fs::remove_dir(&self.dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use largeea_common::obs::{ObsConfig, Recorder};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("largeea_spill_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn rec() -> Recorder {
+        Recorder::new(ObsConfig::default())
+    }
+
+    #[test]
+    fn matrix_and_sim_roundtrip_with_counters() {
+        let dir = tmpdir("roundtrip");
+        let rec = rec();
+        let mut s = SpillStore::create(&dir).unwrap();
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.5);
+        s.put_matrix("sens.q0", &m, &rec).unwrap();
+        let mut sim = SparseSimMatrix::new(3, 3);
+        sim.insert(0, 1, 0.7);
+        sim.insert(2, 0, 0.2);
+        s.put_sim("r0.b0.sim", &sim, &rec).unwrap();
+        assert_eq!(s.artifact_count(), 2);
+        assert_eq!(s.get_matrix("sens.q0", &rec).unwrap(), m);
+        assert_eq!(s.get_sim("r0.b0.sim", &rec).unwrap(), sim);
+        let t = rec.trace();
+        assert_eq!(t.counter("mem.spill.writes"), 2);
+        assert_eq!(t.counter("mem.spill.reads"), 2);
+        assert!(t.counter("mem.spill.write_bytes") > 0);
+        assert!(t.counter("mem.spill.read_bytes") > 0);
+        assert_eq!(
+            t.gauge("mem.spill.peak_disk_bytes"),
+            Some(s.peak_disk_bytes() as f64)
+        );
+        drop(s);
+        assert!(!dir.exists(), "Drop removes artifacts and the directory");
+    }
+
+    #[test]
+    fn remove_frees_disk_accounting_and_overwrite_replaces() {
+        let dir = tmpdir("remove");
+        let rec = rec();
+        let mut s = SpillStore::create(&dir).unwrap();
+        let m = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
+        s.put_matrix("a", &m, &rec).unwrap();
+        let after_one = s.disk_bytes();
+        assert!(after_one > 0);
+        s.put_matrix("a", &m, &rec).unwrap(); // overwrite: same size, not doubled
+        assert_eq!(s.disk_bytes(), after_one);
+        s.put_matrix("b", &m, &rec).unwrap();
+        assert_eq!(s.disk_bytes(), 2 * after_one);
+        assert_eq!(s.peak_disk_bytes(), 2 * after_one);
+        s.remove("a");
+        assert_eq!(s.disk_bytes(), after_one);
+        assert_eq!(s.artifact_count(), 1);
+        assert!(s.get_matrix("a", &rec).is_err(), "removed artifact is gone");
+        // peak is sticky
+        assert_eq!(s.peak_disk_bytes(), 2 * after_one);
+        drop(s);
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn torn_spill_file_is_detected_not_loaded() {
+        let dir = tmpdir("torn");
+        let rec = rec();
+        let mut s = SpillStore::create(&dir).unwrap();
+        s.put_matrix("x", &Matrix::from_fn(3, 3, |r, c| (r * c) as f32), &rec)
+            .unwrap();
+        let p = dir.join("x.spill");
+        let raw = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &raw[..raw.len() / 2]).unwrap();
+        assert!(s.get_matrix("x", &rec).is_err());
+    }
+
+    #[test]
+    fn create_reuses_directory_with_leftovers() {
+        let dir = tmpdir("reuse");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("stale.spill"), b"garbage from a crashed run").unwrap();
+        let rec = rec();
+        let mut s = SpillStore::create(&dir).unwrap();
+        assert_eq!(s.artifact_count(), 0, "stale files are not adopted");
+        // overwriting a stale key works
+        let m = Matrix::from_fn(1, 1, |_, _| 1.0);
+        s.put_matrix("stale", &m, &rec).unwrap();
+        assert_eq!(s.get_matrix("stale", &rec).unwrap(), m);
+        drop(s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

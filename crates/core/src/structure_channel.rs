@@ -9,6 +9,8 @@
 
 use crate::checkpoint::{Checkpoint, CkptError};
 use crate::mem::MemTracker;
+use crate::pipeline::RunError;
+use crate::spill::SpillStore;
 use largeea_common::obs::{Level, ObsConfig, Recorder};
 use largeea_kg::{AlignmentSeeds, KgPair};
 use largeea_models::scoring::fill_similarity;
@@ -182,9 +184,42 @@ impl StructureChannel {
         pair: &KgPair,
         seeds: &AlignmentSeeds,
         rec: &Recorder,
-        mut ckpt: Option<&mut Checkpoint>,
+        ckpt: Option<&mut Checkpoint>,
         round: usize,
     ) -> Result<StructureChannelOutput, CkptError> {
+        let mut mem = MemTracker::new();
+        let out = self
+            .run_bounded(pair, seeds, rec, ckpt, round, &mut mem, None)
+            .map_err(|e| match e {
+                RunError::Ckpt(c) => c,
+                // without a budget or spill store the other variants have no
+                // source
+                other => unreachable!("in-RAM structure channel failed: {other}"),
+            })?;
+        mem.record_into(rec);
+        Ok(out)
+    }
+
+    /// The memory-bounded core of the channel (DESIGN.md §S0.8). All byte
+    /// accounting goes through the caller-supplied `mem` (typically the
+    /// pipeline's shared budgeted tracker — the caller folds it into the
+    /// trace); with `spill = Some(..)` the per-batch similarity blocks are
+    /// written through the [`SpillStore`] instead of accumulating into
+    /// `M_s`, per-batch embeddings are written through as transient
+    /// artifacts, and `M_s` is assembled after the training loop by
+    /// streaming the blocks back in **in batch order** — the identical
+    /// insert sequence to the in-RAM merge, so the result is bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_bounded(
+        &self,
+        pair: &KgPair,
+        seeds: &AlignmentSeeds,
+        rec: &Recorder,
+        mut ckpt: Option<&mut Checkpoint>,
+        round: usize,
+        mem: &mut MemTracker,
+        mut spill: Option<&mut SpillStore>,
+    ) -> Result<StructureChannelOutput, RunError> {
         let channel_span = rec.span("structure_channel");
         let partition_span = rec.span("partition");
         let pkey = format!("r{round}.partition");
@@ -203,19 +238,24 @@ impl StructureChannel {
         // A completed round short-circuits the whole training loop.
         let mskey = format!("r{round}.ms");
         if let Some(m_s) = ckpt.as_mut().and_then(|c| c.load_sim(&mskey, rec)) {
+            mem.charge("structure_channel", m_s.nbytes())?;
             channel_span.finish();
             return Ok(StructureChannelOutput {
+                peak_bytes: mem.peak("structure_channel"),
                 m_s,
                 batches,
                 partition_seconds,
                 training_seconds: 0.0,
-                peak_bytes: 0,
                 final_loss: 0.0,
             });
         }
 
-        let mut mem = MemTracker::new();
         let mut m_s = SparseSimMatrix::new(pair.source.num_entities(), pair.target.num_entities());
+        if spill.is_some() {
+            mem.charge("structure_channel", m_s.nbytes())?;
+        }
+        // keys of spilled blocks, in batch order — the merge order below
+        let mut spilled_blocks: Vec<String> = Vec::new();
         let train_span = rec.span("train");
         let mut loss_sum = 0.0f64;
         let mut loss_count = 0usize;
@@ -224,7 +264,13 @@ impl StructureChannel {
             batch_span.field("batch", batch.index);
             let skey = format!("r{round}.b{}.sim", batch.index);
             if let Some(block) = ckpt.as_mut().and_then(|c| c.load_sim(&skey, rec)) {
-                merge_block(&mut m_s, &block);
+                match spill.as_deref_mut() {
+                    Some(store) => {
+                        store.put_sim(&skey, &block, rec).map_err(RunError::Spill)?;
+                        spilled_blocks.push(skey.clone());
+                    }
+                    None => merge_block(&mut m_s, &block),
+                }
                 continue;
             }
             let bg = BatchGraph::from_mini_batch(pair, batch);
@@ -267,30 +313,77 @@ impl StructureChannel {
                     (report.embeddings, report.peak_bytes)
                 }
             };
+            if let Some(store) = spill.as_deref_mut() {
+                // write-through: the trained embeddings become a transient
+                // spill artifact (removed at the end of the batch), so their
+                // bytes are accounted and crash-injectable like every other
+                // out-of-core write
+                mem.charge("structure_channel", embeddings.nbytes())?;
+                store
+                    .put_matrix(&ekey, &embeddings, rec)
+                    .map_err(RunError::Spill)?;
+            }
             {
                 let mut topk_span = rec.span_at(Level::Detail, "topk");
                 topk_span.field("batch", batch.index);
                 rec.add("topk.scored_pairs", (bg.n_source * bg.n_target) as u64);
-                match ckpt.as_mut() {
-                    Some(c) => {
-                        // fill a fresh block so it can be persisted before
-                        // merging — same final content as filling `m_s`
-                        // directly (each (row, col) is unique within a batch
-                        // and cross-batch duplicates accumulate by `+=`
-                        // either way)
+                match spill.as_deref_mut() {
+                    Some(store) => {
+                        // fill a fresh block and spill it instead of growing
+                        // `m_s` — same content as the checkpointed merge path
                         let mut block = SparseSimMatrix::new(m_s.n_rows(), m_s.n_cols());
                         fill_similarity(&bg, &embeddings, self.cfg.top_k, &mut block);
-                        c.save_sim(&skey, &block, rec)?;
-                        merge_block(&mut m_s, &block);
+                        mem.charge("structure_channel", block.nbytes())?;
+                        if let Some(c) = ckpt.as_mut() {
+                            c.save_sim(&skey, &block, rec)?;
+                        }
+                        store.put_sim(&skey, &block, rec).map_err(RunError::Spill)?;
+                        spilled_blocks.push(skey.clone());
+                        mem.uncharge("structure_channel", block.nbytes());
                     }
-                    None => fill_similarity(&bg, &embeddings, self.cfg.top_k, &mut m_s),
+                    None => match ckpt.as_mut() {
+                        Some(c) => {
+                            // fill a fresh block so it can be persisted before
+                            // merging — same final content as filling `m_s`
+                            // directly (each (row, col) is unique within a batch
+                            // and cross-batch duplicates accumulate by `+=`
+                            // either way)
+                            let mut block = SparseSimMatrix::new(m_s.n_rows(), m_s.n_cols());
+                            fill_similarity(&bg, &embeddings, self.cfg.top_k, &mut block);
+                            c.save_sim(&skey, &block, rec)?;
+                            merge_block(&mut m_s, &block);
+                        }
+                        None => fill_similarity(&bg, &embeddings, self.cfg.top_k, &mut m_s),
+                    },
                 }
             }
-            // one batch is live at a time — track the max, then release
-            mem.set(
-                "structure_channel",
-                train_peak + embeddings.nbytes() + m_s.nbytes(),
-            );
+            match spill.as_deref_mut() {
+                Some(store) => {
+                    // the training transient counts against the budget too
+                    mem.charge("structure_channel", train_peak)?;
+                    mem.uncharge("structure_channel", train_peak);
+                    mem.uncharge("structure_channel", embeddings.nbytes());
+                    store.remove(&ekey);
+                }
+                None => {
+                    // one batch is live at a time — track the max (and, when
+                    // a budget is set, enforce it at the same point)
+                    let live = train_peak + embeddings.nbytes() + m_s.nbytes();
+                    mem.set("structure_channel", live);
+                    mem.enforce("structure_channel", live)?;
+                }
+            }
+        }
+        if let Some(store) = spill {
+            // assemble M_s by streaming blocks back in batch order — the
+            // same insert sequence as the in-RAM merge
+            for key in &spilled_blocks {
+                let block = store.get_sim(key, rec).map_err(RunError::Spill)?;
+                let before = m_s.nbytes();
+                merge_block(&mut m_s, &block);
+                mem.charge("structure_channel", m_s.nbytes() - before)?;
+                store.remove(key);
+            }
         }
         m_s.normalize_global_minmax();
         if let Some(c) = ckpt.as_mut() {
@@ -298,7 +391,6 @@ impl StructureChannel {
         }
         let training_seconds = train_span.finish();
         channel_span.finish();
-        mem.record_into(rec);
 
         Ok(StructureChannelOutput {
             m_s,

@@ -33,6 +33,12 @@ pub enum Preset {
     /// DWY100K DBpedia–Wikidata (Sun et al. 2018) — monolingual cross-KB
     /// alignment, near-identical names, very rich structure.
     Dwy100kDbpWd,
+    /// A CI-sized DBP1M(EN-FR) stand-in: the same asymmetric-unknowns /
+    /// high-heterogeneity shape as [`Preset::Dbp1mEnFr`] at roughly 1/250
+    /// of its size, so out-of-core acceptance tests exercise the
+    /// DBP1M-class workload in seconds. Not part of the paper's Table 1
+    /// (excluded from [`Preset::all`] / [`Preset::extended`]).
+    Dbp1mCi,
 }
 
 /// A preset pinned to a scale, ready to generate.
@@ -97,6 +103,7 @@ impl Preset {
             Preset::Dbp1mEnDe => "DBP1M(EN-DE)",
             Preset::Dbp15kFrEn => "DBP15K(FR-EN)",
             Preset::Dwy100kDbpWd => "DWY100K(DBP-WD)",
+            Preset::Dbp1mCi => "DBP1M-CI(EN-FR)",
         }
     }
 
@@ -107,12 +114,18 @@ impl Preset {
             Preset::Ids15kEnFr | Preset::Ids15kEnDe | Preset::Dbp15kFrEn => 5,
             Preset::Ids100kEnFr | Preset::Ids100kEnDe | Preset::Dwy100kDbpWd => 10,
             Preset::Dbp1mEnFr | Preset::Dbp1mEnDe => 20,
+            Preset::Dbp1mCi => 4,
         }
     }
 
-    /// Whether this is one of the two large-scale DBP1M datasets.
+    /// Whether this is a DBP1M-class dataset (asymmetric unknowns, noisy
+    /// community structure) — the two large-scale evaluation datasets plus
+    /// their CI-sized stand-in.
     pub fn is_large(self) -> bool {
-        matches!(self, Preset::Dbp1mEnFr | Preset::Dbp1mEnDe)
+        matches!(
+            self,
+            Preset::Dbp1mEnFr | Preset::Dbp1mEnDe | Preset::Dbp1mCi
+        )
     }
 
     fn shape(self) -> Shape {
@@ -203,6 +216,19 @@ impl Preset {
                 heterogeneity: 0.15,
                 source_lang: Language::En,
                 target_lang: Language::En,
+            },
+            // DBP1M(EN-FR) ÷ 250 (relations with √: ÷ ~√250): keeps the
+            // asymmetric sides, large unknown fractions and heterogeneity
+            // that make the big preset hard, at a size CI can afford.
+            Preset::Dbp1mCi => Shape {
+                aligned: 4_000,
+                unknown_source: 3_511,
+                unknown_target: 1_460,
+                relations: (120, 76),
+                triples: (28_125, 11_990),
+                heterogeneity: 0.55,
+                source_lang: Language::En,
+                target_lang: Language::Fr,
             },
         }
     }
@@ -322,6 +348,21 @@ mod tests {
         let a = largeea_kg::KnowledgeGraph::entity_label(&dwy.source, s);
         let b = largeea_kg::KnowledgeGraph::entity_label(&dwy.target, t);
         assert!(!a.is_empty() && !b.is_empty());
+    }
+
+    #[test]
+    fn ci_preset_keeps_dbp1m_shape_at_ci_size() {
+        let pair = Preset::Dbp1mCi.spec(1.0).generate();
+        assert!(pair.source.num_entities() > pair.target.num_entities());
+        let (us, ut) = pair.unknown_fraction();
+        assert!(us > 0.3, "source unknown fraction {us}");
+        assert!(ut > 0.1, "target unknown fraction {ut}");
+        assert!(pair.validate().is_ok());
+        assert_eq!(Preset::Dbp1mCi.default_k(), 4);
+        assert!(Preset::Dbp1mCi.is_large());
+        // not part of the paper's evaluation sets
+        assert!(!Preset::all().contains(&Preset::Dbp1mCi));
+        assert!(!Preset::extended().contains(&Preset::Dbp1mCi));
     }
 
     #[test]

@@ -25,4 +25,7 @@ pub mod topk;
 pub use assignment::{assignment_weight, auction_assignment};
 pub use ivf::IvfIndex;
 pub use sparse_sim::SparseSimMatrix;
-pub use topk::{segmented_topk, segmented_topk_traced, topk_search, topk_search_in, Metric};
+pub use topk::{
+    segmented_topk, segmented_topk_streamed, segmented_topk_traced, topk_search, topk_search_in,
+    Metric,
+};

@@ -117,6 +117,26 @@ impl SparseSimMatrix {
         }
     }
 
+    /// In-place [`Self::scaled_add`]: `self += gamma · other`, row by row.
+    /// Produces bit-identical entries to the allocating version (both
+    /// funnel through [`merge_rows`]) while only ever holding one extra
+    /// merged row — the fusion path for memory-bounded runs, where keeping
+    /// three full matrices (`self`, `other`, result) would break the
+    /// budget.
+    pub fn scaled_add_assign(&mut self, other: &SparseSimMatrix, gamma: f32) {
+        assert_eq!(self.n_rows(), other.n_rows(), "row count mismatch");
+        assert_eq!(self.n_cols, other.n_cols, "col count mismatch");
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            *a = merge_rows(a, b, gamma);
+        }
+    }
+
+    /// In-place element-wise sum (`self += other`), the fusion step for
+    /// memory-bounded runs. Bit-identical to [`Self::add`].
+    pub fn add_assign(&mut self, other: &SparseSimMatrix) {
+        self.scaled_add_assign(other, 1.0);
+    }
+
     /// Scales every stored score in place.
     pub fn scale(&mut self, alpha: f32) {
         for r in &mut self.rows {
@@ -446,6 +466,24 @@ mod tests {
         b.insert(0, 0, 1.0);
         let c = a.scaled_add(&b, 0.05);
         assert!((c.get(0, 0).unwrap() - 0.05).abs() < 1e-7);
+    }
+
+    #[test]
+    fn in_place_scaled_add_is_bit_identical_to_allocating() {
+        let a = sample();
+        let mut b = SparseSimMatrix::new(3, 4);
+        b.insert(0, 1, 0.123);
+        b.insert(0, 3, 0.456);
+        b.insert(2, 0, 0.789);
+        for gamma in [1.0f32, 0.05, -0.5] {
+            let allocating = a.scaled_add(&b, gamma);
+            let mut in_place = a.clone();
+            in_place.scaled_add_assign(&b, gamma);
+            assert_eq!(in_place, allocating, "gamma={gamma}");
+        }
+        let mut summed = a.clone();
+        summed.add_assign(&b);
+        assert_eq!(summed, a.add(&b));
     }
 
     #[test]

@@ -216,6 +216,82 @@ pub fn segmented_topk_traced(
     merged.into_iter().map(TopK::into_sorted).collect()
 }
 
+/// Out-of-core [`segmented_topk_traced`]: instead of borrowing whole
+/// embedding matrices, the caller supplies loaders that materialise one
+/// row segment at a time (typically streaming spilled `LEAM1` frames back
+/// in — DESIGN.md §S0.8), so at most one query segment and one base
+/// segment are ever resident.
+///
+/// The iteration order, blocking (`par_map_blocks(_, 32, ..)`), collector
+/// fold and tie-breaking are copied verbatim from
+/// [`segmented_topk_traced`], and the loaded segments must be row slices
+/// of the same matrices — under those conditions every score is computed
+/// from identical floats in an identical sequence, so the result is
+/// **bit-identical** to the in-RAM path (asserted by
+/// `streamed_matches_in_ram_traced`). Loader errors abort the search.
+#[allow(clippy::too_many_arguments)] // mirrors segmented_topk_traced plus two loaders
+pub fn segmented_topk_streamed<E>(
+    n_queries: usize,
+    n_base: usize,
+    k: usize,
+    metric: Metric,
+    num_segments: usize,
+    rec: &Recorder,
+    mut load_queries: impl FnMut(std::ops::Range<usize>) -> Result<Matrix, E>,
+    mut load_base: impl FnMut(std::ops::Range<usize>) -> Result<Matrix, E>,
+) -> Result<Vec<Vec<(u32, f32)>>, E> {
+    assert!(num_segments >= 1, "need at least one segment");
+    let q_seg = n_queries.div_ceil(num_segments).max(1);
+    let b_seg = n_base.div_ceil(num_segments).max(1);
+    let mut merged: Vec<TopK> = (0..n_queries).map(|_| TopK::new(k)).collect();
+    let mut blocks_done = 0u64;
+    let mut total_scored = 0u64;
+
+    for b_start in (0..n_base).step_by(b_seg) {
+        let b_end = (b_start + b_seg).min(n_base);
+        let b_block = load_base(b_start..b_end)?;
+        assert_eq!(b_block.rows(), b_end - b_start, "base segment row count");
+        for q_start in (0..n_queries).step_by(q_seg) {
+            let q_end = (q_start + q_seg).min(n_queries);
+            let q_block = load_queries(q_start..q_end)?;
+            assert_eq!(q_block.rows(), q_end - q_start, "query segment row count");
+            assert_eq!(q_block.cols(), b_block.cols(), "segment dim mismatch");
+            let mut span = rec.span_at(Level::Trace, "sens_block");
+            let block = par_map_blocks(q_end - q_start, 32, |range| {
+                let mut out = Vec::with_capacity(range.len());
+                for qi in range {
+                    let qrow = q_block.row(qi);
+                    let mut local = TopK::new(k);
+                    for bi in 0..b_block.rows() {
+                        local.push(
+                            (b_start + bi) as u32,
+                            metric.similarity(qrow, b_block.row(bi)),
+                        );
+                    }
+                    out.push((q_start + qi, local.into_sorted()));
+                }
+                out
+            });
+            for (q, hits) in block.into_iter().flatten() {
+                for (id, score) in hits {
+                    merged[q].push(id, score);
+                }
+            }
+            let scored = ((q_end - q_start) * (b_end - b_start)) as u64;
+            span.field("q_start", q_start);
+            span.field("q_rows", q_end - q_start);
+            span.field("b_start", b_start);
+            span.field("b_rows", b_end - b_start);
+            span.field("scored", scored);
+            blocks_done += 1;
+            total_scored += scored;
+        }
+    }
+    rec.add("sens.blocks", blocks_done);
+    rec.add("sens.candidates_scored", total_scored);
+    Ok(merged.into_iter().map(TopK::into_sorted).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +372,67 @@ mod tests {
         assert_eq!(t.span_count("sens_block"), 4, "2 × 2 segment pairs");
         assert_eq!(t.counter("sens.blocks"), 4);
         assert_eq!(t.counter("sens.candidates_scored"), 10 * 12);
+    }
+
+    /// Materialises the row range `r` of `m` as its own matrix — what a
+    /// spill loader does when streaming a segment back from disk.
+    fn slice_rows(m: &Matrix, r: std::ops::Range<usize>) -> Matrix {
+        let ids: Vec<u32> = r.map(|i| i as u32).collect();
+        m.gather_rows(&ids)
+    }
+
+    #[test]
+    fn streamed_matches_in_ram_traced() {
+        use largeea_common::obs::{ObsConfig, Recorder};
+        let mut s = 9u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f32 / u32::MAX as f32) - 0.5
+        };
+        for (nq, nb, segs) in [(37, 53, 4), (8, 8, 1), (20, 5, 3), (5, 41, 7)] {
+            let q = Matrix::from_fn(nq, 6, |_, _| next());
+            let b = Matrix::from_fn(nb, 6, |_, _| next());
+            let rec = Recorder::new(ObsConfig::default());
+            let in_ram = segmented_topk_traced(&q, &b, 4, Metric::Manhattan, segs, &rec);
+            let rec2 = Recorder::new(ObsConfig::default());
+            let streamed = segmented_topk_streamed(
+                nq,
+                nb,
+                4,
+                Metric::Manhattan,
+                segs,
+                &rec2,
+                |r| Ok::<_, std::io::Error>(slice_rows(&q, r)),
+                |r| Ok(slice_rows(&b, r)),
+            )
+            .unwrap();
+            assert_eq!(streamed, in_ram, "nq={nq} nb={nb} segs={segs}");
+            // identical telemetry: same blocks, same candidate count
+            assert_eq!(
+                rec2.trace().counter("sens.blocks"),
+                rec.trace().counter("sens.blocks")
+            );
+            assert_eq!(
+                rec2.trace().counter("sens.candidates_scored"),
+                rec.trace().counter("sens.candidates_scored")
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_propagates_loader_errors() {
+        let err = segmented_topk_streamed(
+            10,
+            10,
+            2,
+            Metric::Manhattan,
+            2,
+            &Recorder::disabled(),
+            |_| Err(std::io::Error::other("disk on fire")),
+            |r| Ok(Matrix::zeros(r.len(), 3)),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("disk on fire"));
     }
 
     #[test]

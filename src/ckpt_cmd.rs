@@ -16,11 +16,17 @@ const CKPT_USAGE: &str = "largeea ckpt — inspect crash-safe checkpoint directo
 
 USAGE:
   largeea ckpt inspect <dir>
+  largeea ckpt inspect --help
 
 Prints the checkpoint manifest (config hash, seed, rounds, completed
 stages + artifact sizes) and the latest training progress, if any.
 Checkpoints are written by `largeea align --checkpoint-dir <dir>` and
-resumed with `--resume` (DESIGN.md §S0.7).";
+resumed with `--resume` (DESIGN.md §S0.7).
+
+Every artifact (`MANIFEST.ckpt`, `<stage>.ckpt`, and the transient
+`<key>.spill` files of memory-bounded runs) is a CRC-framed LEAF1 file;
+the byte-level layout, payload encodings, stage-key grammar and
+durability classes are documented in docs/ARTIFACT_FORMAT.md.";
 
 /// Entry point from `main` (args exclude the leading `ckpt`).
 pub fn cmd_ckpt(args: &[String]) -> ExitCode {
@@ -35,6 +41,10 @@ pub fn cmd_ckpt(args: &[String]) -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     match args {
+        [sub, help] if sub == "inspect" && (help == "--help" || help == "-h") => {
+            println!("{CKPT_USAGE}");
+            Ok(())
+        }
         [sub, dir] if sub == "inspect" => inspect(Path::new(dir)),
         [sub, ..] if sub == "inspect" => Err("inspect needs exactly one <dir> argument".into()),
         [other, ..] => Err(format!("unknown ckpt subcommand {other:?}")),

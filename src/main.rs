@@ -21,8 +21,9 @@ mod trace_cmd;
 use largeea::common::json::ToJson;
 use largeea::common::obs::Recorder;
 use largeea::core::checkpoint::Checkpoint;
-use largeea::core::pipeline::{LargeEa, LargeEaConfig};
+use largeea::core::pipeline::{ExecOptions, LargeEa, LargeEaConfig};
 use largeea::core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
+use largeea::core::MemTracker;
 use largeea::data::Preset;
 use largeea::kg::{io, AlignmentSeeds, EntityId, KgPair, KgStats};
 use largeea::models::{ModelKind, TrainConfig};
@@ -41,6 +42,7 @@ USAGE:
                     [--epochs n] [--dim n] [--seed-ratio f] [--unsupervised]
                     [--csls n] [--rounds n] [--analysis] [--out <file>] [--sim-out <file>]
                     [--trace-out <file>] [--checkpoint-dir <dir>] [--resume]
+                    [--mem-budget <bytes>] [--spill-dir <dir>]
   largeea eval      --data <dir> --predictions <file>
   largeea ckpt      inspect <dir>
   largeea trace     summarize <trace.json>
@@ -49,7 +51,7 @@ USAGE:
   largeea trace     check <trace.json> --baseline <BENCH.json> [--tolerance-pct f]
 
 PRESETS: ids15k-en-fr  ids15k-en-de  ids100k-en-fr  ids100k-en-de
-         dbp1m-en-fr   dbp1m-en-de
+         dbp1m-en-fr   dbp1m-en-de   dbp1m-ci
 
 `--trace-out` writes the run's span/metric trace as JSON (DESIGN.md §S0.5);
 set LARGEEA_LOG=stage|detail|trace to echo spans to stderr as they close.
@@ -61,6 +63,12 @@ checks against the BENCH_pipeline.json baseline (scripts/bench.sh).
 into a crash-safe run directory (DESIGN.md §S0.7); `--resume` continues an
 interrupted run, skipping completed stages bit-identically. `ckpt inspect`
 prints a checkpoint directory's manifest and training progress.
+
+`--mem-budget <bytes>` (suffixes K/M/G, 1024-based) runs `align` out of
+core (DESIGN.md §S0.8): intermediate blocks spill to `--spill-dir`
+(default: a per-process directory under the system temp dir) and the run
+fails fast with a typed error if tracked live bytes would pass the budget.
+Results are bit-identical to the unbounded run.
 
 Every command is deterministic for fixed inputs and flags.";
 
@@ -151,6 +159,7 @@ fn preset_by_name(name: &str) -> Result<Preset, String> {
         "ids100k-en-de" => Preset::Ids100kEnDe,
         "dbp1m-en-fr" => Preset::Dbp1mEnFr,
         "dbp1m-en-de" => Preset::Dbp1mEnDe,
+        "dbp1m-ci" => Preset::Dbp1mCi,
         other => return Err(format!("unknown preset {other:?} (see --help)")),
     })
 }
@@ -162,6 +171,21 @@ fn model_by_name(name: &str) -> Result<ModelKind, String> {
         "mtranse" => ModelKind::MTransE,
         other => return Err(format!("unknown model {other:?} (gcn|rrea|mtranse)")),
     })
+}
+
+/// Parses a byte size with optional 1024-based `K`/`M`/`G` suffix
+/// (case-insensitive): `"16M"` → 16 MiB, `"1073741824"` → 1 GiB.
+fn parse_bytes(v: &str) -> Result<usize, String> {
+    let v = v.trim();
+    let bad = || format!("expected a byte count like 512M or 2G, got {v:?}");
+    let (digits, mult) = match v.char_indices().last().ok_or_else(bad)? {
+        (i, 'k') | (i, 'K') => (&v[..i], 1usize << 10),
+        (i, 'm') | (i, 'M') => (&v[..i], 1 << 20),
+        (i, 'g') | (i, 'G') => (&v[..i], 1 << 30),
+        _ => (v, 1),
+    };
+    let n: usize = digits.parse().map_err(|_| bad())?;
+    n.checked_mul(mult).ok_or_else(bad)
 }
 
 fn load_data(flags: &Flags) -> Result<KgPair, String> {
@@ -303,6 +327,22 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
     if flags.contains_key("resume") && !flags.contains_key("checkpoint-dir") {
         return Err("--resume needs --checkpoint-dir".to_owned());
     }
+    let mem_budget = flags
+        .get("mem-budget")
+        .map(|v| parse_bytes(v).map_err(|e| format!("--mem-budget: {e}")))
+        .transpose()?;
+    let spill_dir = match (mem_budget, flags.get("spill-dir")) {
+        (_, Some(d)) => Some(PathBuf::from(d)),
+        // a budget without an explicit spill dir gets a per-process one
+        (Some(_), None) => {
+            Some(std::env::temp_dir().join(format!("largeea_spill_{}", std::process::id())))
+        }
+        (None, None) => None,
+    };
+    let exec = ExecOptions {
+        mem_budget,
+        spill_dir,
+    };
     let report = match flags.get("checkpoint-dir") {
         Some(dir) => {
             let meta = cfg.run_meta(&seeds, rounds);
@@ -310,11 +350,22 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
             let mut ckpt =
                 Checkpoint::open(Path::new(dir), meta, resume, &rec).map_err(|e| e.to_string())?;
             LargeEa::new(cfg)
-                .run_checkpointed(&pair, &seeds, rounds, &rec, &mut ckpt)
+                .run_exec(&pair, &seeds, rounds, &rec, Some(&mut ckpt), &exec)
                 .map_err(|e| e.to_string())?
         }
-        None => LargeEa::new(cfg).run_recorded(&pair, &seeds, rounds, &rec),
+        None => LargeEa::new(cfg)
+            .run_exec(&pair, &seeds, rounds, &rec, None, &exec)
+            .map_err(|e| e.to_string())?,
     };
+    if exec.mem_budget.is_some() || exec.spill_dir.is_some() {
+        println!(
+            "tracked peak {}{}",
+            MemTracker::fmt_bytes(report.tracked_peak_bytes),
+            exec.mem_budget
+                .map(|b| format!(" (budget {})", MemTracker::fmt_bytes(b)))
+                .unwrap_or_default()
+        );
+    }
     println!(
         "H@1 {:.1}%  H@5 {:.1}%  MRR {:.2}  ({} test pairs, {:.1}s, pseudo seeds {} @ {:.1}%)",
         report.eval.hits1,
