@@ -16,7 +16,7 @@
 
 use largeea_bench::{arg_f64, arg_str, arg_usize, Baseline};
 use largeea_common::json::ToJson;
-use largeea_common::obs::{ObsConfig, Recorder};
+use largeea_common::obs::{LiveConfig, ObsConfig, Recorder};
 use largeea_core::pipeline::{ExecOptions, LargeEa, LargeEaConfig};
 use largeea_core::structure_channel::{Partitioner, StructureChannelConfig};
 use largeea_data::Preset;
@@ -72,6 +72,41 @@ fn main() {
         traces.push(report.trace);
     }
 
+    // Sampler overhead probe (DESIGN.md §S0.9). The measured repeats above
+    // run with live telemetry OFF, so the committed stage medians and
+    // exact counters are untouched by this feature; here we additionally
+    // time min-of-3 runs with the sampler off vs on (cadence 8, ring
+    // capture only) and record the ratio — the budget is < 2%. Snapshot
+    // *writes* are deliberately excluded: they are fsync-bound I/O whose
+    // count the user dials with --live-every, and on this sub-100ms
+    // workload two fsyncs per snapshot would swamp the thing being
+    // measured (the per-tick sampling machinery itself).
+    let probe = |sampler: bool| -> f64 {
+        let rec = Recorder::new(ObsConfig::default());
+        if sampler {
+            rec.enable_live(LiveConfig {
+                every: 8,
+                dir: None,
+                ..LiveConfig::default()
+            });
+        }
+        LargeEa::new(cfg)
+            .run_exec(&pair, &seeds, 1, &rec, None, &exec)
+            .expect("sampler overhead probe run")
+            .total_seconds
+    };
+    let off = (0..3).map(|_| probe(false)).fold(f64::INFINITY, f64::min);
+    let on = (0..3).map(|_| probe(true)).fold(f64::INFINITY, f64::min);
+    let overhead_pct = if off > 0.0 {
+        100.0 * (on - off) / off
+    } else {
+        0.0
+    };
+    eprintln!("[bench] sampler overhead: off {off:.3}s, on {on:.3}s ({overhead_pct:+.2}%)");
+    if overhead_pct > 2.0 {
+        eprintln!("[bench] WARNING: sampler overhead exceeds the 2% budget");
+    }
+
     let mut config = vec![
         ("preset".to_owned(), "ids15k-en-fr".to_owned()),
         ("scale".to_owned(), format!("{scale}")),
@@ -80,6 +115,12 @@ fn main() {
         ("epochs".to_owned(), format!("{epochs}")),
         ("dim".to_owned(), format!("{dim}")),
         ("mem_budget".to_owned(), format!("{mem_budget}")),
+        ("sampler_off_seconds".to_owned(), format!("{off:.3}")),
+        ("sampler_on_seconds".to_owned(), format!("{on:.3}")),
+        (
+            "sampler_overhead_pct".to_owned(),
+            format!("{overhead_pct:+.2}"),
+        ),
     ];
     config.extend(largeea_bench::thread_config());
     let baseline =

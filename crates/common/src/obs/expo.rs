@@ -1,0 +1,184 @@
+//! Prometheus-style text exposition of a [`Trace`]'s metric tables.
+//!
+//! [`render_text`] turns the counters, gauges and histogram summaries of a
+//! trace into the text format a `/metrics` endpoint serves — the exact
+//! payload a future `largeea serve` daemon will return, built and tested
+//! now so the serving layer only has to transport it. Spans and samples are
+//! not exposed (they are trace-shaped, not metric-shaped); histograms
+//! export as Prometheus *summaries* (pre-computed quantiles, which is what
+//! the fixed-bucket [`Histogram`](super::Histogram) actually has).
+//!
+//! ## Name mangling (normative)
+//!
+//! Prometheus metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`; trace metric
+//! names are dotted (`mem.spill.write_bytes`). The mangling rules, which
+//! README.md documents for operators:
+//!
+//! 1. every character outside `[A-Za-z0-9_]` becomes `_`
+//!    (so `mem.spill.write_bytes` → `mem_spill_write_bytes`);
+//! 2. the result is prefixed with `largeea_`;
+//! 3. counters additionally get a `_total` suffix (Prometheus counter
+//!    convention);
+//! 4. histogram summaries emit `<name>{quantile="0.5"}`,
+//!    `<name>{quantile="0.95"}`, `<name>_sum` and `<name>_count` lines.
+//!
+//! The mapping is not injective (`a.b` and `a_b` collide); both lines are
+//! emitted as-is, and keeping trace metric names distinct under mangling is
+//! the instrumenter's responsibility. Output is byte-stable for a given
+//! trace (metrics sorted by raw name, locked by a golden test): rendering
+//! the same trace twice yields identical bytes.
+
+use super::Trace;
+
+/// Mangles a trace metric name into a Prometheus-legal one (rules 1–2 of
+/// the [module docs](self)).
+pub fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("largeea_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a sample value the Prometheus way: shortest round-trip decimal
+/// with `.0` appended to integral values (matching the in-tree JSON float
+/// form, so the two artifacts never disagree on a value's spelling), and
+/// the literal `NaN` / `+Inf` / `-Inf` for non-finite values (which the
+/// exposition format supports, unlike JSON).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        return "NaN".to_owned();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned();
+    }
+    let mut s = v.to_string();
+    if !s.contains(['.', 'e', 'E']) {
+        s.push_str(".0");
+    }
+    s
+}
+
+/// Renders the metric tables of `trace` as Prometheus text exposition
+/// (format version 0.0.4). See the [module docs](self) for the normative
+/// name-mangling rules. Total on any trace — empty tables render to an
+/// empty string, quiet histograms to zeroed summaries — and byte-stable:
+/// metrics are emitted sorted by raw name.
+pub fn render_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    // The trace tables come out of BTreeMaps already sorted, but parse
+    // preserves file order — sort defensively so hand-edited or adversarial
+    // inputs still render canonically.
+    let mut counters = trace.counters.clone();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, v) in &counters {
+        let m = mangle(name) + "_total";
+        out.push_str(&format!("# TYPE {m} counter\n{m} {v}\n"));
+    }
+    let mut gauges = trace.gauges.clone();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, v) in &gauges {
+        let m = mangle(name);
+        out.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", fmt_value(*v)));
+    }
+    let mut histograms = trace.histograms.clone();
+    histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, h) in &histograms {
+        let m = mangle(name);
+        out.push_str(&format!("# TYPE {m} summary\n"));
+        out.push_str(&format!("{m}{{quantile=\"0.5\"}} {}\n", fmt_value(h.p50)));
+        out.push_str(&format!("{m}{{quantile=\"0.95\"}} {}\n", fmt_value(h.p95)));
+        out.push_str(&format!("{m}_sum {}\n", fmt_value(h.sum)));
+        out.push_str(&format!("{m}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{HistogramSummary, Trace};
+    use super::*;
+
+    #[test]
+    fn mangling_rules() {
+        assert_eq!(
+            mangle("mem.spill.write_bytes"),
+            "largeea_mem_spill_write_bytes"
+        );
+        assert_eq!(mangle("ckpt.write-bytes"), "largeea_ckpt_write_bytes");
+        assert_eq!(mangle("weird name/µ"), "largeea_weird_name__");
+        assert_eq!(mangle(""), "largeea_");
+    }
+
+    #[test]
+    fn empty_trace_renders_to_nothing() {
+        assert_eq!(render_text(&Trace::default()), "");
+    }
+
+    /// The golden test: byte-exact exposition for a representative trace.
+    /// `largeea serve` will return these bytes from `/metrics` — change
+    /// only together with the normative rules in the module docs.
+    #[test]
+    fn golden_exposition() {
+        let t = Trace {
+            spans: Vec::new(),
+            counters: vec![
+                ("mem.spill.writes".to_owned(), 7),
+                ("cps.virtual_edges".to_owned(), 42),
+            ],
+            gauges: vec![("mem.peak_bytes".to_owned(), 1024.0)],
+            histograms: vec![(
+                "train.epoch_loss".to_owned(),
+                HistogramSummary {
+                    count: 3,
+                    sum: 10.5,
+                    min: 0.5,
+                    max: 8.0,
+                    p50: 4.0,
+                    p95: 8.0,
+                },
+            )],
+            samples: Vec::new(),
+        };
+        let expected = "\
+# TYPE largeea_cps_virtual_edges_total counter
+largeea_cps_virtual_edges_total 42
+# TYPE largeea_mem_spill_writes_total counter
+largeea_mem_spill_writes_total 7
+# TYPE largeea_mem_peak_bytes gauge
+largeea_mem_peak_bytes 1024.0
+# TYPE largeea_train_epoch_loss summary
+largeea_train_epoch_loss{quantile=\"0.5\"} 4.0
+largeea_train_epoch_loss{quantile=\"0.95\"} 8.0
+largeea_train_epoch_loss_sum 10.5
+largeea_train_epoch_loss_count 3
+";
+        assert_eq!(render_text(&t), expected);
+        // byte-stable: rendering twice is identical
+        assert_eq!(render_text(&t), render_text(&t));
+    }
+
+    #[test]
+    fn quiet_histogram_and_non_finite_gauges_render_without_panic() {
+        let t = Trace {
+            gauges: vec![
+                ("g.inf".to_owned(), f64::INFINITY),
+                ("g.nan".to_owned(), f64::NAN),
+                ("g.ninf".to_owned(), f64::NEG_INFINITY),
+            ],
+            histograms: vec![("quiet".to_owned(), HistogramSummary::default())],
+            ..Trace::default()
+        };
+        let text = render_text(&t);
+        assert!(text.contains("largeea_g_inf +Inf\n"));
+        assert!(text.contains("largeea_g_nan NaN\n"));
+        assert!(text.contains("largeea_g_ninf -Inf\n"));
+        assert!(text.contains("largeea_quiet{quantile=\"0.5\"} 0.0\n"));
+        assert!(text.contains("largeea_quiet_count 0\n"));
+    }
+}

@@ -67,13 +67,19 @@ impl Histogram {
         self.count
     }
 
-    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
-    /// bucket containing the rank-`ceil(q·count)` observation, clamped into
-    /// `[min, max]`. Returns `0.0` for an empty histogram.
+    /// Approximate `q`-quantile: the upper bound of the bucket containing
+    /// the rank-`ceil(q·count)` observation, clamped into `[min, max]`.
+    ///
+    /// Total on every input — the exposition renderer must never panic on
+    /// a quiet metric or a malformed quantile request: an empty histogram
+    /// returns `0.0` for every `q`, and `q` outside `0.0 ..= 1.0` is
+    /// clamped into that range first (`NaN` clamps to `0.0`, i.e. the
+    /// minimum observation).
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
@@ -222,6 +228,26 @@ mod tests {
                 assert!(!v.is_nan());
             }
             assert_eq!((s.p50, s.p95), (sample, sample), "sample {sample}");
+        }
+    }
+
+    /// Edge-case contract: `q` outside `[0, 1]` is clamped, `NaN` acts as
+    /// `0.0` — the call is total for any request the tooling can make.
+    #[test]
+    fn out_of_range_quantile_requests_are_clamped() {
+        let mut h = Histogram::new();
+        for v in [0.5, 2.0, 8.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+        assert_eq!(h.quantile(f64::INFINITY), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NEG_INFINITY), h.quantile(0.0));
+        // …and on an empty histogram they are all still 0.0
+        let e = Histogram::new();
+        for q in [-1.0, 2.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(e.quantile(q), 0.0, "q={q}");
         }
     }
 

@@ -15,6 +15,15 @@
 //!   [`Trace`]: a JSON-serialisable span tree plus metric tables (using the
 //!   `ToJson` machinery from [`crate::json`]) and a human-readable tree
 //!   printer.
+//! - **Live telemetry** (DESIGN.md §S0.9) — [`Recorder::enable_live`] turns
+//!   on a tick-driven sampler: every recorded span exit (and every explicit
+//!   [`Recorder::live_tick`]) advances a tick counter, every
+//!   [`LiveConfig::every`]-th tick captures a [`Sample`] of the metric
+//!   tables into a bounded [`SampleRing`], and — when a snapshot directory
+//!   is configured — atomically rewrites `<dir>/live.trace.json` with the
+//!   partial trace so a long run can be watched mid-flight
+//!   (`largeea trace tail`). Deterministic by tick-count, not wall-clock;
+//!   no extra threads.
 //!
 //! ## Enabled vs disabled
 //!
@@ -55,13 +64,18 @@
 //! assert_eq!(trace.counter("cps.virtual_edges"), 42);
 //! ```
 
+pub mod expo;
 mod metrics;
+mod sample;
 mod trace;
 
 pub use metrics::{Histogram, HistogramSummary};
+pub use sample::{Sample, SampleRing};
 pub use trace::{Trace, TraceSpan};
 
+use crate::json::ToJson;
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::ThreadId;
 use std::time::Instant;
@@ -228,6 +242,44 @@ impl From<String> for FieldValue {
     }
 }
 
+/// Live-telemetry sampler configuration (see [`Recorder::enable_live`]).
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Capture one [`Sample`] every `every` sampler ticks (a tick is one
+    /// recorded span exit or one explicit [`Recorder::live_tick`]).
+    /// Clamped to a minimum of 1.
+    pub every: u64,
+    /// Maximum samples retained in the ring (oldest evicted first).
+    pub capacity: usize,
+    /// When set, every captured sample also rewrites
+    /// `<dir>/live.trace.json` via an atomic temp→fsync→rename
+    /// ([`crate::fsio::write_atomic`]), so the file is always either the
+    /// previous snapshot or the new one — never torn.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for LiveConfig {
+    /// Sample every 32 ticks, keep the newest 64 samples, no snapshots.
+    fn default() -> Self {
+        Self {
+            every: 32,
+            capacity: 64,
+            dir: None,
+        }
+    }
+}
+
+/// Sampler state, live only after [`Recorder::enable_live`].
+#[derive(Debug)]
+struct LiveState {
+    cfg: LiveConfig,
+    /// Ticks seen so far (recorded span exits + explicit ticks).
+    ticks: u64,
+    ring: SampleRing,
+    /// When sampling was enabled — the origin of sample `seconds`.
+    origin: Instant,
+}
+
 /// One recorded span in the recorder's arena.
 #[derive(Debug)]
 struct SpanData {
@@ -252,6 +304,87 @@ struct State {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    live: Option<LiveState>,
+}
+
+/// Builds a [`Trace`] snapshot of `st` — shared by [`Recorder::trace`] and
+/// the live snapshot writer so both produce the identical document.
+fn build_trace(st: &State) -> Trace {
+    fn build(st: &State, idx: usize) -> TraceSpan {
+        let s = &st.spans[idx];
+        TraceSpan {
+            name: s.name.clone(),
+            seconds: s.seconds,
+            fields: s.fields.clone(),
+            children: s.children.iter().map(|&c| build(st, c)).collect(),
+        }
+    }
+    Trace {
+        spans: st.roots.iter().map(|&r| build(st, r)).collect(),
+        counters: st.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        gauges: st.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        histograms: st
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect(),
+        samples: st.live.as_ref().map_or_else(Vec::new, |l| l.ring.to_vec()),
+    }
+}
+
+/// Advances the sampler by one tick (no-op when live telemetry is off).
+fn live_tick_locked(st: &mut State) {
+    let Some(live) = &mut st.live else { return };
+    live.ticks += 1;
+    let due = live.ticks % live.cfg.every.max(1) == 0;
+    if due {
+        sample_and_snapshot(st);
+    }
+}
+
+/// Captures one sample at the current tick and, when a snapshot directory
+/// is configured, rewrites `live.trace.json` atomically.
+///
+/// The `live.writes` counter is incremented *before* the sample and trace
+/// are built, so every written snapshot's counters already account for its
+/// own write — that is what makes the final flushed snapshot's counters
+/// exactly equal the end-of-run trace. A failed write is rolled back and
+/// surfaced as `live.write_errors` instead.
+fn sample_and_snapshot(st: &mut State) {
+    let Some(live) = &st.live else { return };
+    let snapshot_path = live.cfg.dir.as_ref().map(|d| d.join("live.trace.json"));
+    if snapshot_path.is_some() {
+        *st.counters.entry("live.writes".to_owned()).or_insert(0) += 1;
+    }
+    let (tick, seconds) = {
+        let live = st.live.as_ref().expect("checked above");
+        (live.ticks, live.origin.elapsed().as_secs_f64())
+    };
+    let sample = Sample {
+        tick,
+        seconds,
+        counters: st.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        gauges: st.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        histograms: st
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect(),
+    };
+    if let Some(live) = &mut st.live {
+        live.ring.push(sample);
+    }
+    if let Some(path) = snapshot_path {
+        let text = build_trace(st).to_json_string();
+        if crate::fsio::write_atomic(&path, text.as_bytes(), "live.write").is_err() {
+            if let Some(c) = st.counters.get_mut("live.writes") {
+                *c = c.saturating_sub(1);
+            }
+            *st.counters
+                .entry("live.write_errors".to_owned())
+                .or_insert(0) += 1;
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -402,24 +535,62 @@ impl Recorder {
             return Trace::default();
         };
         let st = inner.lock();
-        fn build(st: &State, idx: usize) -> TraceSpan {
-            let s = &st.spans[idx];
-            TraceSpan {
-                name: s.name.clone(),
-                seconds: s.seconds,
-                fields: s.fields.clone(),
-                children: s.children.iter().map(|&c| build(st, c)).collect(),
-            }
+        build_trace(&st)
+    }
+
+    /// Turns on live telemetry (see the [module docs](self)): from now on
+    /// every recorded span exit and every explicit [`Recorder::live_tick`]
+    /// advances the sampler, capturing a [`Sample`] each
+    /// [`LiveConfig::every`] ticks and — when [`LiveConfig::dir`] is set —
+    /// atomically rewriting `<dir>/live.trace.json`. Calling again resets
+    /// the tick counter and ring. No-op on a disabled recorder.
+    pub fn enable_live(&self, cfg: LiveConfig) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.lock();
+            st.live = Some(LiveState {
+                ring: SampleRing::new(cfg.capacity),
+                cfg,
+                ticks: 0,
+                origin: Instant::now(),
+            });
         }
-        Trace {
-            spans: st.roots.iter().map(|&r| build(&st, r)).collect(),
-            counters: st.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
-            gauges: st.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
-            histograms: st
-                .histograms
-                .iter()
-                .map(|(k, h)| (k.clone(), h.summary()))
-                .collect(),
+    }
+
+    /// Advances the sampler by one explicit tick. Pipeline stages call this
+    /// at natural boundaries (end of a mini-batch, end of a bootstrap
+    /// round) right after refreshing progress gauges, so those values are
+    /// eligible for the next sample. No-op unless live telemetry is on.
+    pub fn live_tick(&self) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.lock();
+            live_tick_locked(&mut st);
+        }
+    }
+
+    /// The samples captured so far, oldest first (empty unless live
+    /// telemetry is on).
+    pub fn samples(&self) -> Vec<Sample> {
+        match &self.inner {
+            Some(inner) => inner
+                .lock()
+                .live
+                .as_ref()
+                .map_or_else(Vec::new, |l| l.ring.to_vec()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Forces a final sample + snapshot regardless of cadence. Call at the
+    /// very end of a run, after the last metric is recorded and before
+    /// [`Recorder::trace`]: nothing records in between, so the flushed
+    /// `live.trace.json` is byte-identical to the final trace export.
+    /// No-op unless live telemetry is on.
+    pub fn flush_live(&self) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.lock();
+            let Some(live) = &mut st.live else { return };
+            live.ticks += 1;
+            sample_and_snapshot(&mut st);
         }
     }
 }
@@ -510,6 +681,10 @@ impl SpanGuard {
                 }
                 eprintln!("{line}");
             }
+            // Every recorded span exit is one sampler tick — the live
+            // telemetry clock (deterministic for a fixed seed, unlike
+            // wall-time).
+            live_tick_locked(&mut st);
         }
         seconds
     }
@@ -641,6 +816,100 @@ mod tests {
         assert_eq!(t.counter("threads"), 4);
         // each thread had its own stack → four roots
         assert_eq!(t.spans.len(), 4);
+    }
+
+    #[test]
+    fn live_sampler_ticks_on_recorded_span_exits() {
+        let rec = Recorder::new(ObsConfig::default());
+        rec.enable_live(LiveConfig {
+            every: 2,
+            capacity: 8,
+            dir: None,
+        });
+        for _ in 0..6 {
+            rec.add("c", 1);
+            drop(rec.span("s"));
+        }
+        let samples = rec.samples();
+        let ticks: Vec<u64> = samples.iter().map(|s| s.tick).collect();
+        assert_eq!(ticks, vec![2, 4, 6], "every 2nd span exit samples");
+        assert_eq!(samples[0].counter("c"), 2, "counter value as of tick 2");
+        assert_eq!(samples[2].counter("c"), 6);
+        // without snapshots there is no live.writes counter
+        assert_eq!(rec.trace().counter("live.writes"), 0);
+    }
+
+    #[test]
+    fn live_ring_is_bounded_and_explicit_ticks_count() {
+        let rec = Recorder::new(ObsConfig::default());
+        rec.enable_live(LiveConfig {
+            every: 1,
+            capacity: 3,
+            dir: None,
+        });
+        for _ in 0..5 {
+            rec.live_tick();
+        }
+        let ticks: Vec<u64> = rec.samples().iter().map(|s| s.tick).collect();
+        assert_eq!(ticks, vec![3, 4, 5], "ring keeps the newest 3");
+    }
+
+    #[test]
+    fn flush_live_forces_a_final_sample_into_the_trace() {
+        let rec = Recorder::new(ObsConfig::default());
+        rec.enable_live(LiveConfig {
+            every: 1000,
+            capacity: 8,
+            dir: None,
+        });
+        drop(rec.span("s"));
+        assert!(rec.samples().is_empty(), "cadence 1000 never fires");
+        rec.flush_live();
+        let t = rec.trace();
+        assert_eq!(t.samples.len(), 1, "flush forces one sample");
+        assert_eq!(t.samples[0].tick, 2, "span exit + flush = 2 ticks");
+    }
+
+    #[test]
+    fn live_snapshots_are_written_and_self_consistent() {
+        let dir = std::env::temp_dir().join(format!("largeea_obs_live_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = Recorder::new(ObsConfig::default());
+        rec.enable_live(LiveConfig {
+            every: 1,
+            capacity: 8,
+            dir: Some(dir.clone()),
+        });
+        rec.add("c", 5);
+        drop(rec.span("s"));
+        let path = dir.join("live.trace.json");
+        let mid = Trace::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(mid.counter("c"), 5);
+        assert_eq!(
+            mid.counter("live.writes"),
+            1,
+            "snapshot accounts for its own write"
+        );
+        rec.add("c", 1);
+        rec.flush_live();
+        let fin = std::fs::read_to_string(&path).unwrap();
+        let final_trace = rec.trace();
+        assert_eq!(
+            fin,
+            final_trace.to_json_string(),
+            "flushed snapshot is byte-identical to the final trace"
+        );
+        assert_eq!(final_trace.counter("live.writes"), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_recorder_ignores_live_calls() {
+        let rec = Recorder::disabled();
+        rec.enable_live(LiveConfig::default());
+        rec.live_tick();
+        rec.flush_live();
+        assert!(rec.samples().is_empty());
     }
 
     #[test]

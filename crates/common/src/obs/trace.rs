@@ -5,11 +5,11 @@
 //! the in-tree [`ToJson`] machinery (schema below, pinned by a golden test)
 //! and renders as a human-readable tree for terminal inspection.
 //!
-//! ## JSON schema (version 1)
+//! ## JSON schema (version 2)
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "spans": [
 //!     {"name": "...", "seconds": 0.0, "fields": {"k": v, ...},
 //!      "children": [ ...same shape... ]}
@@ -17,15 +17,26 @@
 //!   "counters": {"name": 0, ...},
 //!   "gauges": {"name": 0.0, ...},
 //!   "histograms": {"name": {"count": 0, "sum": 0.0, "min": 0.0,
-//!                           "max": 0.0, "p50": 0.0, "p95": 0.0}, ...}
+//!                           "max": 0.0, "p50": 0.0, "p95": 0.0}, ...},
+//!   "samples": [
+//!     {"tick": 0, "seconds": 0.0, "counters": {...}, "gauges": {...},
+//!      "histograms": {...same summary shape...}}
+//!   ]
 //! }
 //! ```
+//!
+//! Version 2 adds the `"samples"` array: the live-telemetry sample ring
+//! (see [`Sample`](super::Sample)), oldest first. [`Trace::parse`] still
+//! accepts version-1 documents (they parse with an empty sample ring), so
+//! traces written by older builds keep loading; the emitter always writes
+//! version 2.
 //!
 //! Spans keep chronological order; fields keep attachment order; metric
 //! tables are sorted by name (they come out of `BTreeMap`s). Downstream
 //! tooling (trace diffing, EXPERIMENTS.md regeneration) can rely on all
 //! three orderings.
 
+use super::sample::Sample;
 use super::{FieldValue, HistogramSummary};
 use crate::json::{Json, ToJson};
 
@@ -109,11 +120,60 @@ pub struct Trace {
     pub gauges: Vec<(String, f64)>,
     /// Histogram summaries, sorted by name.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Live-telemetry samples, oldest first (empty unless the run had a
+    /// sampler enabled — see [`Sample`]).
+    pub samples: Vec<Sample>,
 }
 
 /// Shorthand for ingestion errors: a path-like context plus the problem.
-fn bad(ctx: &str, what: &str) -> String {
+pub(super) fn bad(ctx: &str, what: &str) -> String {
     format!("invalid trace: {ctx}: {what}")
+}
+
+/// Parses the `"counters"` table of `owner` (a trace root or a sample).
+pub(super) fn parse_counter_table(owner: &Json, ctx: &str) -> Result<Vec<(String, u64)>, String> {
+    owner
+        .get("counters")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| bad(ctx, "missing object \"counters\""))?
+        .iter()
+        .map(|(k, v)| {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| bad(&format!("counter {k:?}"), "expected an unsigned integer"))?;
+            Ok((k.clone(), v))
+        })
+        .collect()
+}
+
+/// Parses the `"gauges"` table of `owner` (a trace root or a sample).
+pub(super) fn parse_gauge_table(owner: &Json, ctx: &str) -> Result<Vec<(String, f64)>, String> {
+    owner
+        .get("gauges")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| bad(ctx, "missing object \"gauges\""))?
+        .iter()
+        .map(|(k, v)| {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| bad(&format!("gauge {k:?}"), "expected a number"))?;
+            Ok((k.clone(), v))
+        })
+        .collect()
+}
+
+/// Parses the `"histograms"` table of `owner` (a trace root or a sample).
+pub(super) fn parse_histogram_table(
+    owner: &Json,
+    ctx: &str,
+) -> Result<Vec<(String, HistogramSummary)>, String> {
+    owner
+        .get("histograms")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| bad(ctx, "missing object \"histograms\""))?
+        .iter()
+        .map(|(k, v)| Ok((k.clone(), HistogramSummary::from_json(v, k)?)))
+        .collect()
 }
 
 impl FieldValue {
@@ -164,7 +224,7 @@ impl TraceSpan {
 }
 
 impl HistogramSummary {
-    fn from_json(j: &Json, name: &str) -> Result<HistogramSummary, String> {
+    pub(super) fn from_json(j: &Json, name: &str) -> Result<HistogramSummary, String> {
         let num = |key: &str| {
             j.get(key).and_then(Json::as_f64).ok_or_else(|| {
                 bad(
@@ -189,7 +249,7 @@ impl HistogramSummary {
 
 impl Trace {
     /// Parses the JSON text a `--trace-out` run (or [`Trace::to_json_string`])
-    /// produced back into a typed trace — the read half of the schema-v1
+    /// produced back into a typed trace — the read half of the schema
     /// contract. `Trace → JSON → Trace` is the identity (property-tested),
     /// so traces can be written, shipped, and diffed losslessly.
     pub fn parse(text: &str) -> Result<Trace, String> {
@@ -198,14 +258,16 @@ impl Trace {
     }
 
     /// Builds a trace from an already-parsed [`Json`] tree (see
-    /// [`Trace::parse`]). Requires `"version": 1`; unknown extra keys are
-    /// ignored so older readers keep working across additive schema growth.
+    /// [`Trace::parse`]). Accepts `"version": 2` (current) and
+    /// `"version": 1` (pre-live-telemetry; parses with an empty sample
+    /// ring); unknown extra keys are ignored so older readers keep working
+    /// across additive schema growth.
     pub fn from_json(json: &Json) -> Result<Trace, String> {
         let version = json
             .get("version")
             .and_then(Json::as_u64)
             .ok_or_else(|| bad("root", "missing integer \"version\""))?;
-        if version != 1 {
+        if version != 1 && version != 2 {
             return Err(bad(
                 "root",
                 &format!("unsupported schema version {version}"),
@@ -218,42 +280,25 @@ impl Trace {
             .iter()
             .map(TraceSpan::from_json)
             .collect::<Result<Vec<_>, String>>()?;
-        let counters = json
-            .get("counters")
-            .and_then(Json::as_obj)
-            .ok_or_else(|| bad("root", "missing object \"counters\""))?
-            .iter()
-            .map(|(k, v)| {
-                let v = v.as_u64().ok_or_else(|| {
-                    bad(&format!("counter {k:?}"), "expected an unsigned integer")
-                })?;
-                Ok((k.clone(), v))
-            })
-            .collect::<Result<Vec<_>, String>>()?;
-        let gauges = json
-            .get("gauges")
-            .and_then(Json::as_obj)
-            .ok_or_else(|| bad("root", "missing object \"gauges\""))?
-            .iter()
-            .map(|(k, v)| {
-                let v = v
-                    .as_f64()
-                    .ok_or_else(|| bad(&format!("gauge {k:?}"), "expected a number"))?;
-                Ok((k.clone(), v))
-            })
-            .collect::<Result<Vec<_>, String>>()?;
-        let histograms = json
-            .get("histograms")
-            .and_then(Json::as_obj)
-            .ok_or_else(|| bad("root", "missing object \"histograms\""))?
-            .iter()
-            .map(|(k, v)| Ok((k.clone(), HistogramSummary::from_json(v, k)?)))
-            .collect::<Result<Vec<_>, String>>()?;
+        let counters = parse_counter_table(json, "root")?;
+        let gauges = parse_gauge_table(json, "root")?;
+        let histograms = parse_histogram_table(json, "root")?;
+        let samples = if version >= 2 {
+            json.get("samples")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("root", "missing array \"samples\""))?
+                .iter()
+                .map(Sample::from_json)
+                .collect::<Result<Vec<_>, String>>()?
+        } else {
+            Vec::new()
+        };
         Ok(Trace {
             spans,
             counters,
             gauges,
             histograms,
+            samples,
         })
     }
 
@@ -381,7 +426,7 @@ impl Trace {
 impl ToJson for Trace {
     fn to_json(&self) -> Json {
         Json::obj([
-            ("version", Json::UInt(1)),
+            ("version", Json::UInt(2)),
             ("spans", self.spans.to_json()),
             (
                 "counters",
@@ -399,6 +444,7 @@ impl ToJson for Trace {
                         .map(|(k, v)| (k.clone(), v.to_json())),
                 ),
             ),
+            ("samples", self.samples.to_json()),
         ])
     }
 }
@@ -434,7 +480,7 @@ mod tests {
     fn golden_json_schema() {
         let t = sample_trace().map_seconds(|_| 0.25);
         let expected = concat!(
-            r#"{"version":1,"#,
+            r#"{"version":2,"#,
             r#""spans":[{"name":"pipeline","seconds":0.25,"#,
             r#""fields":{"rounds":1,"strategy":"cps"},"#,
             r#""children":[{"name":"partition","seconds":0.25,"#,
@@ -442,7 +488,8 @@ mod tests {
             r#""counters":{"cps.virtual_edges":42},"#,
             r#""gauges":{"mem.peak_bytes":1024.0},"#,
             r#""histograms":{"train.epoch_loss":{"count":3,"sum":10.5,"#,
-            r#""min":0.5,"max":8.0,"p50":4.0,"p95":8.0}}}"#,
+            r#""min":0.5,"max":8.0,"p50":4.0,"p95":8.0}},"#,
+            r#""samples":[]}"#,
         );
         assert_eq!(t.to_json_string(), expected);
     }
@@ -451,7 +498,7 @@ mod tests {
     fn empty_trace_serialises() {
         assert_eq!(
             Trace::default().to_json_string(),
-            r#"{"version":1,"spans":[],"counters":{},"gauges":{},"histograms":{}}"#
+            r#"{"version":2,"spans":[],"counters":{},"gauges":{},"histograms":{},"samples":[]}"#
         );
     }
 
@@ -496,10 +543,49 @@ mod tests {
 
     #[test]
     fn parse_accepts_empty_trace() {
-        let t =
-            Trace::parse(r#"{"version":1,"spans":[],"counters":{},"gauges":{},"histograms":{}}"#)
-                .unwrap();
+        let t = Trace::parse(
+            r#"{"version":2,"spans":[],"counters":{},"gauges":{},"histograms":{},"samples":[]}"#,
+        )
+        .unwrap();
         assert_eq!(t, Trace::default());
+    }
+
+    /// Version-1 documents (pre-live-telemetry) still parse; they just have
+    /// no sample ring and no `"samples"` key.
+    #[test]
+    fn parse_accepts_version_1_without_samples() {
+        let t = Trace::parse(
+            r#"{"version":1,"spans":[],"counters":{"c":3},"gauges":{},"histograms":{}}"#,
+        )
+        .unwrap();
+        assert_eq!(t.counter("c"), 3);
+        assert!(t.samples.is_empty());
+    }
+
+    #[test]
+    fn samples_round_trip_through_json() {
+        let mut t = sample_trace().map_seconds(|_| 0.25);
+        t.samples = vec![Sample {
+            tick: 8,
+            seconds: 0.5,
+            counters: vec![("cps.virtual_edges".to_owned(), 40)],
+            gauges: vec![("mem.peak_bytes".to_owned(), 512.0)],
+            histograms: vec![(
+                "train.epoch_loss".to_owned(),
+                HistogramSummary {
+                    count: 2,
+                    sum: 2.5,
+                    min: 0.5,
+                    max: 2.0,
+                    p50: 2.0,
+                    p95: 2.0,
+                },
+            )],
+        }];
+        let text = t.to_json_string();
+        let back = Trace::parse(&text).expect("round-trip parse");
+        assert_eq!(back, t);
+        assert_eq!(back.to_json_string(), text);
     }
 
     #[test]
@@ -507,8 +593,16 @@ mod tests {
         for (text, needle) in [
             ("[]", "version"),
             (
+                r#"{"version":3,"spans":[],"counters":{},"gauges":{},"histograms":{},"samples":[]}"#,
+                "version 3",
+            ),
+            (
                 r#"{"version":2,"spans":[],"counters":{},"gauges":{},"histograms":{}}"#,
-                "version 2",
+                "samples",
+            ),
+            (
+                r#"{"version":2,"spans":[],"counters":{},"gauges":{},"histograms":{},"samples":[{"seconds":0.0,"counters":{},"gauges":{},"histograms":{}}]}"#,
+                "tick",
             ),
             (
                 r#"{"version":1,"counters":{},"gauges":{},"histograms":{}}"#,

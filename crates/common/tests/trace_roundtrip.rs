@@ -1,11 +1,13 @@
-//! Trace ingestion contract tests: the golden schema-v1 fixture parses into
-//! exactly the expected typed trace, and `Trace → JSON → Trace` is the
-//! identity over arbitrary traces (the property the diff/check tooling
-//! leans on: a trace can be written to disk and read back losslessly).
+//! Trace ingestion contract tests: the golden schema-v1 fixture still
+//! parses (version-1 compat) into exactly the expected typed trace, and
+//! `Trace → JSON → Trace` is the identity over arbitrary schema-v2 traces
+//! including the live-telemetry sample ring (the property the diff/check
+//! tooling leans on: a trace can be written to disk and read back
+//! losslessly).
 
 use largeea_common::check::{for_each_case, string_from, unicode_string};
 use largeea_common::json::ToJson;
-use largeea_common::obs::{FieldValue, HistogramSummary, Trace, TraceSpan};
+use largeea_common::obs::{FieldValue, HistogramSummary, Sample, Trace, TraceSpan};
 use largeea_common::rng::Rng;
 
 /// The fixture is a hand-written schema-v1 document (the shape PR 2's
@@ -52,14 +54,19 @@ fn golden_v1_fixture_parses_to_the_expected_trace() {
     );
 }
 
+/// The emitter now writes schema v2, so a v1 fixture can no longer redump
+/// byte-identically — instead the upgrade must be canonical: the redump is
+/// a v2 document with an empty sample ring that parses back to the same
+/// trace, and *that* dump is a fixed point.
 #[test]
-fn golden_v1_fixture_redumps_byte_identically() {
+fn golden_v1_fixture_upgrades_canonically_to_v2() {
     let t = Trace::parse(FIXTURE.trim_end()).unwrap();
-    assert_eq!(
-        t.to_json_string(),
-        FIXTURE.trim_end(),
-        "parse → dump must reproduce the fixture bytes"
-    );
+    let dumped = t.to_json_string();
+    assert!(dumped.starts_with("{\"version\":2,"), "emitter writes v2");
+    assert!(dumped.ends_with(",\"samples\":[]}"), "v1 has no samples");
+    let back = Trace::parse(&dumped).expect("upgraded dump parses");
+    assert_eq!(back, t, "v1 → parse → v2 dump → parse is lossless");
+    assert_eq!(back.to_json_string(), dumped, "v2 dump is a fixed point");
 }
 
 /// A finite f64 drawn from the full bit pattern space.
@@ -111,6 +118,30 @@ fn arb_table<V>(rng: &mut Rng, mut value: impl FnMut(&mut Rng) -> V) -> Vec<(Str
     names.into_iter().map(|n| (n, value(rng))).collect()
 }
 
+fn arb_summary(r: &mut Rng) -> HistogramSummary {
+    HistogramSummary {
+        count: r.gen_range(1..1_000_000u64),
+        sum: arb_f64(r),
+        min: arb_f64(r),
+        max: arb_f64(r),
+        p50: arb_f64(r),
+        p95: arb_f64(r),
+    }
+}
+
+/// A live-telemetry sample with monotonically meaningless but valid
+/// contents — ticks and metric tables exercise the same table parsers the
+/// root uses.
+fn arb_sample(rng: &mut Rng) -> Sample {
+    Sample {
+        tick: rng.next_u64() >> rng.gen_range(0..64u32),
+        seconds: rng.gen_range(0.0..1000.0f64),
+        counters: arb_table(rng, |r| r.next_u64() >> r.gen_range(0..64u32)),
+        gauges: arb_table(rng, arb_f64),
+        histograms: arb_table(rng, arb_summary),
+    }
+}
+
 fn arb_trace(rng: &mut Rng) -> Trace {
     Trace {
         spans: (0..rng.gen_range(0..4usize))
@@ -118,14 +149,10 @@ fn arb_trace(rng: &mut Rng) -> Trace {
             .collect(),
         counters: arb_table(rng, |r| r.next_u64() >> r.gen_range(0..64u32)),
         gauges: arb_table(rng, arb_f64),
-        histograms: arb_table(rng, |r| HistogramSummary {
-            count: r.gen_range(1..1_000_000u64),
-            sum: arb_f64(r),
-            min: arb_f64(r),
-            max: arb_f64(r),
-            p50: arb_f64(r),
-            p95: arb_f64(r),
-        }),
+        histograms: arb_table(rng, arb_summary),
+        samples: (0..rng.gen_range(0..4usize))
+            .map(|_| arb_sample(rng))
+            .collect(),
     }
 }
 

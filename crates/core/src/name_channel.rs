@@ -145,7 +145,13 @@ impl NameChannel {
             Some(store) => self.sens_spilled(source, target, mem, store, rec)?,
             None => self.sens(source, target, mem, rec)?,
         };
+        // end of SENS: refresh the working-set gauge and give the live
+        // sampler a stage-boundary tick (likewise after STNS below)
+        rec.gauge("mem.tracked.bytes", mem.total_current() as f64);
+        rec.live_tick();
         let (m_st, stns_seconds) = self.stns(source, target, mem, rec, out_of_core)?;
+        rec.gauge("mem.tracked.bytes", mem.total_current() as f64);
+        rec.live_tick();
         let (m_se, m_st, m_n) = if out_of_core {
             // In-place fusion through the same `merge_rows` kernel as the
             // allocating `scaled_add` → bit-identical entries; `m_se`/`m_st`

@@ -46,6 +46,26 @@ pub struct ExecOptions {
     pub spill_dir: Option<PathBuf>,
 }
 
+impl ExecOptions {
+    /// Builds the execution regime from CLI-shaped flags. A memory budget
+    /// without an explicit spill directory picks a per-process tempdir
+    /// (`<tmp>/largeea_spill_<pid>`) instead of refusing the combination —
+    /// a budget is a promise to stay bounded, and out-of-core execution is
+    /// how that promise is kept. The chosen directory is announced in the
+    /// trace (`spill.dir` field on the `pipeline` span), so a run's working
+    /// storage is never a mystery.
+    pub fn from_flags(mem_budget: Option<usize>, spill_dir: Option<PathBuf>) -> ExecOptions {
+        let spill_dir = spill_dir.or_else(|| {
+            mem_budget
+                .map(|_| std::env::temp_dir().join(format!("largeea_spill_{}", std::process::id())))
+        });
+        ExecOptions {
+            mem_budget,
+            spill_dir,
+        }
+    }
+}
+
 /// Everything a bounded pipeline run can fail with.
 #[derive(Debug)]
 pub enum RunError {
@@ -335,6 +355,10 @@ impl LargeEa {
         let out_of_core = spill.is_some();
         let mut pipeline_span = rec.span("pipeline");
         pipeline_span.field("rounds", rounds);
+        if let Some(dir) = &exec.spill_dir {
+            pipeline_span.field("spill.dir", dir.display().to_string());
+        }
+        rec.gauge("progress.rounds_total", rounds as f64);
 
         // --- name channel (once — it does not depend on seeds) -------------
         let name_out = if self.cfg.use_name {
@@ -385,6 +409,7 @@ impl LargeEa {
         let mut sim;
         let mut round = 0;
         loop {
+            rec.gauge("progress.round", (round + 1) as f64);
             structure_out = if self.cfg.use_structure {
                 Some(StructureChannel::new(self.cfg.structure).run_bounded(
                     pair,
@@ -431,6 +456,10 @@ impl LargeEa {
             mem.release("fused"); // the previous round's fused matrix is replaced
             mem.set("fused", sim.nbytes());
             mem.enforce("fused", sim.nbytes())?;
+            // end of a bootstrap round: refresh the live working-set gauge
+            // and give the sampler a stage-boundary tick
+            rec.gauge("mem.tracked.bytes", mem.total_current() as f64);
+            rec.live_tick();
             round += 1;
             if round >= rounds {
                 break;
@@ -461,6 +490,10 @@ impl LargeEa {
         let total_seconds = pipeline_span.finish();
         let tracked_peak_bytes = mem.total_peak();
         mem.record_into(rec);
+        // Final live flush AFTER the last metric lands and BEFORE the trace
+        // snapshot below: nothing records in between, so the flushed
+        // `live.trace.json` is byte-identical to the exported trace.
+        rec.flush_live();
         // Single source of truth: the report's timings are the trace's
         // (finish() returns the exact f64 stored in the span).
         let trace = rec.trace();

@@ -257,9 +257,15 @@ impl StructureChannel {
         // keys of spilled blocks, in batch order — the merge order below
         let mut spilled_blocks: Vec<String> = Vec::new();
         let train_span = rec.span("train");
+        // Live-telemetry progress gauges: how far along this round's
+        // training loop is (`trace tail` reads these for its progress/ETA
+        // line; `progress.epochs_total` is per batch).
+        rec.gauge("progress.batches_total", batches.batches.len() as f64);
+        rec.gauge("progress.epochs_total", self.cfg.train.epochs as f64);
         let mut loss_sum = 0.0f64;
         let mut loss_count = 0usize;
         for batch in &batches.batches {
+            rec.gauge("progress.batch", (batch.index + 1) as f64);
             let mut batch_span = rec.span_at(Level::Detail, "minibatch");
             batch_span.field("batch", batch.index);
             let skey = format!("r{round}.b{}.sim", batch.index);
@@ -373,6 +379,10 @@ impl StructureChannel {
                     mem.enforce("structure_channel", live)?;
                 }
             }
+            // end of a mini-batch: refresh the working-set gauge and give
+            // the sampler a stage-boundary tick
+            rec.gauge("mem.tracked.bytes", mem.total_current() as f64);
+            rec.live_tick();
         }
         if let Some(store) = spill {
             // assemble M_s by streaming blocks back in batch order — the

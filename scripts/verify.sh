@@ -70,4 +70,16 @@ if "$L" align --data "$SMOKE/data" --model gcn --k 2 --epochs 8 --dim 16 \
   exit 1
 fi
 
+echo "== live-telemetry smoke =="
+# a run with --live-dir must leave a final snapshot byte-identical to
+# --trace-out, and the whole offline tooling loop must accept it
+# (DESIGN.md §S0.9)
+"$L" align --data "$SMOKE/data" --model gcn --k 2 --epochs 8 --dim 16 \
+  --live-dir "$SMOKE/live" --live-every 8 \
+  --trace-out "$SMOKE/live_run.json" > /dev/null
+cmp "$SMOKE/live/live.trace.json" "$SMOKE/live_run.json"
+"$L" trace summarize "$SMOKE/live/live.trace.json" > /dev/null
+"$L" trace tail "$SMOKE/live" --once > /dev/null
+"$L" trace expo "$SMOKE/live/live.trace.json" | grep -q '^largeea_'
+
 echo "verify: OK"

@@ -19,7 +19,7 @@ mod ckpt_cmd;
 mod trace_cmd;
 
 use largeea::common::json::ToJson;
-use largeea::common::obs::Recorder;
+use largeea::common::obs::{LiveConfig, Recorder};
 use largeea::core::checkpoint::Checkpoint;
 use largeea::core::pipeline::{ExecOptions, LargeEa, LargeEaConfig};
 use largeea::core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
@@ -43,12 +43,15 @@ USAGE:
                     [--csls n] [--rounds n] [--analysis] [--out <file>] [--sim-out <file>]
                     [--trace-out <file>] [--checkpoint-dir <dir>] [--resume]
                     [--mem-budget <bytes>] [--spill-dir <dir>]
+                    [--live-dir <dir>] [--live-every n]
   largeea eval      --data <dir> --predictions <file>
   largeea ckpt      inspect <dir>
   largeea trace     summarize <trace.json>
   largeea trace     diff <a.json> <b.json> [--threshold-pct f] [--min-seconds f]
   largeea trace     flame <trace.json>
   largeea trace     check <trace.json> --baseline <BENCH.json> [--tolerance-pct f]
+  largeea trace     tail <dir|live.trace.json> [--once] [--interval-ms n]
+  largeea trace     expo <trace.json>
 
 PRESETS: ids15k-en-fr  ids15k-en-de  ids100k-en-fr  ids100k-en-de
          dbp1m-en-fr   dbp1m-en-de   dbp1m-ci
@@ -66,9 +69,17 @@ prints a checkpoint directory's manifest and training progress.
 
 `--mem-budget <bytes>` (suffixes K/M/G, 1024-based) runs `align` out of
 core (DESIGN.md §S0.8): intermediate blocks spill to `--spill-dir`
-(default: a per-process directory under the system temp dir) and the run
-fails fast with a typed error if tracked live bytes would pass the budget.
+(default: a per-process directory under the system temp dir, announced as
+the `spill.dir` field of the trace's `pipeline` span) and the run fails
+fast with a typed error if tracked live bytes would pass the budget.
 Results are bit-identical to the unbounded run.
+
+`--live-dir <dir>` turns on live telemetry (DESIGN.md §S0.9): every
+`--live-every` sampler ticks (default 32; ticks are recorded span exits,
+so sampling is deterministic for a fixed seed) the run captures a metric
+sample and atomically rewrites `<dir>/live.trace.json` — watch it from
+another terminal with `largeea trace tail <dir>`. `trace expo` renders a
+trace's metric tables as Prometheus text exposition.
 
 Every command is deterministic for fixed inputs and flags.";
 
@@ -331,18 +342,24 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
         .get("mem-budget")
         .map(|v| parse_bytes(v).map_err(|e| format!("--mem-budget: {e}")))
         .transpose()?;
-    let spill_dir = match (mem_budget, flags.get("spill-dir")) {
-        (_, Some(d)) => Some(PathBuf::from(d)),
-        // a budget without an explicit spill dir gets a per-process one
-        (Some(_), None) => {
-            Some(std::env::temp_dir().join(format!("largeea_spill_{}", std::process::id())))
+    // a budget without an explicit spill dir gets a per-process tempdir,
+    // announced in the trace as the pipeline span's `spill.dir` field
+    let exec = ExecOptions::from_flags(mem_budget, flags.get("spill-dir").map(PathBuf::from));
+    if flags.contains_key("live-every") && !flags.contains_key("live-dir") {
+        return Err("--live-every needs --live-dir".to_owned());
+    }
+    if let Some(dir) = flags.get("live-dir").map(PathBuf::from) {
+        let every: u64 = parse_or(flags, "live-every", 32)?;
+        if every == 0 {
+            return Err("--live-every must be at least 1".to_owned());
         }
-        (None, None) => None,
-    };
-    let exec = ExecOptions {
-        mem_budget,
-        spill_dir,
-    };
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        rec.enable_live(LiveConfig {
+            every,
+            dir: Some(dir),
+            ..LiveConfig::default()
+        });
+    }
     let report = match flags.get("checkpoint-dir") {
         Some(dir) => {
             let meta = cfg.run_meta(&seeds, rounds);

@@ -1,21 +1,29 @@
 //! The `largeea trace` subcommand family — analysis of `--trace-out` files.
 //!
-//! Everything here consumes the schema-v1 trace JSON the pipeline writes
-//! (DESIGN.md §S0.5) and answers perf questions offline:
+//! Everything here consumes the trace JSON the pipeline writes (schema v2,
+//! v1 accepted for old files; DESIGN.md §S0.5, §S0.9) and answers perf
+//! questions offline:
 //!
 //! - `summarize <trace>` — wall-clock tree (total/self, same-name siblings
-//!   aggregated), metric tables, and derived throughputs;
+//!   aggregated), metric tables sorted by name, and derived throughputs;
 //! - `diff <a> <b>` — per-stage deltas sorted by regression size, with
 //!   optional `--threshold-pct` exit-code gating for CI;
 //! - `flame <trace>` — collapsed stacks (`a;b;c <self-µs>`), the folded
 //!   format flamegraph tooling eats;
 //! - `check <trace> --baseline <file>` — asserts the stage budgets and
-//!   exact counters of a `BENCH_*.json` baseline (see `scripts/bench.sh`).
+//!   exact counters of a `BENCH_*.json` baseline (see `scripts/bench.sh`);
+//! - `tail <dir>` — live view of a running `align --live-dir` job: polls
+//!   `live.trace.json`, shows the open span path, round/batch progress
+//!   with an ETA from `train.epochs_per_sec`, and sparklines over the
+//!   sample ring;
+//! - `expo <trace>` — Prometheus-style text exposition of the metric
+//!   tables (`largeea_common::obs::expo`).
 
 use largeea::bench::Baseline;
-use largeea::common::obs::{Trace, TraceSpan};
+use largeea::common::obs::{expo, Sample, Trace, TraceSpan};
 use largeea::core::throughput::derived_throughputs;
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const TRACE_USAGE: &str = "largeea trace — analyse --trace-out JSON files
@@ -25,10 +33,19 @@ USAGE:
   largeea trace diff <a.json> <b.json> [--threshold-pct f] [--min-seconds f]
   largeea trace flame <trace.json>
   largeea trace check <trace.json> --baseline <BENCH.json> [--tolerance-pct f]
+  largeea trace tail <dir|live.trace.json> [--once] [--interval-ms n]
+  largeea trace expo <trace.json>
 
 `diff` exits non-zero when --threshold-pct is given and any stage in <b>
 regressed past it; `check` exits non-zero on any budget or counter
-violation. Regenerate baselines with scripts/bench.sh.";
+violation. Regenerate baselines with scripts/bench.sh.
+
+`tail` follows the live snapshot a run writes under `--live-dir`
+(a directory argument means `<dir>/live.trace.json`). It repolls every
+--interval-ms (default 500) until the run's root span closes; --once
+prints a single status block and exits (non-zero if the snapshot is
+missing or unparseable). `expo` renders the counters/gauges/histograms
+of any trace file in Prometheus text exposition format.";
 
 /// Entry point from `main` (args exclude the leading `trace`). Returns the
 /// process exit code directly because `diff`/`check` encode their verdict
@@ -46,7 +63,7 @@ pub fn cmd_trace(args: &[String]) -> ExitCode {
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (positionals, flags) = parse_mixed(args)?;
     let Some(sub) = positionals.first() else {
-        return Err("trace needs a subcommand (summarize|diff|flame|check)".into());
+        return Err("trace needs a subcommand (summarize|diff|flame|check|tail|expo)".into());
     };
     let file = |i: usize| -> Result<Trace, String> {
         let path = positionals
@@ -90,19 +107,38 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             Ok(check(&file(1)?, &baseline, tolerance, baseline_path))
         }
+        "tail" => {
+            let target = positionals
+                .get(1)
+                .ok_or("tail needs a --live-dir directory (or live.trace.json path)")?;
+            let interval_ms: u64 = match flags.get("interval-ms") {
+                Some(v) => v.parse().map_err(|_| format!("--interval-ms got {v:?}"))?,
+                None => 500,
+            };
+            tail(Path::new(target), flags.contains_key("once"), interval_ms)
+        }
+        "expo" => {
+            print!("{}", expo::render_text(&file(1)?));
+            Ok(ExitCode::SUCCESS)
+        }
         other => Err(format!("unknown trace subcommand {other:?}")),
     }
 }
 
 /// Splits `args` into positionals and `--flag value` pairs (the trace
 /// subcommands mix both, unlike the flag-only pipeline commands).
+/// Boolean flags (`--once`) take no value and are stored as `"true"`.
 fn parse_mixed(args: &[String]) -> Result<(Vec<String>, BTreeMap<String, String>), String> {
+    const BOOLEAN: &[&str] = &["once"];
     let mut positionals = Vec::new();
     let mut flags = BTreeMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.strip_prefix("--") {
             None => positionals.push(a.clone()),
+            Some(name) if BOOLEAN.contains(&name) => {
+                flags.insert(name.to_owned(), "true".to_owned());
+            }
             Some(name) => {
                 let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 flags.insert(name.to_owned(), value.clone());
@@ -180,26 +216,42 @@ fn summarize(trace: &Trace) {
     );
     print_rollup(&roots, 0, root_total);
 
+    // The emitter writes these tables sorted, but parsed files preserve
+    // their on-disk order — sort defensively so the report is
+    // deterministic for any input (and golden-testable).
     if !trace.counters.is_empty() {
         println!("\ncounters:");
-        for (name, v) in &trace.counters {
+        let mut counters = trace.counters.clone();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, v) in &counters {
             println!("  {name:<38} {v:>12}");
         }
     }
     if !trace.gauges.is_empty() {
         println!("\ngauges:");
-        for (name, v) in &trace.gauges {
+        let mut gauges = trace.gauges.clone();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, v) in &gauges {
             println!("  {name:<38} {v:>12.3}");
         }
     }
     if !trace.histograms.is_empty() {
         println!("\nhistograms:");
-        for (name, h) in &trace.histograms {
+        let mut histograms = trace.histograms.clone();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, h) in &histograms {
             println!(
                 "  {name:<38} count {} sum {:.4} min {:.4} p50 {:.4} p95 {:.4} max {:.4}",
                 h.count, h.sum, h.min, h.p50, h.p95, h.max
             );
         }
+    }
+    if !trace.samples.is_empty() {
+        println!(
+            "\nlive samples: {} (last tick {})",
+            trace.samples.len(),
+            trace.samples.last().map_or(0, |s| s.tick)
+        );
     }
     let rates = derived_throughputs(trace);
     if !rates.is_empty() {
@@ -361,4 +413,198 @@ fn check(trace: &Trace, baseline: &Baseline, tolerance_pct: f64, baseline_path: 
         }
         ExitCode::FAILURE
     }
+}
+
+// --- tail ----------------------------------------------------------------
+
+/// Counter series shown as per-snapshot deltas in the tail view.
+const TAIL_COUNTER_SERIES: &[&str] = &[
+    "mem.spill.write_bytes",
+    "mem.spill.read_bytes",
+    "ckpt.write_bytes",
+];
+/// How many trailing samples a sparkline covers.
+const TAIL_WINDOW: usize = 32;
+
+fn tail(target: &Path, once: bool, interval_ms: u64) -> Result<ExitCode, String> {
+    let path: PathBuf = if target.is_dir() {
+        target.join("live.trace.json")
+    } else {
+        target.to_path_buf()
+    };
+    if once {
+        let trace = load_trace(&path.to_string_lossy())?;
+        print!("{}", render_tail(&trace, &path));
+        return Ok(ExitCode::SUCCESS);
+    }
+    // Follow mode: snapshots are replaced atomically (temp → rename), so a
+    // read either sees a complete document or the file missing for an
+    // instant — both are retried, not fatal.
+    let mut waiting_reported = false;
+    loop {
+        match load_trace(&path.to_string_lossy()) {
+            Ok(trace) => {
+                waiting_reported = false;
+                print!("{}", render_tail(&trace, &path));
+                if open_span_path(&trace).is_none() {
+                    return Ok(ExitCode::SUCCESS);
+                }
+            }
+            Err(e) => {
+                if !waiting_reported {
+                    eprintln!("waiting: {e}");
+                    waiting_reported = true;
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(1)));
+    }
+}
+
+/// The chain of still-open spans (recorded with `seconds == 0.0` in a live
+/// snapshot), deepest last: `pipeline > round > train`. `None` once every
+/// span has closed — the run is over.
+fn open_span_path(trace: &Trace) -> Option<Vec<&str>> {
+    let mut path = Vec::new();
+    let mut spans: &[TraceSpan] = &trace.spans;
+    while let Some(open) = spans.iter().rev().find(|s| s.seconds == 0.0) {
+        path.push(open.name.as_str());
+        spans = &open.children;
+    }
+    if path.is_empty() {
+        None
+    } else {
+        Some(path)
+    }
+}
+
+/// One status block: header, open-span path, progress/ETA, sparklines.
+fn render_tail(trace: &Trace, path: &Path) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let (tick, secs) = trace
+        .samples
+        .last()
+        .map_or((0, 0.0), |s| (s.tick, s.seconds));
+    let _ = writeln!(
+        out,
+        "{} — tick {tick}, {secs:.1}s, {} sample(s)",
+        path.display(),
+        trace.samples.len()
+    );
+    match open_span_path(trace) {
+        Some(p) => {
+            let _ = writeln!(out, "  open: {}", p.join(" > "));
+        }
+        None => {
+            let _ = writeln!(out, "  run complete");
+        }
+    }
+    let progress = progress_line(trace);
+    if !progress.is_empty() {
+        let _ = writeln!(out, "  {progress}");
+    }
+    for name in TAIL_COUNTER_SERIES {
+        let deltas = counter_deltas(&trace.samples, name);
+        let total = trace.counter(name);
+        if total > 0 && !deltas.is_empty() {
+            let _ = writeln!(out, "  Δ {name:<24} {} (total {total})", sparkline(&deltas));
+        }
+    }
+    let tracked = gauge_series(&trace.samples, "mem.tracked.bytes");
+    if tracked.iter().any(|&v| v > 0.0) {
+        let _ = writeln!(
+            out,
+            "  {:<26} {} (last {:.0})",
+            "mem.tracked.bytes",
+            sparkline(&tracked),
+            tracked.last().copied().unwrap_or(0.0)
+        );
+    }
+    out
+}
+
+/// Round/batch/epoch progress from the `progress.*` gauges, with an ETA
+/// from `train.epochs_per_sec` when the throughput is derivable (it is not
+/// during the first round — the open `train` span has no duration yet, so
+/// the wall clock of the latest sample stands in).
+fn progress_line(trace: &Trace) -> String {
+    let g = |n: &str| trace.gauge(n).unwrap_or(0.0);
+    let mut parts = Vec::new();
+    if g("progress.rounds_total") > 0.0 {
+        parts.push(format!(
+            "round {:.0}/{:.0}",
+            g("progress.round"),
+            g("progress.rounds_total")
+        ));
+    }
+    if g("progress.batches_total") > 0.0 {
+        parts.push(format!(
+            "batch {:.0}/{:.0}",
+            g("progress.batch"),
+            g("progress.batches_total")
+        ));
+    }
+    let expected =
+        g("progress.rounds_total") * g("progress.batches_total") * g("progress.epochs_total");
+    if expected > 0.0 {
+        let done = trace.span_count("epoch") as f64;
+        parts.push(format!(
+            "epochs {done:.0}/{expected:.0} ({:.1}%)",
+            100.0 * done / expected
+        ));
+        let rate = derived_throughputs(trace)
+            .iter()
+            .find(|t| t.name == "train.epochs_per_sec")
+            .map(|t| t.per_sec)
+            .or_else(|| {
+                trace
+                    .samples
+                    .last()
+                    .filter(|s| s.seconds > 0.0)
+                    .map(|s| done / s.seconds)
+            })
+            .filter(|r| r.is_finite() && *r > 0.0);
+        if let Some(rate) = rate {
+            if done < expected {
+                parts.push(format!("ETA {:.1}s", (expected - done) / rate));
+            }
+        }
+    }
+    parts.join("  ")
+}
+
+/// Per-snapshot increments of a counter over the trailing window
+/// (counters are monotone, so consecutive differences are the activity
+/// between snapshots). Needs at least two samples.
+fn counter_deltas(samples: &[Sample], name: &str) -> Vec<f64> {
+    let tail = &samples[samples.len().saturating_sub(TAIL_WINDOW + 1)..];
+    tail.windows(2)
+        .map(|w| w[1].counter(name).saturating_sub(w[0].counter(name)) as f64)
+        .collect()
+}
+
+/// A gauge's raw values over the trailing window (absent → 0.0 so the
+/// series keeps one slot per sample).
+fn gauge_series(samples: &[Sample], name: &str) -> Vec<f64> {
+    let tail = &samples[samples.len().saturating_sub(TAIL_WINDOW)..];
+    tail.iter().map(|s| s.gauge(name).unwrap_or(0.0)).collect()
+}
+
+/// One block character per value, scaled to the window maximum; an
+/// all-zero (or empty) window renders as a flat baseline.
+fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().fold(0.0f64, |m, &v| m.max(v));
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                BLOCKS[0]
+            } else {
+                let idx = ((v / max) * 7.0).round() as usize;
+                BLOCKS[idx.clamp(1, 7)]
+            }
+        })
+        .collect()
 }

@@ -113,7 +113,7 @@ fn full_workflow_generate_stats_partition_align_eval() {
     assert!(text.contains("wrote run trace"), "{text}");
     assert!(preds.exists());
     let trace = std::fs::read_to_string(&trace_path).unwrap();
-    assert!(trace.starts_with("{\"version\":1,\"spans\":["), "{trace}");
+    assert!(trace.starts_with("{\"version\":2,\"spans\":["), "{trace}");
     // one sub-stage span from every instrumented subsystem (ISSUE §S0.5):
     // per-epoch training, per-pass refinement, per-block name search
     for span in [

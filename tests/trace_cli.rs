@@ -259,3 +259,138 @@ fn trace_errors_are_reported_not_panicked() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A handcrafted schema-v2 live snapshot: one still-open span chain, the
+/// `progress.*` gauges a run maintains, and a three-sample ring with
+/// spill activity — tables deliberately NOT sorted to prove the tooling
+/// sorts defensively.
+fn handcrafted_live_snapshot() -> String {
+    concat!(
+        r#"{"version":2,"#,
+        r#""spans":[{"name":"pipeline","seconds":0.0,"fields":{},"children":["#,
+        r#"{"name":"structure_channel","seconds":0.0,"fields":{},"children":["#,
+        r#"{"name":"train","seconds":0.0,"fields":{},"children":["#,
+        r#"{"name":"epoch","seconds":0.5,"fields":{},"children":[]}]}]}]}],"#,
+        r#""counters":{"zeta.ops":3,"mem.spill.write_bytes":4096,"alpha.ops":1},"#,
+        r#""gauges":{"progress.rounds_total":1.0,"progress.round":1.0,"#,
+        r#""progress.batches_total":2.0,"progress.batch":1.0,"#,
+        r#""progress.epochs_total":4.0,"mem.tracked.bytes":2048.0},"#,
+        r#""histograms":{"z.h":{"count":1,"sum":0.5,"min":0.5,"max":0.5,"p50":0.5,"p95":0.5},"#,
+        r#""a.h":{"count":2,"sum":1.0,"min":0.25,"max":0.75,"p50":0.25,"p95":0.75}},"#,
+        r#""samples":["#,
+        r#"{"tick":2,"seconds":0.1,"counters":{"mem.spill.write_bytes":1024},"gauges":{"mem.tracked.bytes":512.0},"histograms":{}},"#,
+        r#"{"tick":4,"seconds":0.2,"counters":{"mem.spill.write_bytes":1024},"gauges":{"mem.tracked.bytes":2048.0},"histograms":{}},"#,
+        r#"{"tick":6,"seconds":0.3,"counters":{"mem.spill.write_bytes":4096},"gauges":{"mem.tracked.bytes":2048.0},"histograms":{}}"#,
+        r#"]}"#,
+    )
+    .to_owned()
+}
+
+#[test]
+fn tail_once_renders_open_path_progress_and_sparklines() {
+    let dir = tempdir("tail");
+    std::fs::write(dir.join("live.trace.json"), handcrafted_live_snapshot()).unwrap();
+
+    // a directory argument resolves to <dir>/live.trace.json
+    let out = bin()
+        .arg("trace")
+        .arg("tail")
+        .arg(&dir)
+        .arg("--once")
+        .output()
+        .unwrap();
+    let text = stdout_of(&out);
+    assert!(
+        text.contains("open: pipeline > structure_channel > train"),
+        "{text}"
+    );
+    assert!(text.contains("round 1/1"), "{text}");
+    assert!(text.contains("batch 1/2"), "{text}");
+    assert!(text.contains("epochs 1/8"), "{text}");
+    assert!(text.contains("ETA"), "{text}");
+    assert!(text.contains("tick 6"), "{text}");
+    assert!(text.contains("mem.spill.write_bytes"), "{text}");
+    assert!(text.contains('█'), "sparkline blocks expected in {text}");
+
+    // the explicit file path form works too
+    let out = bin()
+        .arg("trace")
+        .arg("tail")
+        .arg(dir.join("live.trace.json"))
+        .arg("--once")
+        .output()
+        .unwrap();
+    stdout_of(&out);
+
+    // --once on a missing snapshot is a clean failure, not a hang
+    let out = bin()
+        .arg("trace")
+        .arg("tail")
+        .arg(dir.join("nope"))
+        .arg("--once")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn summarize_output_is_sorted_and_byte_deterministic() {
+    let dir = tempdir("sorted");
+    let path = dir.join("live.trace.json");
+    std::fs::write(&path, handcrafted_live_snapshot()).unwrap();
+
+    let run = || {
+        let out = bin()
+            .arg("trace")
+            .arg("summarize")
+            .arg(&path)
+            .output()
+            .unwrap();
+        stdout_of(&out)
+    };
+    let text = run();
+    // golden: the metric sections print name-sorted regardless of the
+    // (deliberately shuffled) on-disk order
+    let expected_counters = format!(
+        "counters:\n  {:<38} {:>12}\n  {:<38} {:>12}\n  {:<38} {:>12}\n",
+        "alpha.ops", 1, "mem.spill.write_bytes", 4096, "zeta.ops", 3
+    );
+    assert!(text.contains(&expected_counters), "{text}");
+    let a_h = text.find("  a.h ").expect("a.h histogram row");
+    let z_h = text.find("  z.h ").expect("z.h histogram row");
+    assert!(a_h < z_h, "histograms must sort by name:\n{text}");
+    let mut gauge_names: Vec<&str> = text
+        .lines()
+        .skip_while(|l| *l != "gauges:")
+        .skip(1)
+        .take_while(|l| !l.is_empty())
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    let sorted = gauge_names.clone();
+    gauge_names.sort_unstable();
+    assert_eq!(sorted, gauge_names, "gauges must sort by name:\n{text}");
+    assert!(text.contains("live samples: 3 (last tick 6)"), "{text}");
+    assert_eq!(text, run(), "summarize must be byte-deterministic");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn expo_renders_prometheus_text_from_any_trace() {
+    let dir = tempdir("expo");
+    let path = dir.join("live.trace.json");
+    std::fs::write(&path, handcrafted_live_snapshot()).unwrap();
+
+    let out = bin().arg("trace").arg("expo").arg(&path).output().unwrap();
+    let text = stdout_of(&out);
+    assert!(
+        text.contains("# TYPE largeea_alpha_ops_total counter\nlargeea_alpha_ops_total 1\n"),
+        "{text}"
+    );
+    assert!(text.contains("largeea_progress_rounds_total 1.0"), "{text}");
+    assert!(
+        text.contains("largeea_z_h{quantile=\"0.95\"} 0.5"),
+        "{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
