@@ -22,6 +22,12 @@ use largeea_core::structure_channel::{Partitioner, StructureChannelConfig};
 use largeea_data::Preset;
 use largeea_models::{ModelKind, TrainConfig};
 
+// The same instrumented allocator the `largeea` binary runs under, so the
+// committed stage medians measure what production runs actually pay (the
+// counting fast path) and the overhead probe below can pause it.
+#[global_allocator]
+static ALLOC: largeea_common::alloc::CountingAlloc = largeea_common::alloc::CountingAlloc;
+
 fn main() {
     let repeats = arg_usize("repeats", 5);
     let scale = arg_f64("scale", 0.02);
@@ -55,6 +61,7 @@ fn main() {
         spill_dir: (mem_budget > 0).then(|| {
             std::env::temp_dir().join(format!("largeea_bench_spill_{}", std::process::id()))
         }),
+        ..ExecOptions::default()
     };
 
     let mut traces = Vec::with_capacity(repeats);
@@ -107,6 +114,46 @@ fn main() {
         eprintln!("[bench] WARNING: sampler overhead exceeds the 2% budget");
     }
 
+    // Allocator-instrumentation overhead probe (DESIGN.md §S0.10). Same
+    // min-of-3 discipline: "off" pauses the counting fast path entirely
+    // (set_counting(false), heap attribution off — what an uninstrumented
+    // binary pays, minus one predictable branch per alloc), "on" is the
+    // full production configuration (counting + span attribution + pool
+    // transfer). Budget is < 5%. Runs after every measured number above so
+    // the paused-counting books corrupting live-byte accuracy can't touch
+    // anything we keep.
+    let alloc_probe = |counting: bool| -> f64 {
+        largeea_common::alloc::set_counting(counting);
+        let rec = Recorder::new(ObsConfig {
+            heap: counting,
+            ..ObsConfig::default()
+        });
+        let secs = LargeEa::new(cfg)
+            .run_exec(&pair, &seeds, 1, &rec, None, &exec)
+            .expect("allocator overhead probe run")
+            .total_seconds;
+        largeea_common::alloc::set_counting(true);
+        secs
+    };
+    let alloc_off = (0..3)
+        .map(|_| alloc_probe(false))
+        .fold(f64::INFINITY, f64::min);
+    let alloc_on = (0..3)
+        .map(|_| alloc_probe(true))
+        .fold(f64::INFINITY, f64::min);
+    let alloc_overhead_pct = if alloc_off > 0.0 {
+        100.0 * (alloc_on - alloc_off) / alloc_off
+    } else {
+        0.0
+    };
+    eprintln!(
+        "[bench] allocator overhead: off {alloc_off:.3}s, on {alloc_on:.3}s \
+         ({alloc_overhead_pct:+.2}%)"
+    );
+    if alloc_overhead_pct > 5.0 {
+        eprintln!("[bench] WARNING: allocator overhead exceeds the 5% budget");
+    }
+
     let mut config = vec![
         ("preset".to_owned(), "ids15k-en-fr".to_owned()),
         ("scale".to_owned(), format!("{scale}")),
@@ -120,6 +167,12 @@ fn main() {
         (
             "sampler_overhead_pct".to_owned(),
             format!("{overhead_pct:+.2}"),
+        ),
+        ("alloc_off_seconds".to_owned(), format!("{alloc_off:.3}")),
+        ("alloc_on_seconds".to_owned(), format!("{alloc_on:.3}")),
+        (
+            "alloc_overhead_pct".to_owned(),
+            format!("{alloc_overhead_pct:+.2}"),
         ),
     ];
     config.extend(largeea_bench::thread_config());

@@ -5,7 +5,7 @@
 //! *LargeEA* (Ge et al., VLDB 2021) compiles and tests **fully offline**:
 //! no crates.io registry, no network, no vendored third-party code.
 //!
-//! Eight subsystems (DESIGN.md §S0, §S0.5, §S0.6, §S0.7):
+//! Ten subsystems (DESIGN.md §S0, §S0.5, §S0.6, §S0.7, §S0.10):
 //!
 //! | Module | Replaces | Provides |
 //! |--------|----------|----------|
@@ -17,6 +17,8 @@
 //! | [`obs`] | `tracing`/`metrics` | thread-safe [`obs::Recorder`]: hierarchical spans, counters/gauges/histograms, JSON [`obs::Trace`] export, `LARGEEA_LOG` echo |
 //! | [`failpoint`] | `fail` crate | named deterministic fault-injection points (`LARGEEA_FAILPOINTS`), branch-on-disabled-flag no-ops in normal runs |
 //! | [`fsio`] | `tempfile`+`crc32fast` | atomic durable writes (temp → fsync → rename) and CRC32-checksummed framed reads — torn writes are detected, never silently loaded |
+//! | [`alloc`] | `jemalloc`-style stats / `dhat` | [`alloc::CountingAlloc`] instrumented `#[global_allocator]`: per-thread byte/count/peak accounting with span attribution and pool-worker transfer |
+//! | [`units`] | `humansize` | [`fmt_bytes`] human-readable byte formatting shared by every memory report |
 //!
 //! ## Determinism contract
 //!
@@ -27,11 +29,14 @@
 //! platform (the PRNG is defined purely over `u64` wrapping arithmetic).
 
 #![deny(missing_docs)]
-// `deny`, not `forbid`: `pool` contains the workspace's single audited
-// unsafe block (a lifetime erasure required for scoped jobs on persistent
-// threads — see the SAFETY comment there). Everything else stays safe code.
+// `deny`, not `forbid`: the workspace's two audited unsafe items live here —
+// `pool`'s lifetime erasure (scoped jobs on persistent threads) and
+// `alloc`'s `GlobalAlloc` impl (delegation to the system allocator plus
+// counter arithmetic). Both carry SAFETY comments; everything else stays
+// safe code.
 #![deny(unsafe_code)]
 
+pub mod alloc;
 pub mod bench;
 pub mod check;
 pub mod failpoint;
@@ -40,6 +45,8 @@ pub mod json;
 pub mod obs;
 pub mod pool;
 pub mod rng;
+pub mod units;
 
 pub use json::{Json, ToJson};
 pub use rng::{Rng, SliceRandom};
+pub use units::fmt_bytes;

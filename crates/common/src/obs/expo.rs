@@ -131,7 +131,15 @@ mod tests {
                 ("mem.spill.writes".to_owned(), 7),
                 ("cps.virtual_edges".to_owned(), 42),
             ],
-            gauges: vec![("mem.peak_bytes".to_owned(), 1024.0)],
+            gauges: vec![
+                ("mem.peak_bytes".to_owned(), 1024.0),
+                // Heap-attribution gauges (DESIGN.md §S0.10) flow through
+                // the ordinary gauge path — pinned here so the /metrics
+                // spelling of the memory triple never drifts silently.
+                ("heap.live".to_owned(), 4096.0),
+                ("heap.peak".to_owned(), 8192.0),
+                ("mem.rss".to_owned(), 1048576.0),
+            ],
             histograms: vec![(
                 "train.epoch_loss".to_owned(),
                 HistogramSummary {
@@ -150,8 +158,14 @@ mod tests {
 largeea_cps_virtual_edges_total 42
 # TYPE largeea_mem_spill_writes_total counter
 largeea_mem_spill_writes_total 7
+# TYPE largeea_heap_live gauge
+largeea_heap_live 4096.0
+# TYPE largeea_heap_peak gauge
+largeea_heap_peak 8192.0
 # TYPE largeea_mem_peak_bytes gauge
 largeea_mem_peak_bytes 1024.0
+# TYPE largeea_mem_rss gauge
+largeea_mem_rss 1048576.0
 # TYPE largeea_train_epoch_loss summary
 largeea_train_epoch_loss{quantile=\"0.5\"} 4.0
 largeea_train_epoch_loss{quantile=\"0.95\"} 8.0

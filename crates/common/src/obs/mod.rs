@@ -137,6 +137,12 @@ pub struct ObsConfig {
     pub record: Level,
     /// Spans at or below this level print one line to stderr on close.
     pub echo: Level,
+    /// Attribute heap allocations to spans (`alloc.bytes` / `alloc.count`
+    /// / `alloc.peak` fields, `heap.*` and `mem.rss` sample gauges). Off
+    /// by default: the fields only carry meaning when
+    /// [`crate::alloc::CountingAlloc`] is the process's global allocator,
+    /// and always-on fields would perturb traces of processes without it.
+    pub heap: bool,
 }
 
 impl Default for ObsConfig {
@@ -146,6 +152,7 @@ impl Default for ObsConfig {
         Self {
             record: Level::Trace,
             echo: Level::Off,
+            heap: false,
         }
     }
 }
@@ -154,13 +161,15 @@ impl ObsConfig {
     /// The default configuration with the echo gate taken from the
     /// `LARGEEA_LOG` environment variable (`off` when unset; an invalid
     /// value warns once to stderr and disables the echo — see
-    /// [`Level::parse_env`]).
+    /// [`Level::parse_env`]), and heap attribution switched on when the
+    /// instrumented allocator is installed in this process.
     pub fn from_env() -> Self {
         let echo = std::env::var("LARGEEA_LOG")
             .ok()
             .map_or(Level::Off, |v| Level::parse_env(&v));
         Self {
             echo,
+            heap: crate::alloc::is_instrumented(),
             ..Self::default()
         }
     }
@@ -333,12 +342,14 @@ fn build_trace(st: &State) -> Trace {
 }
 
 /// Advances the sampler by one tick (no-op when live telemetry is off).
-fn live_tick_locked(st: &mut State) {
+/// `heap` mirrors [`ObsConfig::heap`]: when set, due samples also capture
+/// the allocator gauges.
+fn live_tick_locked(st: &mut State, heap: bool) {
     let Some(live) = &mut st.live else { return };
     live.ticks += 1;
     let due = live.ticks % live.cfg.every.max(1) == 0;
     if due {
-        sample_and_snapshot(st);
+        sample_and_snapshot(st, heap);
     }
 }
 
@@ -350,9 +361,22 @@ fn live_tick_locked(st: &mut State) {
 /// own write — that is what makes the final flushed snapshot's counters
 /// exactly equal the end-of-run trace. A failed write is rolled back and
 /// surfaced as `live.write_errors` instead.
-fn sample_and_snapshot(st: &mut State) {
+fn sample_and_snapshot(st: &mut State, heap: bool) {
     let Some(live) = &st.live else { return };
     let snapshot_path = live.cfg.dir.as_ref().map(|d| d.join("live.trace.json"));
+    if heap {
+        // Heap gauges refresh per sample so the ring shows residency over
+        // time ("heap.*" columns, schema v2 — additive, v1 readers skip
+        // them). They are sampled state, not run outputs: the determinism
+        // comparison in tests strips them (`Sample::deterministic_view`).
+        st.gauges
+            .insert("heap.live".to_owned(), crate::alloc::heap_live() as f64);
+        st.gauges
+            .insert("heap.peak".to_owned(), crate::alloc::heap_peak() as f64);
+        if let Some(rss) = crate::alloc::process_rss_bytes() {
+            st.gauges.insert("mem.rss".to_owned(), rss as f64);
+        }
+    }
     if snapshot_path.is_some() {
         *st.counters.entry("live.writes".to_owned()).or_insert(0) += 1;
     }
@@ -453,6 +477,7 @@ impl Recorder {
                 idx: None,
                 start: None,
                 finished: false,
+                heap: None,
             };
         };
         let idx = if level != Level::Off && level <= inner.cfg.record {
@@ -481,11 +506,20 @@ impl Recorder {
         } else {
             None
         };
+        // The heap window opens *after* the state lock above is released:
+        // the span's own bookkeeping (arena push, stack entry) is recorder
+        // overhead, not workload allocation, and stays outside the window.
+        let heap = if idx.is_some() && inner.cfg.heap {
+            Some(crate::alloc::span_open())
+        } else {
+            None
+        };
         SpanGuard {
             inner: Some(Arc::clone(inner)),
             idx,
             start: Some(Instant::now()),
             finished: false,
+            heap,
         }
     }
 
@@ -563,8 +597,14 @@ impl Recorder {
     pub fn live_tick(&self) {
         if let Some(inner) = &self.inner {
             let mut st = inner.lock();
-            live_tick_locked(&mut st);
+            live_tick_locked(&mut st, inner.cfg.heap);
         }
+    }
+
+    /// Whether heap attribution is on for this recorder (see
+    /// [`ObsConfig::heap`]). `false` on a disabled recorder.
+    pub fn heap_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.cfg.heap)
     }
 
     /// The samples captured so far, oldest first (empty unless live
@@ -590,7 +630,7 @@ impl Recorder {
             let mut st = inner.lock();
             let Some(live) = &mut st.live else { return };
             live.ticks += 1;
-            sample_and_snapshot(&mut st);
+            sample_and_snapshot(&mut st, inner.cfg.heap);
         }
     }
 }
@@ -620,6 +660,10 @@ pub struct SpanGuard {
     idx: Option<usize>,
     start: Option<Instant>,
     finished: bool,
+    /// Open allocation window, present when [`ObsConfig::heap`] is set for
+    /// a recorded span. Closed first thing in [`SpanGuard::close`] so the
+    /// recorder's own close-path allocations never land in the span.
+    heap: Option<crate::alloc::SpanAllocHandle>,
 }
 
 impl SpanGuard {
@@ -643,6 +687,10 @@ impl SpanGuard {
             return 0.0;
         }
         self.finished = true;
+        // Close the allocation window before anything else on this path
+        // allocates (field strings, echo lines, samples): the delta must
+        // cover the workload between open and close, nothing of ours.
+        let alloc_delta = self.heap.take().and_then(crate::alloc::span_close);
         let Some(start) = self.start else {
             return 0.0;
         };
@@ -661,6 +709,12 @@ impl SpanGuard {
         if let (Some(inner), Some(idx)) = (&self.inner, self.idx) {
             let mut st = inner.lock();
             st.spans[idx].seconds = seconds;
+            if let Some(d) = alloc_delta {
+                let fields = &mut st.spans[idx].fields;
+                fields.push(("alloc.bytes".to_owned(), FieldValue::U64(d.bytes)));
+                fields.push(("alloc.count".to_owned(), FieldValue::U64(d.count)));
+                fields.push(("alloc.peak".to_owned(), FieldValue::U64(d.peak_bytes)));
+            }
             // Pop this span from its thread's open stack. Guards are
             // expected to close in LIFO order per thread; a guard moved
             // across threads or closed out of order is removed wherever it
@@ -684,7 +738,7 @@ impl SpanGuard {
             // Every recorded span exit is one sampler tick — the live
             // telemetry clock (deterministic for a fixed seed, unlike
             // wall-time).
-            live_tick_locked(&mut st);
+            live_tick_locked(&mut st, inner.cfg.heap);
         }
         seconds
     }
@@ -754,6 +808,7 @@ mod tests {
         let cfg = ObsConfig {
             record: Level::Stage,
             echo: Level::Off,
+            ..ObsConfig::default()
         };
         let rec = Recorder::new(cfg);
         let _a = rec.span("kept");
@@ -920,6 +975,70 @@ mod tests {
         assert_eq!(Level::parse("0"), Some(Level::Off));
         assert_eq!(Level::parse("nope"), None);
         assert!(Level::Stage < Level::Detail && Level::Detail < Level::Trace);
+    }
+
+    #[test]
+    fn heap_config_adds_alloc_fields_to_recorded_spans() {
+        let rec = Recorder::new(ObsConfig {
+            heap: true,
+            ..ObsConfig::default()
+        });
+        assert!(rec.heap_enabled());
+        drop(rec.span("s"));
+        let t = rec.trace();
+        let names: Vec<&str> = t.spans[0].fields.iter().map(|(k, _)| k.as_str()).collect();
+        // The window machinery runs even without the instrumented
+        // allocator installed (this test binary doesn't install it) — the
+        // fields are then present with zero values, which is exactly what
+        // `--mem-audit`'s Uninstrumented probe distinguishes.
+        assert_eq!(names, ["alloc.bytes", "alloc.count", "alloc.peak"]);
+        for (_, v) in &t.spans[0].fields {
+            assert!(matches!(v, FieldValue::U64(_)));
+        }
+    }
+
+    #[test]
+    fn heap_off_by_default_leaves_spans_unchanged() {
+        let rec = Recorder::new(ObsConfig::default());
+        assert!(!rec.heap_enabled());
+        assert!(!Recorder::disabled().heap_enabled());
+        drop(rec.span("s"));
+        let t = rec.trace();
+        assert!(
+            t.spans[0].fields.is_empty(),
+            "no alloc.* fields unless heap attribution is opted into"
+        );
+    }
+
+    #[test]
+    fn heap_sampler_gauges_appear_only_when_enabled() {
+        let with_heap = Recorder::new(ObsConfig {
+            heap: true,
+            ..ObsConfig::default()
+        });
+        with_heap.enable_live(LiveConfig {
+            every: 1,
+            capacity: 4,
+            dir: None,
+        });
+        with_heap.live_tick();
+        let s = &with_heap.samples()[0];
+        assert!(s.gauge("heap.live").is_some());
+        assert!(s.gauge("heap.peak").is_some());
+        if cfg!(target_os = "linux") {
+            assert!(s.gauge("mem.rss").is_some(), "RSS sampled on linux");
+        }
+
+        let without = Recorder::new(ObsConfig::default());
+        without.enable_live(LiveConfig {
+            every: 1,
+            capacity: 4,
+            dir: None,
+        });
+        without.live_tick();
+        let s = &without.samples()[0];
+        assert!(s.gauge("heap.live").is_none());
+        assert!(s.gauge("mem.rss").is_none());
     }
 
     #[test]

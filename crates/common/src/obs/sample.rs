@@ -8,7 +8,10 @@
 //! [`SampleRing`]. Ticks — not wall-clock — decide *when* a sample is
 //! taken, so for a fixed seed two runs capture samples at exactly the same
 //! points in the computation and the rings are identical up to the
-//! wall-clock `seconds` field (see `tests/live_telemetry.rs`).
+//! wall-clock `seconds` field and the sampled memory gauges — `heap.live`,
+//! `heap.peak` and `mem.rss`, captured per sample when the recorder's heap
+//! attribution is on (see [`Sample::deterministic_view`] and
+//! `tests/live_telemetry.rs`).
 //!
 //! The ring keeps the newest `capacity` samples; a long run overwrites its
 //! oldest history rather than growing without bound. Samples serialise
@@ -59,6 +62,18 @@ impl Sample {
             seconds: 0.0,
             ..self.clone()
         }
+    }
+
+    /// A copy with every run-varying column removed: `seconds` zeroed and
+    /// the sampled OS/allocator gauges (`mem.rss`, `heap.*`) dropped.
+    /// Residency depends on allocator reuse and pool interleaving, so —
+    /// unlike tick-indexed counters — those gauges are not seed-stable
+    /// across runs; determinism comparisons use this view.
+    pub fn deterministic_view(&self) -> Sample {
+        let mut s = self.without_seconds();
+        s.gauges
+            .retain(|(k, _)| k != "mem.rss" && !k.starts_with("heap."));
+        s
     }
 
     /// Parses one sample object from the schema-v2 `"samples"` array.
@@ -200,6 +215,21 @@ mod tests {
         assert_eq!(n.seconds, 0.0);
         assert_eq!(n.tick, 4, "only seconds is normalised");
         assert_eq!(n.counters, s.counters);
+    }
+
+    #[test]
+    fn deterministic_view_strips_sampled_memory_gauges() {
+        let mut s = sample(4);
+        s.gauges.push(("heap.live".to_owned(), 123.0));
+        s.gauges.push(("heap.peak".to_owned(), 456.0));
+        s.gauges.push(("mem.rss".to_owned(), 789.0));
+        let d = s.deterministic_view();
+        assert_eq!(d.seconds, 0.0);
+        assert_eq!(d.gauges, vec![("g".to_owned(), 4.0)]);
+        assert_eq!(
+            d.counters, s.counters,
+            "counters and tick survive untouched"
+        );
     }
 
     #[test]

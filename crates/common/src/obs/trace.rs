@@ -31,6 +31,14 @@
 //! traces written by older builds keep loading; the emitter always writes
 //! version 2.
 //!
+//! Heap attribution (DESIGN.md §S0.10) extends the schema *additively*,
+//! with no version bump: recorded spans may carry `alloc.bytes` /
+//! `alloc.count` / `alloc.peak` fields (allocation traffic, allocation
+//! count and peak net live-byte growth attributed to the span), the gauge
+//! table may carry `heap.*` entries, and samples may carry `heap.live` /
+//! `heap.peak` / `mem.rss` gauge columns. Readers that don't know these
+//! names skip them — old traces and old readers both keep working.
+//!
 //! Spans keep chronological order; fields keep attachment order; metric
 //! tables are sorted by name (they come out of `BTreeMap`s). Downstream
 //! tooling (trace diffing, EXPERIMENTS.md regeneration) can rely on all
@@ -57,6 +65,20 @@ impl TraceSpan {
     /// Looks up a field value by key (first match wins).
     pub fn field(&self, key: &str) -> Option<&FieldValue> {
         self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// [`TraceSpan::field`] coerced to `u64` across the numeric
+    /// [`FieldValue`] forms — a JSON round-trip may deliver `U64`, `I64`
+    /// or `F64` for the same logical quantity. `None` when the field is
+    /// absent, non-numeric, or negative. (What `trace heap` reads the
+    /// `alloc.*` fields through.)
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        match self.field(key)? {
+            FieldValue::U64(v) => Some(*v),
+            FieldValue::I64(v) => u64::try_from(*v).ok(),
+            FieldValue::F64(v) if *v >= 0.0 => Some(*v as u64),
+            _ => None,
+        }
     }
 
     /// Wall-clock seconds spent in this span *excluding* its children —

@@ -61,6 +61,11 @@ struct Job {
     finished: usize,
     /// First panic payload observed while running a task, if any.
     panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Heap activity transferred from each finished task (updated under
+    /// the pool mutex), credited to the calling thread when the job
+    /// drains — so worker allocations attribute to the span that spawned
+    /// the job, and the sum is scheduling-independent.
+    alloc: crate::alloc::ThreadAllocDelta,
 }
 
 /// Shared pool state, guarded by the pool mutex.
@@ -95,7 +100,13 @@ impl Inner {
             job.next += 1;
             let f = job.f;
             drop(guard);
+            let mark = crate::alloc::task_mark();
             let result = catch_unwind(AssertUnwindSafe(|| (f.0)(i)));
+            // Move this task's heap activity off the executing thread; it
+            // is folded into the job below and credited to the caller when
+            // the job drains. For the caller's own participation the
+            // take + credit round-trip is a net no-op.
+            let task_alloc = crate::alloc::take_since(&mark);
             guard = self.state.lock().unwrap();
             // Between unlock and relock the job cannot have been replaced:
             // a job is only removed by the caller in `run`, and only after
@@ -103,6 +114,7 @@ impl Inner {
             // task is still unreported.
             let job = guard.job.as_mut().expect("job outlives its tasks");
             job.finished += 1;
+            job.alloc.merge(task_alloc);
             if let Err(payload) = result {
                 job.panic.get_or_insert(payload);
             }
@@ -113,6 +125,10 @@ impl Inner {
     }
 
     fn worker_loop(&self) {
+        // Register with the allocator instrumentation before the first
+        // task: warms the thread-local counters so task deltas are exact
+        // from the very first claim.
+        crate::alloc::register_worker_thread();
         let mut seen_epoch = 0u64;
         let mut guard = self.state.lock().unwrap();
         loop {
@@ -199,7 +215,8 @@ impl Pool {
             let mut guard = self.inner.state.lock().unwrap();
             if guard.job.is_none() {
                 let erased: &(dyn Fn(usize) + Sync) = &f;
-                // SAFETY (the workspace's one unsafe block): this only
+                // SAFETY (one of the workspace's two audited unsafe
+                // items, next to `alloc`'s GlobalAlloc impl): this only
                 // erases the lifetime of a reference so it can sit in
                 // `State` behind the mutex. `run` does not return until
                 // `finished == n_tasks` and the job (with this reference)
@@ -217,6 +234,7 @@ impl Pool {
                     next: 0,
                     finished: 0,
                     panic: None,
+                    alloc: crate::alloc::ThreadAllocDelta::default(),
                 });
                 self.inner.work.notify_all();
                 guard = self.inner.participate(guard);
@@ -225,6 +243,9 @@ impl Pool {
                 }
                 let job = guard.job.take().expect("job owned by caller");
                 drop(guard);
+                // Credit the whole job's heap activity to this (calling)
+                // thread while the spawning span is still open.
+                crate::alloc::credit(&job.alloc);
                 if let Some(payload) = job.panic {
                     resume_unwind(payload);
                 }

@@ -218,23 +218,127 @@ impl MemTracker {
     }
 
     /// Formats bytes the way the paper's tables do (`"4.04G"`, `"0.13G"`,
-    /// or MB below a gigabyte).
+    /// or MB below a gigabyte). Thin alias for
+    /// [`largeea_common::fmt_bytes`], where the logic moved once heap
+    /// reports needed the same rendering; kept so existing call sites and
+    /// the paper-facing name survive.
     pub fn fmt_bytes(bytes: usize) -> String {
-        const GB: f64 = 1024.0 * 1024.0 * 1024.0;
-        const MB: f64 = 1024.0 * 1024.0;
-        const KB: f64 = 1024.0;
-        let b = bytes as f64;
-        if b >= 0.01 * GB {
-            format!("{:.2}G", b / GB)
-        } else if b >= 0.1 * MB {
-            format!("{:.1}M", b / MB)
-        } else if b >= KB {
-            format!("{:.1}K", b / KB)
-        } else {
-            format!("{bytes}B")
+        largeea_common::fmt_bytes(bytes)
+    }
+
+    /// Compares the tracked total peak against a *measured* peak from the
+    /// instrumented allocator (`--mem-audit`, DESIGN.md §S0.10).
+    ///
+    /// The tracker counts the big, hand-charged buffers (embeddings,
+    /// similarity blocks, spill buffers); the allocator measures every
+    /// byte, including ones nobody charges (graph structures, trainer
+    /// scratch, the trace arena). The audit therefore allows measured to
+    /// exceed tracked by a factor of [`AUDIT_RATIO`] plus
+    /// [`AUDIT_SLACK_BYTES`] of flat slack before calling the books broken
+    /// in the [`MemAuditError::Untracked`] direction; tracked exceeding
+    /// measured by more than the slack is [`MemAuditError::Overcounted`]
+    /// (charges that never materialised as allocations).
+    pub fn audit(&self, measured_peak: usize) -> Result<(), MemAuditError> {
+        let tracked = self.total_peak;
+        let allowed = (tracked as f64 * AUDIT_RATIO) as usize + AUDIT_SLACK_BYTES;
+        if measured_peak > allowed {
+            return Err(MemAuditError::Untracked {
+                tracked,
+                measured: measured_peak,
+                allowed,
+            });
+        }
+        let allowed_tracked = measured_peak + AUDIT_SLACK_BYTES;
+        if tracked > allowed_tracked {
+            return Err(MemAuditError::Overcounted {
+                tracked,
+                measured: measured_peak,
+                allowed: allowed_tracked,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Measured-vs-tracked drift factor the audit tolerates: measured may be up
+/// to this multiple of the tracked peak (plus slack) before the audit fails.
+/// Untracked overhead — graph indices, trainer scratch, allocator slop — is
+/// real but bounded; a forgotten `charge` on a major buffer is not.
+pub const AUDIT_RATIO: f64 = 2.0;
+
+/// Flat allowance added on both sides of the audit, covering fixed
+/// overheads that don't scale with the workload (the trace arena, thread
+/// stacks' heap spill, stdlib one-time allocations).
+pub const AUDIT_SLACK_BYTES: usize = 64 << 20;
+
+/// Typed error for a failed `--mem-audit` (see [`MemTracker::audit`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemAuditError {
+    /// The instrumented allocator is not installed in this process, so
+    /// there is no measured ground truth to audit against.
+    Uninstrumented,
+    /// Measured heap peak exceeds what the tracked peak can explain — some
+    /// allocation is missing its `MemTracker::charge`.
+    Untracked {
+        /// MemTracker's total peak, in bytes.
+        tracked: usize,
+        /// The allocator-measured peak, in bytes.
+        measured: usize,
+        /// The maximum measured peak the tracked peak could explain.
+        allowed: usize,
+    },
+    /// Tracked peak exceeds the measured peak by more than the slack —
+    /// charges were recorded for memory that was never actually allocated.
+    Overcounted {
+        /// MemTracker's total peak, in bytes.
+        tracked: usize,
+        /// The allocator-measured peak, in bytes.
+        measured: usize,
+        /// The maximum tracked peak the measured peak could explain.
+        allowed: usize,
+    },
+}
+
+impl std::fmt::Display for MemAuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemAuditError::Uninstrumented => write!(
+                f,
+                "mem-audit: the instrumented allocator is not installed in \
+                 this process (no allocation has been counted) — run via the \
+                 largeea binary, which installs common::alloc::CountingAlloc"
+            ),
+            MemAuditError::Untracked {
+                tracked,
+                measured,
+                allowed,
+            } => write!(
+                f,
+                "mem-audit: measured heap peak {} exceeds what the tracked \
+                 peak {} explains (allowed up to {}) — an allocation is \
+                 missing its MemTracker charge",
+                largeea_common::fmt_bytes(*measured),
+                largeea_common::fmt_bytes(*tracked),
+                largeea_common::fmt_bytes(*allowed),
+            ),
+            MemAuditError::Overcounted {
+                tracked,
+                measured,
+                allowed,
+            } => write!(
+                f,
+                "mem-audit: tracked peak {} exceeds the measured heap peak \
+                 {} by more than the slack (allowed up to {}) — a charge was \
+                 recorded for memory never actually allocated",
+                largeea_common::fmt_bytes(*tracked),
+                largeea_common::fmt_bytes(*measured),
+                largeea_common::fmt_bytes(*allowed),
+            ),
         }
     }
 }
+
+impl std::error::Error for MemAuditError {}
 
 #[cfg(test)]
 mod tests {
@@ -280,6 +384,50 @@ mod tests {
         assert_eq!(MemTracker::fmt_bytes(512 * 1024), "0.5M");
         assert_eq!(MemTracker::fmt_bytes(16 * 1024), "16.0K");
         assert_eq!(MemTracker::fmt_bytes(100), "100B");
+    }
+
+    #[test]
+    fn audit_tolerates_bounded_drift_and_types_the_failures() {
+        let mut t = MemTracker::new();
+        t.set("emb", 100 << 20); // tracked peak 100 MiB
+
+        // measured within ratio * tracked + slack → ok
+        t.audit(150 << 20).unwrap();
+        t.audit((200 << 20) + (64 << 20)).unwrap(); // exactly at the bound
+                                                    // just past the bound → Untracked
+        let err = t.audit((200 << 20) + (64 << 20) + 1).unwrap_err();
+        match err {
+            MemAuditError::Untracked {
+                tracked,
+                measured,
+                allowed,
+            } => {
+                assert_eq!(tracked, 100 << 20);
+                assert_eq!(measured, (264 << 20) + 1);
+                assert_eq!(allowed, 264 << 20);
+            }
+            other => panic!("expected Untracked, got {other:?}"),
+        }
+
+        // tracked way above measured → Overcounted
+        let err = t.audit(10 << 20).unwrap_err();
+        assert!(matches!(err, MemAuditError::Overcounted { .. }), "{err:?}");
+
+        // both directions carry actionable messages
+        assert!(t.audit(1 << 30).unwrap_err().to_string().contains("charge"));
+        assert!(MemAuditError::Uninstrumented
+            .to_string()
+            .contains("allocator"));
+    }
+
+    #[test]
+    fn audit_on_empty_tracker_accepts_only_slack() {
+        let t = MemTracker::new();
+        t.audit(AUDIT_SLACK_BYTES).unwrap();
+        assert!(matches!(
+            t.audit(AUDIT_SLACK_BYTES + 1),
+            Err(MemAuditError::Untracked { .. })
+        ));
     }
 
     #[test]

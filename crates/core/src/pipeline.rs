@@ -15,7 +15,7 @@ use crate::augment::augment_seeds;
 use crate::checkpoint::{fnv1a, Checkpoint, CkptError, RunMeta};
 use crate::eval::{evaluate, EvalResult};
 use crate::fusion::fuse;
-use crate::mem::{BudgetExceeded, MemTracker};
+use crate::mem::{BudgetExceeded, MemAuditError, MemTracker};
 use crate::name_channel::{NameChannel, NameChannelConfig, NameChannelOutput};
 use crate::spill::SpillStore;
 use crate::structure_channel::{StructureChannel, StructureChannelConfig};
@@ -44,6 +44,12 @@ pub struct ExecOptions {
     /// here instead of accumulating in RAM. `None` = fully in RAM (the
     /// bit-exact reference path).
     pub spill_dir: Option<PathBuf>,
+    /// Audit the memory books (`--mem-audit`): after the run, compare the
+    /// [`MemTracker`] tracked peak against the instrumented allocator's
+    /// measured peak and fail with a typed [`RunError::Audit`] when the
+    /// drift exceeds tolerance (see [`MemTracker::audit`]). Requires the
+    /// instrumented allocator to be installed in the process.
+    pub mem_audit: bool,
 }
 
 impl ExecOptions {
@@ -62,6 +68,7 @@ impl ExecOptions {
         ExecOptions {
             mem_budget,
             spill_dir,
+            mem_audit: false,
         }
     }
 }
@@ -75,6 +82,10 @@ pub enum RunError {
     Budget(BudgetExceeded),
     /// I/O failure in the spill store (out-of-core working storage).
     Spill(io::Error),
+    /// `--mem-audit` found the memory books broken: the MemTracker peak
+    /// and the allocator-measured peak drifted past tolerance (or there
+    /// was no instrumented allocator to measure with).
+    Audit(MemAuditError),
 }
 
 impl std::fmt::Display for RunError {
@@ -83,6 +94,7 @@ impl std::fmt::Display for RunError {
             RunError::Ckpt(e) => write!(f, "checkpoint: {e}"),
             RunError::Budget(e) => write!(f, "{e}"),
             RunError::Spill(e) => write!(f, "spill store: {e}"),
+            RunError::Audit(e) => write!(f, "{e}"),
         }
     }
 }
@@ -93,6 +105,7 @@ impl std::error::Error for RunError {
             RunError::Ckpt(e) => Some(e),
             RunError::Budget(e) => Some(e),
             RunError::Spill(e) => Some(e),
+            RunError::Audit(e) => Some(e),
         }
     }
 }
@@ -106,6 +119,12 @@ impl From<CkptError> for RunError {
 impl From<BudgetExceeded> for RunError {
     fn from(e: BudgetExceeded) -> Self {
         RunError::Budget(e)
+    }
+}
+
+impl From<MemAuditError> for RunError {
+    fn from(e: MemAuditError) -> Self {
+        RunError::Audit(e)
     }
 }
 
@@ -207,6 +226,12 @@ pub struct LargeEaReport {
     /// quantity `--mem-budget` bounds (also exported as the
     /// `mem.tracked.peak_bytes` gauge).
     pub tracked_peak_bytes: usize,
+    /// The *measured* peak net heap growth over the run, from the
+    /// instrumented allocator (`heap.measured.peak_bytes` gauge) — the
+    /// ground truth `--mem-audit` holds [`LargeEaReport::tracked_peak_bytes`]
+    /// against. `None` when the process doesn't install
+    /// `largeea_common::alloc::CountingAlloc`.
+    pub measured_heap_peak_bytes: Option<usize>,
     /// Pseudo seeds generated by data augmentation (§3.5).
     pub pseudo_seeds: usize,
     /// Accuracy of those pseudo seeds against the ground truth (§3.5).
@@ -353,6 +378,20 @@ impl LargeEa {
             None => None,
         };
         let out_of_core = spill.is_some();
+        // Measured-memory window for the whole run, opened before the
+        // pipeline span so the spans close LIFO inside it. Its peak is the
+        // run's net heap growth on this thread — pool workers transfer
+        // their task deltas back here, so it covers parallel stages too.
+        let heap_window = largeea_common::alloc::span_open();
+        // Test hook for the audit: LARGEEA_HEAP_LEAK=<bytes> holds an
+        // uncharged allocation across the run. `with_capacity` counts the
+        // bytes without touching the pages, so tests can "leak" gigabytes
+        // for free and the audit must notice.
+        let _leak: Option<Vec<u8>> = std::env::var("LARGEEA_HEAP_LEAK")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .map(Vec::with_capacity);
         let mut pipeline_span = rec.span("pipeline");
         pipeline_span.field("rounds", rounds);
         if let Some(dir) = &exec.spill_dir {
@@ -490,6 +529,25 @@ impl LargeEa {
         let total_seconds = pipeline_span.finish();
         let tracked_peak_bytes = mem.total_peak();
         mem.record_into(rec);
+        // Close the measured-memory window (after the pipeline span's own
+        // window — LIFO) and settle the books. The window peak is the net
+        // growth attributable to this run, which is the right comparand
+        // for the tracker: pre-existing allocations (interned strings, the
+        // generated KG pair) are neither tracked nor in the window.
+        let measured_heap_peak_bytes = largeea_common::alloc::span_close(heap_window)
+            .filter(|_| largeea_common::alloc::is_instrumented())
+            .map(|d| d.peak_bytes as usize);
+        if rec.heap_enabled() {
+            if let Some(measured) = measured_heap_peak_bytes {
+                rec.gauge_max("heap.measured.peak_bytes", measured as f64);
+            }
+            rec.gauge("heap.live", largeea_common::alloc::heap_live() as f64);
+            rec.gauge_max("heap.peak", largeea_common::alloc::heap_peak() as f64);
+        }
+        if exec.mem_audit {
+            let measured = measured_heap_peak_bytes.ok_or(MemAuditError::Uninstrumented)?;
+            mem.audit(measured)?;
+        }
         // Final live flush AFTER the last metric lands and BEFORE the trace
         // snapshot below: nothing records in between, so the flushed
         // `live.trace.json` is byte-identical to the exported trace.
@@ -508,6 +566,7 @@ impl LargeEa {
             name_peak_bytes: name_out.as_ref().map_or(0, |n| n.peak_bytes),
             structure_peak_bytes: structure_out.as_ref().map_or(0, |s| s.peak_bytes),
             tracked_peak_bytes,
+            measured_heap_peak_bytes,
             pseudo_seeds,
             pseudo_seed_accuracy,
             retention: structure_out.as_ref().map(|s| s.batches.retention(seeds)),
@@ -627,6 +686,7 @@ mod tests {
         let exec = ExecOptions {
             mem_budget: Some(1024),
             spill_dir: None,
+            ..ExecOptions::default()
         };
         let rec = Recorder::new(ObsConfig::default());
         let err = LargeEa::new(quick())
@@ -653,6 +713,7 @@ mod tests {
         let exec = ExecOptions {
             mem_budget: Some(1 << 30),
             spill_dir: None,
+            ..ExecOptions::default()
         };
         let rec = Recorder::new(ObsConfig::default());
         let r = LargeEa::new(quick())
@@ -711,6 +772,36 @@ mod tests {
             t.gauge("mem.structure_channel.peak_bytes"),
             Some(r.structure_peak_bytes as f64)
         );
+    }
+
+    #[test]
+    fn mem_audit_without_instrumented_allocator_is_a_typed_error() {
+        // This unit-test binary does not install CountingAlloc, so asking
+        // for an audit must fail up front with the Uninstrumented variant
+        // rather than comparing against all-zero measurements.
+        let pair = Preset::Ids15kEnFr.spec(0.01).generate();
+        let seeds = pair.split_seeds(0.2, 5);
+        let exec = ExecOptions {
+            mem_audit: true,
+            ..ExecOptions::default()
+        };
+        let rec = Recorder::new(ObsConfig::default());
+        let err = LargeEa::new(quick())
+            .run_exec(&pair, &seeds, 1, &rec, None, &exec)
+            .unwrap_err();
+        match err {
+            RunError::Audit(MemAuditError::Uninstrumented) => {}
+            other => panic!("expected Audit(Uninstrumented), got {other}"),
+        }
+        assert!(err.to_string().contains("allocator"));
+    }
+
+    #[test]
+    fn measured_heap_peak_is_absent_without_the_allocator() {
+        let pair = Preset::Ids15kEnFr.spec(0.01).generate();
+        let seeds = pair.split_seeds(0.2, 6);
+        let r = LargeEa::new(quick()).run_iterative(&pair, &seeds, 1);
+        assert_eq!(r.measured_heap_peak_bytes, None);
     }
 
     #[test]

@@ -82,4 +82,30 @@ cmp "$SMOKE/live/live.trace.json" "$SMOKE/live_run.json"
 "$L" trace tail "$SMOKE/live" --once > /dev/null
 "$L" trace expo "$SMOKE/live/live.trace.json" | grep -q '^largeea_'
 
+echo "== heap-attribution smoke =="
+# span-attributed heap profiling (DESIGN.md §S0.10): a --mem-audit run on
+# the CI-sized DBP1M shape must reconcile tracked vs measured heap peaks;
+# `trace heap` and `trace expo` renderings must be byte-stable across
+# same-seed single-thread runs; and a deliberately un-charged reservation
+# (the LARGEEA_HEAP_LEAK test hook) must fail the audit, not pass it.
+"$L" generate --preset dbp1m-ci --scale 1.0 --out "$SMOKE/dbp_ci" > /dev/null
+for i in a b; do
+  LARGEEA_THREADS=1 "$L" align --data "$SMOKE/dbp_ci" --model gcn --k 4 \
+    --epochs 4 --dim 16 --mem-audit \
+    --trace-out "$SMOKE/heap_$i.json" > "$SMOKE/heap_$i.out"
+  grep -q 'mem-audit OK: tracked peak' "$SMOKE/heap_$i.out"
+  "$L" trace heap "$SMOKE/heap_$i.json" > "$SMOKE/heap_$i.txt"
+  "$L" trace heap "$SMOKE/heap_$i.json" --folded > "$SMOKE/heap_$i.folded"
+  "$L" trace expo "$SMOKE/heap_$i.json" > "$SMOKE/heap_$i.expo"
+done
+cmp "$SMOKE/heap_a.txt" "$SMOKE/heap_b.txt"
+cmp "$SMOKE/heap_a.folded" "$SMOKE/heap_b.folded"
+cmp "$SMOKE/heap_a.expo" "$SMOKE/heap_b.expo"
+grep -q '^largeea_heap_live ' "$SMOKE/heap_a.expo"
+if LARGEEA_HEAP_LEAK=$((1<<31)) "$L" align --data "$SMOKE/dbp_ci" --model gcn \
+  --k 4 --epochs 4 --dim 16 --mem-audit > /dev/null 2>&1; then
+  echo "heap smoke: the deliberate leak did not fail the audit" >&2
+  exit 1
+fi
+
 echo "verify: OK"

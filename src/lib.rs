@@ -45,6 +45,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+// Install the instrumented allocator for every binary that links the
+// facade: the `largeea` CLI, its integration tests, and doctests. This is
+// what gives `--mem-audit` and `trace heap` a measured ground truth — the
+// attribute itself is safe code; the audited `unsafe impl` lives in
+// `largeea_common::alloc`.
+#[global_allocator]
+static ALLOC: largeea_common::alloc::CountingAlloc = largeea_common::alloc::CountingAlloc;
+
 pub use largeea_bench as bench;
 pub use largeea_common as common;
 pub use largeea_core as core;

@@ -18,12 +18,12 @@
 mod ckpt_cmd;
 mod trace_cmd;
 
+use largeea::common::fmt_bytes;
 use largeea::common::json::ToJson;
 use largeea::common::obs::{LiveConfig, Recorder};
 use largeea::core::checkpoint::Checkpoint;
 use largeea::core::pipeline::{ExecOptions, LargeEa, LargeEaConfig};
 use largeea::core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
-use largeea::core::MemTracker;
 use largeea::data::Preset;
 use largeea::kg::{io, AlignmentSeeds, EntityId, KgPair, KgStats};
 use largeea::models::{ModelKind, TrainConfig};
@@ -42,7 +42,7 @@ USAGE:
                     [--epochs n] [--dim n] [--seed-ratio f] [--unsupervised]
                     [--csls n] [--rounds n] [--analysis] [--out <file>] [--sim-out <file>]
                     [--trace-out <file>] [--checkpoint-dir <dir>] [--resume]
-                    [--mem-budget <bytes>] [--spill-dir <dir>]
+                    [--mem-budget <bytes>] [--spill-dir <dir>] [--mem-audit]
                     [--live-dir <dir>] [--live-every n]
   largeea eval      --data <dir> --predictions <file>
   largeea ckpt      inspect <dir>
@@ -52,6 +52,7 @@ USAGE:
   largeea trace     check <trace.json> --baseline <BENCH.json> [--tolerance-pct f]
   largeea trace     tail <dir|live.trace.json> [--once] [--interval-ms n]
   largeea trace     expo <trace.json>
+  largeea trace     heap <trace.json> [--top n] [--folded]
 
 PRESETS: ids15k-en-fr  ids15k-en-de  ids100k-en-fr  ids100k-en-de
          dbp1m-en-fr   dbp1m-en-de   dbp1m-ci
@@ -73,6 +74,14 @@ core (DESIGN.md §S0.8): intermediate blocks spill to `--spill-dir`
 the `spill.dir` field of the trace's `pipeline` span) and the run fails
 fast with a typed error if tracked live bytes would pass the budget.
 Results are bit-identical to the unbounded run.
+
+`--mem-audit` closes the loop on those tracked numbers (DESIGN.md §S0.10):
+the binary's instrumented allocator measures the run's real peak heap
+growth, and the run fails with a typed error when measured and tracked
+peaks drift past tolerance. Per-span allocation attribution lands in the
+trace (`alloc.bytes`/`alloc.count`/`alloc.peak` fields) — render it with
+`largeea trace heap` (allocation tree, top-N table, `--folded` flamegraph
+stacks).
 
 `--live-dir <dir>` turns on live telemetry (DESIGN.md §S0.9): every
 `--live-every` sampler ticks (default 32; ticks are recorded span exits,
@@ -136,7 +145,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got {a:?}"));
         };
         // boolean flags take no value
-        if name == "unsupervised" || name == "analysis" || name == "resume" {
+        if name == "unsupervised" || name == "analysis" || name == "resume" || name == "mem-audit" {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }
@@ -344,7 +353,8 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
         .transpose()?;
     // a budget without an explicit spill dir gets a per-process tempdir,
     // announced in the trace as the pipeline span's `spill.dir` field
-    let exec = ExecOptions::from_flags(mem_budget, flags.get("spill-dir").map(PathBuf::from));
+    let mut exec = ExecOptions::from_flags(mem_budget, flags.get("spill-dir").map(PathBuf::from));
+    exec.mem_audit = flags.contains_key("mem-audit");
     if flags.contains_key("live-every") && !flags.contains_key("live-dir") {
         return Err("--live-every needs --live-dir".to_owned());
     }
@@ -377,10 +387,22 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
     if exec.mem_budget.is_some() || exec.spill_dir.is_some() {
         println!(
             "tracked peak {}{}",
-            MemTracker::fmt_bytes(report.tracked_peak_bytes),
+            fmt_bytes(report.tracked_peak_bytes),
             exec.mem_budget
-                .map(|b| format!(" (budget {})", MemTracker::fmt_bytes(b)))
+                .map(|b| format!(" (budget {})", fmt_bytes(b)))
                 .unwrap_or_default()
+        );
+    }
+    if exec.mem_audit {
+        // run_exec already failed with a typed RunError::Audit if the
+        // books were broken; reaching here means they reconcile.
+        let measured = report
+            .measured_heap_peak_bytes
+            .expect("a passed audit has a measured peak");
+        println!(
+            "mem-audit OK: tracked peak {} vs measured heap peak {}",
+            fmt_bytes(report.tracked_peak_bytes),
+            fmt_bytes(measured),
         );
     }
     println!(

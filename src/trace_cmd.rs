@@ -15,11 +15,17 @@
 //! - `tail <dir>` — live view of a running `align --live-dir` job: polls
 //!   `live.trace.json`, shows the open span path, round/batch progress
 //!   with an ETA from `train.epochs_per_sec`, and sparklines over the
-//!   sample ring;
+//!   sample ring (on a schema-v1 trace with no ring, it degrades to
+//!   current gauge values without sparklines);
 //! - `expo <trace>` — Prometheus-style text exposition of the metric
-//!   tables (`largeea_common::obs::expo`).
+//!   tables (`largeea_common::obs::expo`);
+//! - `heap <trace>` — the per-span allocation tree from the `alloc.*`
+//!   fields heap attribution records (DESIGN.md §S0.10): cumulative/self
+//!   bytes, allocation counts and peaks per span, a top-N table by self
+//!   bytes, and `--folded` flamegraph stacks weighted by self bytes.
 
 use largeea::bench::Baseline;
+use largeea::common::fmt_bytes;
 use largeea::common::obs::{expo, Sample, Trace, TraceSpan};
 use largeea::core::throughput::derived_throughputs;
 use std::collections::BTreeMap;
@@ -35,6 +41,7 @@ USAGE:
   largeea trace check <trace.json> --baseline <BENCH.json> [--tolerance-pct f]
   largeea trace tail <dir|live.trace.json> [--once] [--interval-ms n]
   largeea trace expo <trace.json>
+  largeea trace heap <trace.json> [--top n] [--folded]
 
 `diff` exits non-zero when --threshold-pct is given and any stage in <b>
 regressed past it; `check` exits non-zero on any budget or counter
@@ -45,7 +52,14 @@ violation. Regenerate baselines with scripts/bench.sh.
 --interval-ms (default 500) until the run's root span closes; --once
 prints a single status block and exits (non-zero if the snapshot is
 missing or unparseable). `expo` renders the counters/gauges/histograms
-of any trace file in Prometheus text exposition format.";
+of any trace file in Prometheus text exposition format.
+
+`heap` renders the span-attributed allocation profile (alloc.bytes /
+alloc.count / alloc.peak fields, written when the run's binary installs
+the instrumented allocator): a tree with cumulative and self bytes, a
+top-N table (--top, default 10) by self bytes, or --folded flamegraph
+stacks weighted by self bytes. Exits non-zero when the trace carries no
+allocation data.";
 
 /// Entry point from `main` (args exclude the leading `trace`). Returns the
 /// process exit code directly because `diff`/`check` encode their verdict
@@ -121,6 +135,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             print!("{}", expo::render_text(&file(1)?));
             Ok(ExitCode::SUCCESS)
         }
+        "heap" => {
+            let top: usize = match flags.get("top") {
+                Some(v) => v.parse().map_err(|_| format!("--top got {v:?}"))?,
+                None => 10,
+            };
+            Ok(heap(&file(1)?, top, flags.contains_key("folded")))
+        }
         other => Err(format!("unknown trace subcommand {other:?}")),
     }
 }
@@ -129,7 +150,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 /// subcommands mix both, unlike the flag-only pipeline commands).
 /// Boolean flags (`--once`) take no value and are stored as `"true"`.
 fn parse_mixed(args: &[String]) -> Result<(Vec<String>, BTreeMap<String, String>), String> {
-    const BOOLEAN: &[&str] = &["once"];
+    const BOOLEAN: &[&str] = &["once", "folded"];
     let mut positionals = Vec::new();
     let mut flags = BTreeMap::new();
     let mut it = args.iter();
@@ -415,6 +436,179 @@ fn check(trace: &Trace, baseline: &Baseline, tolerance_pct: f64, baseline_path: 
     }
 }
 
+// --- heap ----------------------------------------------------------------
+
+/// Cumulative allocated bytes a span's attribution recorded (0 when the
+/// run's binary had no instrumented allocator, so the field is absent).
+fn span_alloc_bytes(s: &TraceSpan) -> u64 {
+    s.field_u64("alloc.bytes").unwrap_or(0)
+}
+
+/// Bytes attributed to the span itself: cumulative minus what its direct
+/// children account for, clamped at zero (a child window can outlive its
+/// parent's arithmetic only through clock-free counting races we clamp
+/// away rather than print as negative).
+fn span_self_bytes(s: &TraceSpan) -> u64 {
+    let children: u64 = s.children.iter().map(span_alloc_bytes).sum();
+    span_alloc_bytes(s).saturating_sub(children)
+}
+
+/// Same-name siblings folded into one allocation row (mirrors [`Rollup`]
+/// for wall clock): 50 `epoch` spans are one line with summed bytes and
+/// the maximum peak.
+struct HeapRow<'a> {
+    name: &'a str,
+    bytes: u64,
+    self_bytes: u64,
+    count: u64,
+    peak: u64,
+    spans: usize,
+    children: Vec<&'a TraceSpan>,
+}
+
+fn heap_rollup<'a>(spans: &[&'a TraceSpan]) -> Vec<HeapRow<'a>> {
+    let mut rows: Vec<HeapRow> = Vec::new();
+    for s in spans {
+        let bytes = span_alloc_bytes(s);
+        let count = s.field_u64("alloc.count").unwrap_or(0);
+        let peak = s.field_u64("alloc.peak").unwrap_or(0);
+        match rows.iter_mut().find(|r| r.name == s.name) {
+            Some(r) => {
+                r.bytes += bytes;
+                r.self_bytes += span_self_bytes(s);
+                r.count += count;
+                r.peak = r.peak.max(peak);
+                r.spans += 1;
+                r.children.extend(s.children.iter());
+            }
+            None => rows.push(HeapRow {
+                name: &s.name,
+                bytes,
+                self_bytes: span_self_bytes(s),
+                count,
+                peak,
+                spans: 1,
+                children: s.children.iter().collect(),
+            }),
+        }
+    }
+    rows
+}
+
+fn print_heap_rollup(spans: &[&TraceSpan], depth: usize, root_total: u64) {
+    for r in heap_rollup(spans) {
+        let label = if r.spans > 1 {
+            format!("{}{} ×{}", "  ".repeat(depth), r.name, r.spans)
+        } else {
+            format!("{}{}", "  ".repeat(depth), r.name)
+        };
+        println!(
+            "  {label:<38} {:>8} {:>8} {:>10} {:>8} {:>5.1}%",
+            fmt_bytes(r.bytes as usize),
+            fmt_bytes(r.self_bytes as usize),
+            r.count,
+            fmt_bytes(r.peak as usize),
+            if root_total > 0 {
+                100.0 * r.bytes as f64 / root_total as f64
+            } else {
+                0.0
+            }
+        );
+        print_heap_rollup(&r.children, depth + 1, root_total);
+    }
+}
+
+/// Per-name totals over the whole tree: `name → (self, cum, allocs, peak)`.
+fn aggregate_heap(trace: &Trace) -> BTreeMap<String, (u64, u64, u64, u64)> {
+    fn walk(spans: &[TraceSpan], into: &mut BTreeMap<String, (u64, u64, u64, u64)>) {
+        for s in spans {
+            let e = into.entry(s.name.clone()).or_insert((0, 0, 0, 0));
+            e.0 += span_self_bytes(s);
+            e.1 += span_alloc_bytes(s);
+            e.2 += s.field_u64("alloc.count").unwrap_or(0);
+            e.3 = e.3.max(s.field_u64("alloc.peak").unwrap_or(0));
+            walk(&s.children, into);
+        }
+    }
+    let mut m = BTreeMap::new();
+    walk(&trace.spans, &mut m);
+    m
+}
+
+fn heap(trace: &Trace, top: usize, folded: bool) -> ExitCode {
+    fn has_alloc(spans: &[TraceSpan]) -> bool {
+        spans
+            .iter()
+            .any(|s| s.field_u64("alloc.bytes").is_some() || has_alloc(&s.children))
+    }
+    if !has_alloc(&trace.spans) {
+        eprintln!(
+            "no allocation data: the trace carries no alloc.* span fields \
+             (the run's binary did not install the instrumented allocator, \
+             or heap attribution was disabled)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if folded {
+        // Collapsed stacks weighted by self bytes — same format `flame`
+        // emits for wall clock, so the same flamegraph tooling applies.
+        fn walk(spans: &[TraceSpan], prefix: &str, into: &mut BTreeMap<String, u64>) {
+            for s in spans {
+                let stack = if prefix.is_empty() {
+                    s.name.clone()
+                } else {
+                    format!("{prefix};{}", s.name)
+                };
+                let bytes = span_self_bytes(s);
+                if bytes > 0 {
+                    *into.entry(stack.clone()).or_insert(0) += bytes;
+                }
+                walk(&s.children, &stack, into);
+            }
+        }
+        let mut stacks = BTreeMap::new();
+        walk(&trace.spans, "", &mut stacks);
+        for (stack, bytes) in stacks {
+            println!("{stack} {bytes}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let roots: Vec<&TraceSpan> = trace.spans.iter().collect();
+    let root_total: u64 = trace.spans.iter().map(span_alloc_bytes).sum();
+    println!(
+        "  {:<38} {:>9} {:>9} {:>10} {:>8} {:>6}",
+        "span", "cum", "self", "allocs", "peak", "share"
+    );
+    print_heap_rollup(&roots, 0, root_total);
+
+    let mut rows: Vec<(String, (u64, u64, u64, u64))> = aggregate_heap(trace)
+        .into_iter()
+        .filter(|(_, v)| v.0 > 0)
+        .collect();
+    // Self bytes descending; name breaks ties so the table is
+    // deterministic (and golden-testable) for any input.
+    rows.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.0.cmp(&b.0)));
+    rows.truncate(top);
+    if !rows.is_empty() {
+        println!("\ntop {} span(s) by self bytes:", rows.len());
+        println!(
+            "  {:<38} {:>9} {:>9} {:>10} {:>8}",
+            "span", "self", "cum", "allocs", "peak"
+        );
+        for (name, (self_b, cum, count, peak)) in &rows {
+            println!(
+                "  {name:<38} {:>9} {:>9} {count:>10} {:>8}",
+                fmt_bytes(*self_b as usize),
+                fmt_bytes(*cum as usize),
+                fmt_bytes(*peak as usize)
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 // --- tail ----------------------------------------------------------------
 
 /// Counter series shown as per-snapshot deltas in the tail view.
@@ -423,6 +617,11 @@ const TAIL_COUNTER_SERIES: &[&str] = &[
     "mem.spill.read_bytes",
     "ckpt.write_bytes",
 ];
+/// Memory gauges shown as sparklines: tracked bytes (MemTracker's books),
+/// measured live heap (instrumented allocator), and OS RSS (linux only —
+/// absent elsewhere). Tracked vs heap.live vs mem.rss side by side is the
+/// quick visual drift check `--mem-audit` formalises.
+const TAIL_GAUGE_SERIES: &[&str] = &["mem.tracked.bytes", "heap.live", "mem.rss"];
 /// How many trailing samples a sparkline covers.
 const TAIL_WINDOW: usize = 32;
 
@@ -504,6 +703,17 @@ fn render_tail(trace: &Trace, path: &Path) -> String {
     if !progress.is_empty() {
         let _ = writeln!(out, "  {progress}");
     }
+    if trace.samples.is_empty() {
+        // Schema-v1 snapshot (or sampling disabled): no ring to draw
+        // sparklines from — degrade to the current gauge values so old
+        // traces still tail usefully.
+        for name in TAIL_GAUGE_SERIES {
+            if let Some(v) = trace.gauge(name).filter(|&v| v > 0.0) {
+                let _ = writeln!(out, "  {name:<26} {}", fmt_bytes(v as usize));
+            }
+        }
+        return out;
+    }
     for name in TAIL_COUNTER_SERIES {
         let deltas = counter_deltas(&trace.samples, name);
         let total = trace.counter(name);
@@ -511,15 +721,16 @@ fn render_tail(trace: &Trace, path: &Path) -> String {
             let _ = writeln!(out, "  Δ {name:<24} {} (total {total})", sparkline(&deltas));
         }
     }
-    let tracked = gauge_series(&trace.samples, "mem.tracked.bytes");
-    if tracked.iter().any(|&v| v > 0.0) {
-        let _ = writeln!(
-            out,
-            "  {:<26} {} (last {:.0})",
-            "mem.tracked.bytes",
-            sparkline(&tracked),
-            tracked.last().copied().unwrap_or(0.0)
-        );
+    for name in TAIL_GAUGE_SERIES {
+        let series = gauge_series(&trace.samples, name);
+        if series.iter().any(|&v| v > 0.0) {
+            let _ = writeln!(
+                out,
+                "  {name:<26} {} (last {})",
+                sparkline(&series),
+                fmt_bytes(series.last().copied().unwrap_or(0.0) as usize)
+            );
+        }
     }
     out
 }

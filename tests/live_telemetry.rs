@@ -127,13 +127,28 @@ fn sampling_is_tick_deterministic_across_same_seed_runs() {
     assert_eq!(a.counters, b.counters, "same-seed counters must match");
     assert_eq!(a.samples.len(), b.samples.len());
     for (sa, sb) in a.samples.iter().zip(&b.samples) {
-        // `seconds` is the one wall-clock (nondeterministic) field; the
-        // tick schedule and every sampled table must be identical.
+        // `seconds` is wall clock and the heap/RSS gauges are measured
+        // (not computed), so both are nondeterministic; the tick schedule
+        // and every *deterministic* sampled table must be identical.
         assert_eq!(
-            sa.without_seconds(),
-            sb.without_seconds(),
+            sa.deterministic_view(),
+            sb.deterministic_view(),
             "sample at tick {} diverged between same-seed runs",
             sa.tick
+        );
+    }
+    // The binary runs under the instrumented allocator, so the measured
+    // gauges must actually be there (stripped above, asserted here): live
+    // heap everywhere, RSS wherever the OS exposes it.
+    let last = a.samples.last().expect("ring is non-empty");
+    assert!(
+        last.gauge("heap.live").is_some_and(|v| v > 0.0),
+        "instrumented run must sample heap.live"
+    );
+    if cfg!(target_os = "linux") {
+        assert!(
+            last.gauge("mem.rss").is_some_and(|v| v > 0.0),
+            "linux runs must sample process RSS"
         );
     }
     std::fs::remove_dir_all(&dir).ok();

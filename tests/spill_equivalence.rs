@@ -67,6 +67,7 @@ fn bounded_runs_are_bit_identical_to_unbounded() {
         let exec = ExecOptions {
             mem_budget: None,
             spill_dir: Some(tmp(&format!("measure_{seed_split}"))),
+            ..ExecOptions::default()
         };
         let spilled = LargeEa::new(cfg())
             .run_exec(&pair, &seeds, 1, &rec, None, &exec)
@@ -105,6 +106,7 @@ fn bounded_runs_are_bit_identical_to_unbounded() {
         let exec = ExecOptions {
             mem_budget: Some(budget),
             spill_dir: Some(tmp(&format!("bounded_{seed_split}"))),
+            ..ExecOptions::default()
         };
         let bounded = LargeEa::new(cfg())
             .run_exec(&pair, &seeds, 1, &rec, None, &exec)
@@ -130,6 +132,7 @@ fn impossible_budget_is_a_typed_error_and_cleans_up() {
     let exec = ExecOptions {
         mem_budget: Some(16 << 10), // 16K: below even one embedding segment
         spill_dir: Some(dir.clone()),
+        ..ExecOptions::default()
     };
     let rec = Recorder::new(ObsConfig::default());
     let err = LargeEa::new(cfg())
@@ -167,6 +170,7 @@ fn crash_mid_spill_resumes_bit_identically() {
         let exec = ExecOptions {
             mem_budget: None,
             spill_dir: Some(tmp(spill_name)),
+            ..ExecOptions::default()
         };
         LargeEa::new(c).run_exec(&pair, &seeds, 1, &rec, Some(&mut ckpt), &exec)
     };
@@ -213,6 +217,7 @@ fn dbp1m_ci_bounded_run_fits_well_under_the_in_ram_peak() {
     let exec = ExecOptions {
         mem_budget: Some(budget),
         spill_dir: Some(tmp("dbp1m_ci")),
+        ..ExecOptions::default()
     };
     let bounded = LargeEa::new(c)
         .run_exec(&pair, &seeds, 1, &rec, None, &exec)

@@ -334,6 +334,49 @@ fn tail_once_renders_open_path_progress_and_sparklines() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A schema-v1 snapshot (pre-live-telemetry: no `"samples"` key) of the
+/// same run shape: `tail` must degrade to current gauge values — no
+/// sparklines, no crash.
+fn handcrafted_v1_snapshot() -> String {
+    concat!(
+        r#"{"version":1,"#,
+        r#""spans":[{"name":"pipeline","seconds":0.0,"fields":{},"children":["#,
+        r#"{"name":"train","seconds":0.0,"fields":{},"children":[]}]}],"#,
+        r#""counters":{"mem.spill.write_bytes":4096},"#,
+        r#""gauges":{"progress.rounds_total":1.0,"progress.round":1.0,"#,
+        r#""mem.tracked.bytes":2048.0},"#,
+        r#""histograms":{}}"#,
+    )
+    .to_owned()
+}
+
+#[test]
+fn tail_degrades_gracefully_on_a_schema_v1_snapshot() {
+    let dir = tempdir("tailv1");
+    std::fs::write(dir.join("live.trace.json"), handcrafted_v1_snapshot()).unwrap();
+
+    let out = bin()
+        .arg("trace")
+        .arg("tail")
+        .arg(&dir)
+        .arg("--once")
+        .output()
+        .unwrap();
+    let text = stdout_of(&out);
+    // the span/progress views need no sample ring and must still work
+    assert!(text.contains("open: pipeline > train"), "{text}");
+    assert!(text.contains("round 1/1"), "{text}");
+    // gauges degrade to their current values in human units...
+    assert!(text.contains("mem.tracked.bytes"), "{text}");
+    assert!(text.contains("2.0K"), "{text}");
+    // ...with no sparklines (there is no ring to draw them from)
+    for block in ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'] {
+        assert!(!text.contains(block), "unexpected sparkline in:\n{text}");
+    }
+    assert!(text.contains("0 sample(s)"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn summarize_output_is_sorted_and_byte_deterministic() {
     let dir = tempdir("sorted");
