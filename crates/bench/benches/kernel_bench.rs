@@ -10,9 +10,20 @@
 //!    variants are reimplemented here verbatim so the comparison survives
 //!    the skip's removal from the production kernel.
 
-use largeea_common::bench::Bench;
+//! 3. What does runtime SIMD dispatch (DESIGN.md §S0.11) buy over the
+//!    normative scalar kernels? `kernel_dispatch` times each kernel under
+//!    `Isa::Scalar` and under the dispatched ISA on identical inputs.
+//!    `--merge-into <BENCH.json>` records the dispatched medians as
+//!    `kernel.*` stages (plus `kernel_speedup_*` config entries) in the
+//!    pipeline baseline; `--require-win` exits non-zero if dot, l1 or
+//!    matmul fail to beat scalar while a SIMD ISA is active.
+
+use largeea_bench::{arg_str, Baseline, StageStat};
+use largeea_common::bench::{Bench, Measurement};
+use largeea_common::pool::Pool;
 use largeea_common::rng::Rng;
-use largeea_tensor::Matrix;
+use largeea_tensor::kernels::{self, Isa};
+use largeea_tensor::{active_isa, Matrix};
 
 const N: usize = 160;
 
@@ -105,8 +116,150 @@ fn bench_production_kernels(bench: &mut Bench) {
     group.finish();
 }
 
+/// Scalar-vs-dispatched timings for one kernel on identical inputs.
+struct Comparison {
+    name: &'static str,
+    scalar: Measurement,
+    dispatched: Measurement,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.scalar.median_ns / self.dispatched.median_ns
+    }
+}
+
+/// Times each dispatchable kernel under `Isa::Scalar` and under the
+/// runtime-selected ISA. The inputs are identical and the outputs are
+/// bit-identical by contract (DESIGN.md §S0.11) — only the clock differs.
+fn bench_dispatch_kernels(bench: &mut Bench) -> Vec<Comparison> {
+    let isa = active_isa();
+    let mut rng = Rng::seed_from_u64(9);
+    const DIM: usize = 128;
+    let a: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let b: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let qa: Vec<i8> = (0..DIM)
+        .map(|_| rng.gen_range(-127i32..=127) as i8)
+        .collect();
+    let qb: Vec<i8> = (0..DIM)
+        .map(|_| rng.gen_range(-127i32..=127) as i8)
+        .collect();
+    let mut y = vec![0.0f32; DIM];
+    let mm_a = random_dense(&mut rng, N, N);
+    let mm_b = random_dense(&mut rng, N, N);
+    let pool = Pool::global();
+
+    let mut group = bench.group("kernel_dispatch");
+    let mut out = Vec::new();
+    // Closures return the computed value so `Bencher::iter`'s black_box
+    // keeps the optimiser from deleting the body (the scalar i8 dot is
+    // otherwise provably dead and vanishes).
+    let mut compare = |group: &mut largeea_common::bench::Group<'_>,
+                       name: &'static str,
+                       f: &mut dyn FnMut(Isa) -> f32| {
+        let scalar = group
+            .bench_measured(format!("{name}_scalar"), |br| br.iter(|| f(Isa::Scalar)))
+            .expect("measured");
+        let dispatched = group
+            .bench_measured(format!("{name}_{}", isa.name()), |br| br.iter(|| f(isa)))
+            .expect("measured");
+        out.push(Comparison {
+            name,
+            scalar,
+            dispatched,
+        });
+    };
+    compare(&mut group, "dot", &mut |isa| kernels::dot_on(isa, &a, &b));
+    compare(&mut group, "l1", &mut |isa| {
+        kernels::l1_distance_on(isa, &a, &b)
+    });
+    // alpha = 0 keeps `y` finite across repeated in-place applications
+    // without changing the arithmetic cost.
+    compare(&mut group, "axpy", &mut |isa| {
+        kernels::axpy_on(isa, &mut y, 0.0, &a);
+        y[0]
+    });
+    compare(&mut group, "dot_i8", &mut |isa| {
+        kernels::dot_i8_on(isa, &qa, &qb) as f32
+    });
+    compare(&mut group, "matmul", &mut |isa| {
+        mm_a.matmul_on(&mm_b, pool, isa).as_slice()[0]
+    });
+    group.finish();
+
+    println!();
+    for c in &out {
+        println!(
+            "kernel.{:<8} {:>8.1} ns scalar  {:>8.1} ns {}  ({:.2}x)",
+            c.name,
+            c.scalar.median_ns,
+            c.dispatched.median_ns,
+            isa.name(),
+            c.speedup()
+        );
+    }
+    out
+}
+
+/// Replaces-or-inserts the dispatched `kernel.*` stage stats and the
+/// `kernel_isa` / `kernel_speedup_*` config entries in `path` (a
+/// `BENCH_pipeline.json` baseline), preserving everything else.
+fn merge_into_baseline(path: &str, comparisons: &[Comparison]) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let mut baseline = Baseline::parse(&text).unwrap_or_else(|e| panic!("parsing {path}: {e}"));
+    let mut upsert_cfg =
+        |key: String, value: String| match baseline.config.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => baseline.config.push((key, value)),
+        };
+    upsert_cfg("kernel_isa".to_owned(), active_isa().name().to_owned());
+    for c in comparisons {
+        upsert_cfg(
+            format!("kernel_speedup_{}", c.name),
+            format!("{:.2}", c.speedup()),
+        );
+    }
+    for c in comparisons {
+        let name = format!("kernel.{}", c.name);
+        let stat = StageStat {
+            median_seconds: c.dispatched.median_ns * 1e-9,
+            min_seconds: c.dispatched.min_ns * 1e-9,
+            max_seconds: c.dispatched.max_ns * 1e-9,
+        };
+        match baseline.stages.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = stat,
+            None => baseline.stages.push((name, stat)),
+        }
+    }
+    baseline.stages.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut doc = largeea_common::json::ToJson::to_json_string(&baseline);
+    doc.push('\n');
+    std::fs::write(path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("merged kernel.* stages into {path}");
+}
+
 fn main() {
     let mut bench = Bench::new();
     bench_skip_variants(&mut bench);
     bench_production_kernels(&mut bench);
+    let comparisons = bench_dispatch_kernels(&mut bench);
+    if let Some(path) = arg_str("merge-into") {
+        merge_into_baseline(&path, &comparisons);
+    }
+    if std::env::args().any(|arg| arg == "--require-win") && active_isa() != Isa::Scalar {
+        let losers: Vec<&str> = comparisons
+            .iter()
+            .filter(|c| matches!(c.name, "dot" | "l1" | "matmul") && c.speedup() <= 1.0)
+            .map(|c| c.name)
+            .collect();
+        if !losers.is_empty() {
+            eprintln!(
+                "kernel dispatch ({}) failed to beat scalar on: {}",
+                active_isa().name(),
+                losers.join(", ")
+            );
+            std::process::exit(1);
+        }
+        println!("kernel dispatch win confirmed ({})", active_isa().name());
+    }
 }

@@ -68,6 +68,10 @@ pub fn thread_config() -> Vec<(String, String)> {
             largeea_common::pool::Pool::global().threads().to_string(),
         ),
         ("host_parallelism".to_owned(), host.to_string()),
+        (
+            "kernel_isa".to_owned(),
+            largeea_tensor::active_isa().name().to_owned(),
+        ),
     ]
 }
 

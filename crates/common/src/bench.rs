@@ -96,7 +96,18 @@ pub struct Group<'a> {
 impl Group<'_> {
     /// Runs one benchmark: `f` receives a [`Bencher`] and must call
     /// [`Bencher::iter`] exactly once with the body to measure.
-    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F)
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let _ = self.bench_measured(id, f);
+    }
+
+    /// Like [`Group::bench_function`], but also returns the
+    /// [`Measurement`] so callers can act on the numbers (compare
+    /// variants, merge into a baseline file, gate a regression).
+    /// `None` if the closure never called [`Bencher::iter`].
+    pub fn bench_measured<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> Option<Measurement>
     where
         F: FnMut(&mut Bencher),
     {
@@ -117,6 +128,7 @@ impl Group<'_> {
             ),
             None => println!("{}/{id}: no measurement (iter not called)", self.name),
         }
+        bencher.result
     }
 
     /// Ends the group (a no-op kept for criterion API parity).
@@ -226,6 +238,19 @@ mod tests {
         assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
         assert!(m.min_ns > 0.0);
         assert_eq!(m.samples, 5);
+    }
+
+    #[test]
+    fn bench_measured_returns_the_measurement() {
+        let mut bench = Bench::new().sample_size(3).warmup_ms(1).sample_target_ms(1);
+        let mut group = bench.group("test");
+        let m = group
+            .bench_measured("sum", |b| b.iter(|| (0..64u64).sum::<u64>()))
+            .expect("measured");
+        assert!(m.median_ns > 0.0);
+        let none = group.bench_measured("noop", |_| {});
+        assert!(none.is_none());
+        group.finish();
     }
 
     #[test]

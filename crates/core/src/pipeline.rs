@@ -394,6 +394,10 @@ impl LargeEa {
             .map(Vec::with_capacity);
         let mut pipeline_span = rec.span("pipeline");
         pipeline_span.field("rounds", rounds);
+        // Which kernel ISA this run dispatched to (DESIGN.md §S0.11) —
+        // recorded so baselines and trace diffs attribute perf shifts to
+        // the instruction set, not the pipeline.
+        pipeline_span.field("kernel.isa", largeea_tensor::active_isa().name());
         if let Some(dir) = &exec.spill_dir {
             pipeline_span.field("spill.dir", dir.display().to_string());
         }

@@ -1,0 +1,620 @@
+//! i8-quantized top-k scan with exact re-rank (DESIGN.md §S0.11).
+//!
+//! The classic Faiss IVF-PQ shape, restated for our exact blocked scans:
+//! quantize the embeddings once to `i8`, run the candidate scan with cheap
+//! integer kernels to collect a `c·k` **shortlist** per query, then re-rank
+//! only the shortlist with the exact `f32` metric. The i8 scan is 4× denser
+//! in cache and uses [`largeea_tensor::kernels::dot_i8`]/[`l1_i8`] (AVX2
+//! `maddubs`-class throughput when dispatched), so the `O(n²)` phase gets
+//! cheaper while the final scores — and therefore every committed artifact —
+//! remain *exact* `f32` values.
+//!
+//! ## Shortlist/re-rank invariant
+//!
+//! The quantized path returns top-k lists **equal to the exact scan's**
+//! whenever the true top-k survive the shortlist (prop-tested in this
+//! module; guaranteed when `c·k ≥ n_base`, overwhelmingly likely otherwise
+//! because quantization error is bounded by scale/2 per element — satellite
+//! round-trip test). Re-rank scores are computed with the same dispatched
+//! [`Metric::similarity`] kernels and pushed in globally ascending base-id
+//! order into the same [`TopK`](crate::topk) collector, so scores, ordering
+//! and tie-breaking are bitwise those of `segmented_topk_traced` for every
+//! surviving candidate — the only possible divergence is a shortlist miss,
+//! never a score.
+//!
+//! ## Quantization scheme
+//!
+//! Symmetric, zero-point-free: `q = round(x / s)` clamped to `[-127, 127]`.
+//! - [`Metric::InnerProduct`]: per-row scales (`s_a·s_b·(qa·qb)` factors).
+//! - [`Metric::Manhattan`]: one **shared** scale across both matrices —
+//!   per-row scales cannot be pulled out of `Σ|s_a·qa − s_b·qb|`, and a
+//!   shared scale makes `-s·Σ|qa − qb|` rank-faithful across segments.
+
+use crate::topk::{Metric, TopK};
+use largeea_common::obs::{Level, Recorder};
+use largeea_tensor::kernels::{dot_i8, l1_i8};
+use largeea_tensor::parallel::par_map_blocks;
+use largeea_tensor::Matrix;
+use std::ops::Range;
+
+/// A row-major `i8`-quantized matrix: `data[r][c] = round(f32[r][c] / scale[r])`
+/// clamped to `[-127, 127]` (symmetric, no zero point; `-128` is unused so
+/// negation stays lossless).
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Per-row symmetric quantization: each row's scale is
+    /// `max_abs(row) / 127` (0 for all-zero rows, which quantize to zeros
+    /// and dequantize back to exact zeros).
+    pub fn quantize(m: &Matrix) -> Self {
+        let scales: Vec<f32> = (0..m.rows())
+            .map(|r| {
+                let row = m.row(r);
+                row.iter().fold(0.0f32, |acc, x| acc.max(x.abs())) / 127.0
+            })
+            .collect();
+        Self::with_scales(m, &scales)
+    }
+
+    /// Shared-scale quantization: every row uses the same `scale`
+    /// (`max_abs(all rows) / 127` computed by the caller) — required for
+    /// Manhattan, where per-row scales break rank comparability.
+    pub fn quantize_shared(m: &Matrix, scale: f32) -> Self {
+        let scales = vec![scale; m.rows()];
+        Self::with_scales(m, &scales)
+    }
+
+    fn with_scales(m: &Matrix, scales: &[f32]) -> Self {
+        let mut data = Vec::with_capacity(m.rows() * m.cols());
+        for (r, &s) in scales.iter().enumerate().take(m.rows()) {
+            if s == 0.0 {
+                data.extend(std::iter::repeat_n(0i8, m.cols()));
+                continue;
+            }
+            data.extend(
+                m.row(r)
+                    .iter()
+                    .map(|&x| (x / s).round().clamp(-127.0, 127.0) as i8),
+            );
+        }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            data,
+            scales: scales.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Quantized row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Scale of row `r` (`dequant = q * scale`).
+    #[inline]
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// Dequantized copy of row `r` — test/debug helper for the round-trip
+    /// error-bound property (|x − q·s| ≤ s/2 element-wise).
+    pub fn dequantize_row(&self, r: usize) -> Vec<f32> {
+        let s = self.scales[r];
+        self.row(r).iter().map(|&q| f32::from(q) * s).collect()
+    }
+
+    /// Bytes of the quantized payload + scales — what the memory budget is
+    /// charged while a quantized segment is resident (4× smaller than the
+    /// f32 original, plus one scale per row).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Tuning for the quantized scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantConfig {
+    /// Shortlist multiplier `c`: the i8 scan keeps the best `c·k`
+    /// candidates per query for exact re-rank. `c·k ≥ n_base` makes the
+    /// quantized result *provably* equal to the exact scan; smaller values
+    /// trade that guarantee for speed (4 is comfortable in practice —
+    /// quantization error per element is at most scale/2).
+    pub shortlist_factor: usize,
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        Self {
+            shortlist_factor: 4,
+        }
+    }
+}
+
+/// In-RAM quantized top-k: drop-in for
+/// [`segmented_topk_traced`](crate::topk::segmented_topk_traced) behind the
+/// `--quantize` flag. Emits `quantize`/`quant_block`/`rerank` spans and the
+/// `quant.*` counters instead of `sens.*`.
+///
+/// # Panics
+///
+/// If `queries.cols() != base.cols()` ("query/base dimensionality
+/// mismatch"), `k == 0`, `num_segments == 0`, or
+/// `quant.shortlist_factor == 0`.
+pub fn quantized_topk_traced(
+    queries: &Matrix,
+    base: &Matrix,
+    k: usize,
+    metric: Metric,
+    num_segments: usize,
+    quant: QuantConfig,
+    rec: &Recorder,
+) -> Vec<Vec<(u32, f32)>> {
+    assert_eq!(
+        queries.cols(),
+        base.cols(),
+        "query/base dimensionality mismatch"
+    );
+    let slice = |m: &Matrix, r: Range<usize>| {
+        let ids: Vec<u32> = r.map(|i| i as u32).collect();
+        m.gather_rows(&ids)
+    };
+    quantized_topk_streamed(
+        queries.rows(),
+        base.rows(),
+        k,
+        metric,
+        num_segments,
+        quant,
+        rec,
+        |r| Ok::<_, std::convert::Infallible>(slice(queries, r)),
+        |r| Ok(slice(base, r)),
+    )
+    .unwrap_or_else(|e| match e {})
+}
+
+/// Out-of-core quantized top-k, the `--quantize` counterpart of
+/// [`segmented_topk_streamed`](crate::topk::segmented_topk_streamed):
+/// loaders materialise one row segment at a time and are invoked in up to
+/// three passes —
+///
+/// 1. **quantize** (`quantize` span): every segment is loaded once and
+///    kept resident *only* in i8 form (4× smaller than f32). Manhattan
+///    needs one extra pass over both sides first to find the shared scale.
+/// 2. **scan** (`quant_block` spans, same segment-pair order as the exact
+///    path): integer kernels score every pair; a per-query [`TopK`] of
+///    size `c·k` collects the shortlist.
+/// 3. **re-rank** (`rerank` span): segments are re-loaded in f32 and only
+///    shortlisted pairs are scored with the exact metric, pushed in
+///    globally ascending id order — identical scores, ordering and
+///    tie-breaks to the exact scan for every surviving candidate.
+///
+/// Counters: `quant.rows`, `quant.blocks`, `quant.candidates_scored`,
+/// `quant.shortlist`, `quant.rerank_pairs`.
+///
+/// # Panics
+///
+/// Same contract as [`quantized_topk_traced`]; additionally if a loader
+/// returns a segment with the wrong row count or mismatched columns.
+#[allow(clippy::too_many_arguments)] // mirrors segmented_topk_streamed plus QuantConfig
+pub fn quantized_topk_streamed<E>(
+    n_queries: usize,
+    n_base: usize,
+    k: usize,
+    metric: Metric,
+    num_segments: usize,
+    quant: QuantConfig,
+    rec: &Recorder,
+    mut load_queries: impl FnMut(Range<usize>) -> Result<Matrix, E>,
+    mut load_base: impl FnMut(Range<usize>) -> Result<Matrix, E>,
+) -> Result<Vec<Vec<(u32, f32)>>, E> {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(num_segments >= 1, "need at least one segment");
+    assert!(
+        quant.shortlist_factor >= 1,
+        "shortlist_factor must be at least 1"
+    );
+    let q_seg = n_queries.div_ceil(num_segments).max(1);
+    let b_seg = n_base.div_ceil(num_segments).max(1);
+    let shortlist_k = k.saturating_mul(quant.shortlist_factor);
+
+    // --- pass 1: quantize every segment (shared scale for Manhattan) ---
+    let mut span = rec.span_at(Level::Detail, "quantize");
+    let shared_scale = match metric {
+        Metric::Manhattan => {
+            let mut max_abs = 0.0f32;
+            for q_start in (0..n_queries).step_by(q_seg) {
+                let q_end = (q_start + q_seg).min(n_queries);
+                max_abs = max_abs.max(load_queries(q_start..q_end)?.max_abs());
+            }
+            for b_start in (0..n_base).step_by(b_seg) {
+                let b_end = (b_start + b_seg).min(n_base);
+                max_abs = max_abs.max(load_base(b_start..b_end)?.max_abs());
+            }
+            Some(max_abs / 127.0)
+        }
+        Metric::InnerProduct => None,
+    };
+    let quantize = |m: &Matrix| match shared_scale {
+        Some(s) => QuantizedMatrix::quantize_shared(m, s),
+        None => QuantizedMatrix::quantize(m),
+    };
+    let load_seg = |start: usize,
+                    end: usize,
+                    from_queries: bool,
+                    load_q: &mut dyn FnMut(Range<usize>) -> Result<Matrix, E>,
+                    load_b: &mut dyn FnMut(Range<usize>) -> Result<Matrix, E>|
+     -> Result<Matrix, E> {
+        let seg = if from_queries {
+            load_q(start..end)?
+        } else {
+            load_b(start..end)?
+        };
+        assert_eq!(seg.rows(), end - start, "segment row count");
+        Ok(seg)
+    };
+    let mut q_quant = Vec::with_capacity(n_queries.div_ceil(q_seg));
+    for q_start in (0..n_queries).step_by(q_seg) {
+        let q_end = (q_start + q_seg).min(n_queries);
+        let seg = load_seg(q_start, q_end, true, &mut load_queries, &mut load_base)?;
+        q_quant.push((q_start, quantize(&seg)));
+    }
+    let mut b_quant = Vec::with_capacity(n_base.div_ceil(b_seg));
+    for b_start in (0..n_base).step_by(b_seg) {
+        let b_end = (b_start + b_seg).min(n_base);
+        let seg = load_seg(b_start, b_end, false, &mut load_queries, &mut load_base)?;
+        b_quant.push((b_start, quantize(&seg)));
+    }
+    span.field(
+        "mode",
+        if shared_scale.is_some() {
+            "shared"
+        } else {
+            "per_row"
+        },
+    );
+    span.field("rows", (n_queries + n_base) as u64);
+    drop(span);
+    rec.add("quant.rows", (n_queries + n_base) as u64);
+
+    // --- pass 2: integer scan into per-query c·k shortlists ---
+    let mut shortlists: Vec<TopK> = (0..n_queries).map(|_| TopK::new(shortlist_k)).collect();
+    let mut blocks_done = 0u64;
+    let mut total_scored = 0u64;
+    for (b_start, bq) in &b_quant {
+        for (q_start, qq) in &q_quant {
+            assert_eq!(qq.cols(), bq.cols(), "segment dim mismatch");
+            let mut span = rec.span_at(Level::Trace, "quant_block");
+            let block = par_map_blocks(qq.rows(), 32, |range| {
+                let mut out = Vec::with_capacity(range.len());
+                for qi in range {
+                    let qrow = qq.row(qi);
+                    let mut local = TopK::new(shortlist_k);
+                    for bi in 0..bq.rows() {
+                        let brow = bq.row(bi);
+                        // Rank-faithful integer surrogates for the exact
+                        // metric: shared scale drops out of Manhattan;
+                        // per-row base scale re-enters the inner product
+                        // (the query scale is constant per query).
+                        let s = match metric {
+                            Metric::Manhattan => -(l1_i8(qrow, brow) as f32),
+                            Metric::InnerProduct => {
+                                bq.scale(bi) * qq.scale(qi) * dot_i8(qrow, brow) as f32
+                            }
+                        };
+                        local.push((b_start + bi) as u32, s);
+                    }
+                    out.push((q_start + qi, local.into_sorted()));
+                }
+                out
+            });
+            for (q, hits) in block.into_iter().flatten() {
+                for (id, score) in hits {
+                    shortlists[q].push(id, score);
+                }
+            }
+            let scored = (qq.rows() * bq.rows()) as u64;
+            span.field("q_start", *q_start);
+            span.field("q_rows", qq.rows());
+            span.field("b_start", *b_start);
+            span.field("b_rows", bq.rows());
+            span.field("scored", scored);
+            blocks_done += 1;
+            total_scored += scored;
+        }
+    }
+    drop(q_quant);
+    drop(b_quant);
+    rec.add("quant.blocks", blocks_done);
+    rec.add("quant.candidates_scored", total_scored);
+
+    // Ascending candidate ids per query: pass 3 walks base segments in
+    // ascending order and pushes each query's survivors in ascending id
+    // order within the segment, so the global push order per query is
+    // ascending — the exact scan's tie semantics.
+    let short_ids: Vec<Vec<u32>> = shortlists
+        .into_iter()
+        .map(|t| {
+            let mut ids: Vec<u32> = t.into_sorted().into_iter().map(|(id, _)| id).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    rec.add(
+        "quant.shortlist",
+        short_ids.iter().map(|v| v.len() as u64).sum(),
+    );
+
+    // --- pass 3: exact f32 re-rank of the shortlists ---
+    let mut span = rec.span_at(Level::Detail, "rerank");
+    let mut merged: Vec<TopK> = (0..n_queries).map(|_| TopK::new(k)).collect();
+    let mut rerank_pairs = 0u64;
+    for b_start in (0..n_base).step_by(b_seg) {
+        let b_end = (b_start + b_seg).min(n_base);
+        let b_block = load_base(b_start..b_end)?;
+        assert_eq!(b_block.rows(), b_end - b_start, "base segment row count");
+        for q_start in (0..n_queries).step_by(q_seg) {
+            let q_end = (q_start + q_seg).min(n_queries);
+            let q_block = load_queries(q_start..q_end)?;
+            assert_eq!(q_block.rows(), q_end - q_start, "query segment row count");
+            assert_eq!(q_block.cols(), b_block.cols(), "segment dim mismatch");
+            let block = par_map_blocks(q_end - q_start, 32, |range| {
+                let mut out = Vec::with_capacity(range.len());
+                for qi in range {
+                    let q = q_start + qi;
+                    let qrow = q_block.row(qi);
+                    let ids = &short_ids[q];
+                    // Survivors inside this base segment (ids sorted asc).
+                    let lo = ids.partition_point(|&id| (id as usize) < b_start);
+                    let hi = ids.partition_point(|&id| (id as usize) < b_end);
+                    let hits: Vec<(u32, f32)> = ids[lo..hi]
+                        .iter()
+                        .map(|&id| {
+                            let brow = b_block.row(id as usize - b_start);
+                            (id, metric.similarity(qrow, brow))
+                        })
+                        .collect();
+                    out.push((q, hits));
+                }
+                out
+            });
+            for (q, hits) in block.into_iter().flatten() {
+                rerank_pairs += hits.len() as u64;
+                for (id, score) in hits {
+                    merged[q].push(id, score);
+                }
+            }
+        }
+    }
+    span.field("pairs", rerank_pairs);
+    drop(span);
+    rec.add("quant.rerank_pairs", rerank_pairs);
+    Ok(merged.into_iter().map(TopK::into_sorted).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::segmented_topk_traced;
+    use largeea_common::check::for_each_case;
+    use largeea_common::obs::{ObsConfig, Recorder};
+    use largeea_common::rng::Rng;
+
+    fn gen_matrix(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_scale() {
+        // Satellite: |x − dequant(quant(x))| ≤ scale/2 per element, for
+        // both per-row and shared scales. Compared in f64 with an epsilon
+        // for the x/s division's own rounding.
+        for_each_case(0x08B17, 64, |rng| {
+            let rows = rng.gen_range(1..10usize);
+            let cols = rng.gen_range(1..40usize);
+            let mag = 10f32.powi(rng.gen_range(-3..3));
+            let m = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0) * mag);
+            let shared = m.max_abs() / 127.0;
+            for q in [
+                QuantizedMatrix::quantize(&m),
+                QuantizedMatrix::quantize_shared(&m, shared),
+            ] {
+                for r in 0..rows {
+                    let s = f64::from(q.scale(r));
+                    let bound = s * 0.5000002 + 1e-12;
+                    for (x, d) in m.row(r).iter().zip(q.dequantize_row(r)) {
+                        let err = (f64::from(*x) - f64::from(d)).abs();
+                        assert!(err <= bound, "err {err} > bound {bound} (scale {s})");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn zero_and_constant_rows_quantize_exactly() {
+        // Zero row: scale 0, dequantizes to exact zeros. Constant row:
+        // every element is the max-abs, so q = ±127 and the round-trip is
+        // exact up to one f32 multiply.
+        let m = Matrix::from_vec(2, 4, vec![0.0, 0.0, 0.0, 0.0, -2.5, -2.5, -2.5, -2.5]);
+        let q = QuantizedMatrix::quantize(&m);
+        assert_eq!(q.scale(0), 0.0);
+        assert_eq!(q.row(0), &[0, 0, 0, 0]);
+        assert_eq!(q.dequantize_row(0), vec![0.0; 4]);
+        assert_eq!(q.row(1), &[-127, -127, -127, -127]);
+        for d in q.dequantize_row(1) {
+            assert!((d - -2.5).abs() < 1e-5, "constant row round-trip: {d}");
+        }
+        assert_eq!(q.nbytes(), 2 * 4 + 2 * 4);
+    }
+
+    #[test]
+    fn covering_shortlist_equals_exact_scan() {
+        // c·k ≥ n_base ⇒ nothing can be shortlisted away, so the result
+        // must be *equal* (scores bitwise, ids, tie-order) to the exact
+        // scan — the strongest form of the shortlist/re-rank invariant.
+        for_each_case(0xC0_FFEE, 24, |rng| {
+            let nq = rng.gen_range(1..20usize);
+            let nb = rng.gen_range(1..30usize);
+            let dim = rng.gen_range(1..17usize);
+            let k = rng.gen_range(1..6usize);
+            let segs = rng.gen_range(1..5usize);
+            let q = gen_matrix(rng, nq, dim);
+            let b = gen_matrix(rng, nb, dim);
+            let cfg = QuantConfig {
+                shortlist_factor: nb.div_ceil(k),
+            };
+            for metric in [Metric::Manhattan, Metric::InnerProduct] {
+                let exact = segmented_topk_traced(&q, &b, k, metric, segs, &Recorder::disabled());
+                let quant =
+                    quantized_topk_traced(&q, &b, k, metric, segs, cfg, &Recorder::disabled());
+                assert_eq!(quant, exact, "{metric:?} nq={nq} nb={nb} k={k} segs={segs}");
+            }
+        });
+    }
+
+    #[test]
+    fn small_shortlist_recovers_exact_topk_outside_error_margin() {
+        // The quantifiable form of the shortlist/re-rank invariant for a
+        // *non-covering* shortlist: one quantized Manhattan score differs
+        // from the exact one by at most dim·s (each of the 2·dim operands
+        // moves by ≤ s/2), so two candidates can only swap ranks if their
+        // exact scores are within 2·dim·s. Whenever the margin between
+        // rank k and rank c·k+1 exceeds that bound, the true top-k must
+        // survive the shortlist and the result must equal the exact scan.
+        let separated_cases = std::cell::Cell::new(0u32);
+        for_each_case(0x5E9A4, 40, |rng| {
+            let nq = rng.gen_range(1..6usize);
+            let nb = rng.gen_range(10..40usize);
+            let dim = rng.gen_range(4..12usize);
+            let k = rng.gen_range(1..4usize);
+            let q = gen_matrix(rng, nq, dim);
+            let b = gen_matrix(rng, nb, dim);
+            let cfg = QuantConfig {
+                shortlist_factor: 3,
+            };
+            let shortlist = cfg.shortlist_factor * k;
+            if shortlist >= nb {
+                return; // covered by covering_shortlist_equals_exact_scan
+            }
+            let scale = q.max_abs().max(b.max_abs()) / 127.0;
+            let bound = 2.0 * dim as f32 * scale;
+            let full =
+                segmented_topk_traced(&q, &b, nb, Metric::Manhattan, 3, &Recorder::disabled());
+            let margin_ok = full
+                .iter()
+                .all(|hits| hits[k - 1].1 - hits[shortlist].1 > bound);
+            if !margin_ok {
+                return;
+            }
+            separated_cases.set(separated_cases.get() + 1);
+            let exact =
+                segmented_topk_traced(&q, &b, k, Metric::Manhattan, 3, &Recorder::disabled());
+            let quant =
+                quantized_topk_traced(&q, &b, k, Metric::Manhattan, 3, cfg, &Recorder::disabled());
+            assert_eq!(quant, exact, "nq={nq} nb={nb} dim={dim} k={k}");
+        });
+        let n = separated_cases.get();
+        assert!(
+            n >= 5,
+            "margin condition held in only {n} cases — test is near-vacuous"
+        );
+    }
+
+    #[test]
+    fn streamed_matches_in_ram_and_counts() {
+        let mut rng = Rng::seed_from_u64(42);
+        let q = gen_matrix(&mut rng, 23, 6);
+        let b = gen_matrix(&mut rng, 31, 6);
+        let slice = |m: &Matrix, r: Range<usize>| {
+            let ids: Vec<u32> = r.map(|i| i as u32).collect();
+            m.gather_rows(&ids)
+        };
+        let rec = Recorder::new(ObsConfig::default());
+        let in_ram = quantized_topk_traced(
+            &q,
+            &b,
+            4,
+            Metric::Manhattan,
+            3,
+            QuantConfig::default(),
+            &rec,
+        );
+        let rec2 = Recorder::new(ObsConfig::default());
+        let streamed = quantized_topk_streamed(
+            23,
+            31,
+            4,
+            Metric::Manhattan,
+            3,
+            QuantConfig::default(),
+            &rec2,
+            |r| Ok::<_, std::io::Error>(slice(&q, r)),
+            |r| Ok(slice(&b, r)),
+        )
+        .unwrap();
+        assert_eq!(streamed, in_ram);
+        let (t1, t2) = (rec.trace(), rec2.trace());
+        for c in [
+            "quant.rows",
+            "quant.blocks",
+            "quant.candidates_scored",
+            "quant.shortlist",
+            "quant.rerank_pairs",
+        ] {
+            assert_eq!(t1.counter(c), t2.counter(c), "{c}");
+            assert!(t1.counter(c) > 0, "{c} should be recorded");
+        }
+        assert_eq!(t1.counter("quant.blocks"), 3 * 3);
+        assert_eq!(t1.counter("quant.candidates_scored"), 23 * 31);
+    }
+
+    #[test]
+    fn loader_errors_propagate() {
+        let err = quantized_topk_streamed(
+            10,
+            10,
+            2,
+            Metric::Manhattan,
+            2,
+            QuantConfig::default(),
+            &Recorder::disabled(),
+            |_| Err(std::io::Error::other("disk on fire")),
+            |r| Ok(Matrix::zeros(r.len(), 3)),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn dim_mismatch_panics() {
+        quantized_topk_traced(
+            &Matrix::zeros(2, 3),
+            &Matrix::zeros(2, 4),
+            1,
+            Metric::Manhattan,
+            1,
+            QuantConfig::default(),
+            &Recorder::disabled(),
+        );
+    }
+}

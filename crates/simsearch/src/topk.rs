@@ -16,13 +16,19 @@ pub enum Metric {
 }
 
 impl Metric {
-    /// Similarity between two equal-length vectors. Uses the unrolled
+    /// Similarity between two equal-length vectors. Uses the dispatched
     /// reductions from `largeea-tensor` ([`l1_distance`] / [`dot`]) —
     /// the scoring loop here dominates SENS wall-clock, and a strict
     /// sequential FP sum never vectorises.
+    ///
+    /// Length discipline: the kernels truncate to the shorter slice, so a
+    /// mismatched call silently scores a prefix. The public `topk` entry
+    /// points therefore reject mismatched dimensionality with a documented
+    /// panic *before* any scoring; this inner hot path keeps only a
+    /// `debug_assert` so release builds pay no per-pair branch.
     #[inline]
     pub fn similarity(self, a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len(), b.len(), "similarity length mismatch");
         match self {
             Metric::Manhattan => -l1_distance(a, b),
             Metric::InnerProduct => dot(a, b),
@@ -31,14 +37,32 @@ impl Metric {
 }
 
 /// A bounded max-similarity collector: keeps the `k` best `(id, score)`
-/// entries seen, implemented as a small binary min-heap on score.
-struct TopK {
+/// entries seen, implemented as a small binary min-heap under the **total**
+/// order (score, then lowest-id-wins on equal scores).
+///
+/// Tie discipline (pinned by `ties_prefer_lowest_id_at_any_width`): the
+/// retained set is exactly the first `k` of a (descending score, ascending
+/// id) sort of everything pushed — independent of push order, thread
+/// width, or segmenting. The heap orders ties too (among equal scores the
+/// *highest* id is the eviction victim), because a score-only heap leaves
+/// the survivor among tied minima at the mercy of eviction history.
+/// `quant` reuses this collector for its shortlist and re-rank phases, so
+/// all three search paths (exact, streamed, quantized) share one tie
+/// semantics.
+pub(crate) struct TopK {
     k: usize,
-    heap: Vec<(f32, u32)>, // min-heap by score
+    heap: Vec<(f32, u32)>, // min-heap under `worse`
+}
+
+/// Total-order "is `a` worse than `b`": lower score loses; equal scores,
+/// higher id loses. (NaN never arises: scores are finite similarities.)
+#[inline]
+fn worse(a: (f32, u32), b: (f32, u32)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 > b.1)
 }
 
 impl TopK {
-    fn new(k: usize) -> Self {
+    pub(crate) fn new(k: usize) -> Self {
         Self {
             k,
             heap: Vec::with_capacity(k + 1),
@@ -46,28 +70,28 @@ impl TopK {
     }
 
     #[inline]
-    fn push(&mut self, id: u32, score: f32) {
+    pub(crate) fn push(&mut self, id: u32, score: f32) {
         if self.heap.len() < self.k {
             self.heap.push((score, id));
             let mut i = self.heap.len() - 1;
             while i > 0 {
                 let p = (i - 1) / 2;
-                if self.heap[p].0 <= self.heap[i].0 {
+                if !worse(self.heap[i], self.heap[p]) {
                     break;
                 }
                 self.heap.swap(p, i);
                 i = p;
             }
-        } else if score > self.heap[0].0 {
+        } else if worse(self.heap[0], (score, id)) {
             self.heap[0] = (score, id);
             let mut i = 0;
             loop {
                 let (l, r) = (2 * i + 1, 2 * i + 2);
                 let mut min = i;
-                if l < self.heap.len() && self.heap[l].0 < self.heap[min].0 {
+                if l < self.heap.len() && worse(self.heap[l], self.heap[min]) {
                     min = l;
                 }
-                if r < self.heap.len() && self.heap[r].0 < self.heap[min].0 {
+                if r < self.heap.len() && worse(self.heap[r], self.heap[min]) {
                     min = r;
                 }
                 if min == i {
@@ -81,7 +105,7 @@ impl TopK {
 
     /// Drains into `(id, score)` pairs sorted by descending score
     /// (ties broken by ascending id for determinism).
-    fn into_sorted(self) -> Vec<(u32, f32)> {
+    pub(crate) fn into_sorted(self) -> Vec<(u32, f32)> {
         let mut v: Vec<(u32, f32)> = self.heap.into_iter().map(|(s, i)| (i, s)).collect();
         v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         v
@@ -92,6 +116,12 @@ impl TopK {
 /// under `metric`. Exact (no approximation), parallel over query blocks.
 ///
 /// Returns one descending-sorted `(base_row, score)` list per query row.
+///
+/// # Panics
+///
+/// If `queries.cols() != base.cols()` ("query/base dimensionality
+/// mismatch") or `k == 0` — checked up front so no mismatched pair is
+/// ever silently prefix-scored (see [`Metric::similarity`]).
 pub fn topk_search(
     queries: &Matrix,
     base: &Matrix,
@@ -104,6 +134,10 @@ pub fn topk_search(
 /// [`topk_search`] on an explicit pool, so tests can pin the width. Each
 /// query row's candidate scan is independent and collected in row order,
 /// so results are bit-identical for any thread count.
+///
+/// # Panics
+///
+/// Same contract as [`topk_search`].
 pub fn topk_search_in(
     queries: &Matrix,
     base: &Matrix,
@@ -141,6 +175,11 @@ pub fn topk_search_in(
 /// Functionally identical to [`topk_search`] (both are exact); exists so the
 /// experiment harness can reproduce and account for the paper's memory
 /// claim.
+///
+/// # Panics
+///
+/// If `queries.cols() != base.cols()` ("query/base dimensionality
+/// mismatch") or `num_segments == 0`.
 pub fn segmented_topk(
     queries: &Matrix,
     base: &Matrix,
@@ -162,6 +201,10 @@ pub fn segmented_topk(
 /// span ([`Level::Trace`]) with `q_start`/`q_rows`/`b_start`/`b_rows`/
 /// `scored` fields, and totals land in the `sens.blocks` /
 /// `sens.candidates_scored` counters.
+///
+/// # Panics
+///
+/// Same contract as [`segmented_topk`].
 pub fn segmented_topk_traced(
     queries: &Matrix,
     base: &Matrix,
@@ -170,6 +213,11 @@ pub fn segmented_topk_traced(
     num_segments: usize,
     rec: &Recorder,
 ) -> Vec<Vec<(u32, f32)>> {
+    assert_eq!(
+        queries.cols(),
+        base.cols(),
+        "query/base dimensionality mismatch"
+    );
     assert!(num_segments >= 1, "need at least one segment");
     let q_seg = queries.rows().div_ceil(num_segments).max(1);
     let b_seg = base.rows().div_ceil(num_segments).max(1);
@@ -229,6 +277,13 @@ pub fn segmented_topk_traced(
 /// from identical floats in an identical sequence, so the result is
 /// **bit-identical** to the in-RAM path (asserted by
 /// `streamed_matches_in_ram_traced`). Loader errors abort the search.
+///
+/// # Panics
+///
+/// If `num_segments == 0`, if a loader returns a segment whose row count
+/// differs from the requested range, or if a query segment's column count
+/// differs from the base segment's ("segment dim mismatch" — the streamed
+/// equivalent of the dimensionality check on the in-RAM entry points).
 #[allow(clippy::too_many_arguments)] // mirrors segmented_topk_traced plus two loaders
 pub fn segmented_topk_streamed<E>(
     n_queries: usize,
@@ -453,6 +508,57 @@ mod tests {
             1,
             Metric::Manhattan,
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn segmented_dim_mismatch_panics() {
+        segmented_topk(
+            &Matrix::zeros(4, 5),
+            &Matrix::zeros(4, 6),
+            2,
+            Metric::Manhattan,
+            2,
+        );
+    }
+
+    #[test]
+    fn ties_prefer_lowest_id_at_any_width() {
+        use largeea_common::check::for_each_case;
+        // Scores drawn from a handful of distinct values force heavy ties;
+        // the collector must keep the lowest ids among equals at every
+        // thread width, matching a naive (-score, id) sort.
+        for_each_case(0x7195, 40, |rng| {
+            let nq = rng.gen_range(1..12usize);
+            let nb = rng.gen_range(1..60usize);
+            let k = rng.gen_range(1..8usize);
+            let dim = rng.gen_range(1..5usize);
+            let q = Matrix::from_fn(nq, dim, |_, _| rng.gen_range(0i32..3) as f32);
+            let b = Matrix::from_fn(nb, dim, |_, _| rng.gen_range(0i32..3) as f32);
+            let mut expect = Vec::with_capacity(nq);
+            for qi in 0..nq {
+                let mut scored: Vec<(u32, f32)> = (0..nb)
+                    .map(|bi| {
+                        (
+                            bi as u32,
+                            Metric::Manhattan.similarity(q.row(qi), b.row(bi)),
+                        )
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                scored.truncate(k);
+                expect.push(scored);
+            }
+            for width in [1, 2, 4] {
+                let pool = Pool::new(width);
+                let got = topk_search_in(&q, &b, k, Metric::Manhattan, &pool);
+                assert_eq!(got, expect, "width={width} nq={nq} nb={nb} k={k}");
+            }
+            for segs in [1, 3] {
+                let got = segmented_topk(&q, &b, k, Metric::Manhattan, segs);
+                assert_eq!(got, expect, "segments={segs} nq={nq} nb={nb} k={k}");
+            }
+        });
     }
 
     #[test]

@@ -14,23 +14,31 @@
 //! - [`parallel`] — blocked parallel helpers over the persistent worker
 //!   pool from `largeea-common` (DESIGN.md §S0.6); hot kernels also have
 //!   `*_in(&Pool)` variants for explicit widths.
+//! - [`kernels`] — runtime-ISA-dispatched SIMD micro-kernels (AVX2/NEON)
+//!   behind a bit-identical scalar reference (DESIGN.md §S0.11);
+//!   `LARGEEA_NO_SIMD=1` forces the scalar path.
 //!
 //! Determinism: all randomness is seeded, all parallel reductions are
-//! per-block with a fixed combination order, so training runs are exactly
-//! reproducible.
+//! per-block with a fixed combination order, and SIMD kernels reproduce
+//! the scalar reference bit-for-bit, so training runs are exactly
+//! reproducible on any host.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `kernels` is the single module allowed `std::arch` intrinsics; everything
+// else stays unsafe-free (the module opts in with `#![allow(unsafe_code)]`).
+#![deny(unsafe_code)]
 
 pub mod autograd;
 pub mod init;
 pub mod io;
+pub mod kernels;
 pub mod matrix;
 pub mod optim;
 pub mod parallel;
 pub mod sparse;
 
 pub use autograd::{SpOp, Tape, Var};
+pub use kernels::{active_isa, Isa};
 pub use matrix::{dot, l1_distance, Matrix};
 pub use optim::{Adam, AdamConfig, ParamStore, Sgd};
 pub use parallel::Pool;

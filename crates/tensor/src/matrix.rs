@@ -1,5 +1,6 @@
 //! Dense row-major `f32` matrix with cache-blocked parallel kernels.
 
+use crate::kernels::{self, Isa};
 use crate::parallel::{par_rows_mut, Pool};
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -15,52 +16,10 @@ const NC: usize = 256;
 /// Register rows per micro-kernel call.
 const MR: usize = 4;
 
-/// Unrolled L1 (Manhattan) distance between two slices, truncated to the
-/// shorter length.
-///
-/// A plain `zip().map().sum()` is a strict sequential FP reduction the
-/// compiler may not reassociate, so it never vectorises; eight independent
-/// accumulators recover SIMD throughput. The accumulator split and the
-/// pairwise combine are fixed functions of the slice length — never of
-/// thread count or chunking — so the result is deterministic.
-pub fn l1_distance(a: &[f32], b: &[f32]) -> f32 {
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut acc = [0.0f32; 8];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
-        for j in 0..8 {
-            acc[j] += (xa[j] - xb[j]).abs();
-        }
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += (x - y).abs();
-    }
-    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
-}
-
-/// Unrolled dot product between two slices, truncated to the shorter
-/// length. Same eight-accumulator scheme (and determinism argument) as
-/// [`l1_distance`].
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut acc = [0.0f32; 8];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
-        for j in 0..8 {
-            acc[j] += xa[j] * xb[j];
-        }
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += x * y;
-    }
-    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
-}
+// The unrolled dot / L1 reductions moved to [`crate::kernels`] (where they
+// are the normative scalar reference behind runtime ISA dispatch); the
+// historical `largeea_tensor::matrix::{dot, l1_distance}` paths stay valid.
+pub use crate::kernels::{dot, l1_distance};
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -189,6 +148,15 @@ impl Matrix {
     /// vectorisation of the inner j-loop and loses on dense inputs (see
     /// EXPERIMENTS.md); sparse operands belong in [`crate::SparseMatrix`].
     pub fn matmul_in(&self, other: &Matrix, pool: &Pool) -> Matrix {
+        self.matmul_on(other, pool, kernels::active_isa())
+    }
+
+    /// [`Matrix::matmul_in`] on an explicit kernel [`Isa`] — the hook
+    /// `kernel_bench` and the dispatch tests use to compare instruction
+    /// sets. [`Isa::Scalar`] is the normative reference; every ISA is
+    /// bit-identical to it by the §S0.11 contract (and falls back to
+    /// scalar when the hardware lacks it).
+    pub fn matmul_on(&self, other: &Matrix, pool: &Pool, isa: Isa) -> Matrix {
         assert_eq!(
             self.cols,
             other.rows,
@@ -206,7 +174,7 @@ impl Matrix {
         let b = &other.data;
         let min_rows = (PAR_THRESHOLD / m).max(MR);
         pool.rows_mut(&mut out.data, m, min_rows, |block, first_row| {
-            matmul_block(a, b, block, first_row, k_dim, m);
+            matmul_block(a, b, block, first_row, k_dim, m, isa);
         });
         out
     }
@@ -248,12 +216,11 @@ impl Matrix {
         }
     }
 
-    /// `self += alpha * other` element-wise (axpy).
+    /// `self += alpha * other` element-wise (axpy), via the dispatched
+    /// [`kernels::axpy`] — bit-identical on every ISA.
     pub fn add_scaled_assign(&mut self, other: &Matrix, alpha: f32) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        kernels::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// Element-wise difference `self - other`.
@@ -358,8 +325,17 @@ impl Matrix {
 
 /// Computes `block = A[first_row.., :] @ B` for one row-aligned output
 /// block (`block.len()` is a multiple of `m`). See [`Matrix::matmul_in`]
-/// for the blocking scheme and the determinism argument.
-fn matmul_block(a: &[f32], b: &[f32], block: &mut [f32], first_row: usize, k_dim: usize, m: usize) {
+/// for the blocking scheme and the determinism argument; the micro-kernels
+/// are `isa`-dispatched but bit-identical across ISAs (§S0.11).
+fn matmul_block(
+    a: &[f32],
+    b: &[f32],
+    block: &mut [f32],
+    first_row: usize,
+    k_dim: usize,
+    m: usize,
+    isa: Isa,
+) {
     let nrows = block.len() / m;
     let mut panel = vec![0.0f32; KC.min(k_dim) * NC.min(m)];
     for kc in (0..k_dim).step_by(KC) {
@@ -384,7 +360,8 @@ fn matmul_block(a: &[f32], b: &[f32], block: &mut [f32], first_row: usize, k_dim
                 let (o1, rest) = rest.split_at_mut(m);
                 let (o2, o3) = rest.split_at_mut(m);
                 let i = first_row + r;
-                kernel4(
+                kernels::mk4_on(
+                    isa,
                     [a_strip(i), a_strip(i + 1), a_strip(i + 2), a_strip(i + 3)],
                     packed,
                     nc_len,
@@ -399,43 +376,9 @@ fn matmul_block(a: &[f32], b: &[f32], block: &mut [f32], first_row: usize, k_dim
             }
             while r < nrows {
                 let out_row = &mut block[r * m + jc..r * m + jc + nc_len];
-                kernel1(a_strip(first_row + r), packed, nc_len, out_row);
+                kernels::mk1_on(isa, a_strip(first_row + r), packed, nc_len, out_row);
                 r += 1;
             }
-        }
-    }
-}
-
-/// MR=4 register micro-kernel: four A rows against one packed B panel.
-/// The output sub-rows are pre-sliced to exactly `nc_len`, so every index
-/// below is provably in bounds and the j-loop vectorises.
-#[inline]
-fn kernel4(a: [&[f32]; MR], packed: &[f32], nc_len: usize, o: [&mut [f32]; MR]) {
-    let [a0, a1, a2, a3] = a;
-    let [o0, o1, o2, o3] = o;
-    for (kk, ((&x0, &x1), (&x2, &x3))) in a0.iter().zip(a1).zip(a2.iter().zip(a3)).enumerate() {
-        let brow = &packed[kk * nc_len..(kk + 1) * nc_len];
-        for (((c0, c1), (c2, c3)), &bv) in o0
-            .iter_mut()
-            .zip(o1.iter_mut())
-            .zip(o2.iter_mut().zip(o3.iter_mut()))
-            .zip(brow)
-        {
-            *c0 += x0 * bv;
-            *c1 += x1 * bv;
-            *c2 += x2 * bv;
-            *c3 += x3 * bv;
-        }
-    }
-}
-
-/// Single-row remainder micro-kernel.
-#[inline]
-fn kernel1(a_row: &[f32], packed: &[f32], nc_len: usize, out_row: &mut [f32]) {
-    for (kk, &x) in a_row.iter().enumerate() {
-        let brow = &packed[kk * nc_len..(kk + 1) * nc_len];
-        for (o, &bv) in out_row.iter_mut().zip(brow) {
-            *o += x * bv;
         }
     }
 }
@@ -566,5 +509,25 @@ mod tests {
     #[should_panic(expected = "buffer length")]
     fn from_vec_checks_length() {
         Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn matmul_bit_identical_across_isas() {
+        // Shapes straddle the KC/NC panel edges and the MR row remainder so
+        // both micro-kernels and their vector tails are exercised.
+        let pool = Pool::new(2);
+        for (n, k, m) in [(9, 5, 7), (130, 129, 257), (67, 128, 31)] {
+            let a = Matrix::from_fn(n, k, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+            let b = Matrix::from_fn(k, m, |r, c| ((r * 17 + c * 3) % 11) as f32 - 5.0);
+            let reference = a.matmul_on(&b, &pool, Isa::Scalar);
+            for isa in [Isa::Avx2, Isa::Neon] {
+                if !isa.available() {
+                    continue;
+                }
+                let got = a.matmul_on(&b, &pool, isa);
+                assert_eq!(got, reference, "{} {n}x{k}x{m}", isa.name());
+            }
+            assert_eq!(a.matmul_in(&b, &pool), reference, "dispatched path");
+        }
     }
 }

@@ -34,4 +34,14 @@ echo "== bench: checking the fresh run against the new baseline =="
 cargo run -q --release --offline --bin largeea -- \
   trace check "$FRESH" --baseline BENCH_pipeline.json
 
+echo "== bench: kernel dispatch micro-benchmarks → kernel.* stages =="
+# Times each dense kernel under the scalar reference and the dispatched
+# ISA (DESIGN.md §S0.11), merges the dispatched medians + speedups into
+# the baseline, and fails if dot/l1/matmul don't beat scalar while a SIMD
+# ISA is active.
+# cargo bench runs the binary with CWD = the package dir; hand it an
+# absolute path to the repo-root baseline.
+cargo bench -q --offline -p largeea-bench --bench kernel_bench -- \
+  --merge-into "$PWD/BENCH_pipeline.json" --require-win
+
 echo "bench: OK"

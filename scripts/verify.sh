@@ -108,4 +108,21 @@ if LARGEEA_HEAP_LEAK=$((1<<31)) "$L" align --data "$SMOKE/dbp_ci" --model gcn \
   exit 1
 fi
 
+echo "== kernel-dispatch smoke =="
+# runtime SIMD dispatch (DESIGN.md §S0.11): a scalar-forced run
+# (LARGEEA_NO_SIMD=1) must reproduce the default run's similarity matrix
+# byte-for-byte — the SIMD kernels are transcriptions, not approximations.
+# Same contract for the i8-quantized SENS scan (--quantize), whose exact
+# re-rank converges to the exact scan on this small shape.
+"$L" align --data "$SMOKE/dbp_ci" --model gcn --k 4 --epochs 4 --dim 16 \
+  --sim-out "$SMOKE/simd.sim" --trace-out "$SMOKE/simd.json" > /dev/null
+LARGEEA_NO_SIMD=1 "$L" align --data "$SMOKE/dbp_ci" --model gcn --k 4 \
+  --epochs 4 --dim 16 --sim-out "$SMOKE/nosimd.sim" > /dev/null
+cmp "$SMOKE/simd.sim" "$SMOKE/nosimd.sim"
+grep -q '"kernel.isa"' "$SMOKE/simd.json"
+"$L" align --data "$SMOKE/dbp_ci" --model gcn --k 4 --epochs 4 --dim 16 \
+  --quantize --sim-out "$SMOKE/quant.sim" --trace-out "$SMOKE/quant.json" > /dev/null
+cmp "$SMOKE/simd.sim" "$SMOKE/quant.sim"
+grep -q 'quant.shortlist' "$SMOKE/quant.json"
+
 echo "verify: OK"

@@ -24,6 +24,7 @@ use largeea::common::obs::{LiveConfig, Recorder};
 use largeea::core::checkpoint::Checkpoint;
 use largeea::core::pipeline::{ExecOptions, LargeEa, LargeEaConfig};
 use largeea::core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
+use largeea::core::NameChannelConfig;
 use largeea::data::Preset;
 use largeea::kg::{io, AlignmentSeeds, EntityId, KgPair, KgStats};
 use largeea::models::{ModelKind, TrainConfig};
@@ -43,7 +44,7 @@ USAGE:
                     [--csls n] [--rounds n] [--analysis] [--out <file>] [--sim-out <file>]
                     [--trace-out <file>] [--checkpoint-dir <dir>] [--resume]
                     [--mem-budget <bytes>] [--spill-dir <dir>] [--mem-audit]
-                    [--live-dir <dir>] [--live-every n]
+                    [--live-dir <dir>] [--live-every n] [--quantize]
   largeea eval      --data <dir> --predictions <file>
   largeea ckpt      inspect <dir>
   largeea trace     summarize <trace.json>
@@ -82,6 +83,14 @@ peaks drift past tolerance. Per-span allocation attribution lands in the
 trace (`alloc.bytes`/`alloc.count`/`alloc.peak` fields) — render it with
 `largeea trace heap` (allocation tree, top-N table, `--folded` flamegraph
 stacks).
+
+`--quantize` runs the name channel's SENS scan on i8-quantized embeddings
+with an exact f32 re-rank of a c·k shortlist (DESIGN.md §S0.11) — 4× less
+scan bandwidth, identical results whenever the true top-k survive the
+shortlist. All dense kernels dispatch to the best available SIMD ISA at
+runtime (see the `kernel.isa` field on the trace's `pipeline` span);
+results are bit-identical to the scalar reference, which
+LARGEEA_NO_SIMD=1 forces for A/B verification.
 
 `--live-dir <dir>` turns on live telemetry (DESIGN.md §S0.9): every
 `--live-every` sampler ticks (default 32; ticks are recorded span exits,
@@ -145,7 +154,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got {a:?}"));
         };
         // boolean flags take no value
-        if name == "unsupervised" || name == "analysis" || name == "resume" || name == "mem-audit" {
+        if name == "unsupervised"
+            || name == "analysis"
+            || name == "resume"
+            || name == "mem-audit"
+            || name == "quantize"
+        {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }
@@ -340,6 +354,10 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
             .get("csls")
             .map(|v| v.parse().map_err(|_| format!("--csls got {v:?}")))
             .transpose()?,
+        name: NameChannelConfig {
+            quantize: flags.contains_key("quantize"),
+            ..NameChannelConfig::default()
+        },
         ..LargeEaConfig::default()
     };
     let rounds: usize = parse_or(flags, "rounds", 1)?.max(1);
