@@ -29,6 +29,7 @@
 //! what the filesystem contract normally prevents).
 
 use crate::failpoint::{self, FpAction};
+use crate::retry::{self, RetryPolicy, RetryStats};
 use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -136,8 +137,22 @@ fn fp_dispatch(path: &Path, buf: &[u8], fp: &str) -> io::Result<()> {
             let _ = fs::write(path, torn);
             panic!("failpoint {fp:?} torn write at {}", path.display());
         }
+        Some(FpAction::Transient) => Err(transient_injected(path, fp)),
         None => Ok(()),
     }
+}
+
+/// The retryable error a `transient` failpoint injects: `Interrupted`, so
+/// [`crate::retry::io_transience`] classifies it Transient and a bounded
+/// retry loop exercises the failure-then-success path end-to-end.
+fn transient_injected(path: &Path, fp: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Interrupted,
+        format!(
+            "{}: injected transient failure at failpoint {fp:?}",
+            path.display()
+        ),
+    )
 }
 
 /// Atomically and durably writes `payload` to `path` as a checksummed
@@ -212,10 +227,53 @@ pub fn write_atomic(path: &Path, payload: &[u8], fp: &str) -> io::Result<u64> {
                 tmp.display()
             );
         }
+        Some(FpAction::Transient) => {
+            return Err(transient_injected(path, fp));
+        }
         None => {}
     }
     atomic_replace(path, payload)?;
     Ok(payload.len() as u64)
+}
+
+/// [`write_framed_atomic`] under a bounded-retry policy: transient failures
+/// (classified by [`crate::retry::io_transience`] — including the
+/// `transient` failpoint action) are retried with deterministic backoff;
+/// the returned [`RetryStats`] is what the caller folds into its trace as
+/// `retry.*` counters. The failpoint is re-hit on every attempt, so a
+/// `transient@n` schedule fails the first `n` attempts and then lets the
+/// write through.
+pub fn write_framed_atomic_retry(
+    path: &Path,
+    payload: &[u8],
+    fp: &str,
+    policy: &RetryPolicy,
+) -> (io::Result<u64>, RetryStats) {
+    retry::retry_io(policy, fp, |_| write_framed_atomic(path, payload, fp))
+}
+
+/// [`write_framed`] (non-durable spill flavour) under a bounded-retry
+/// policy. Same semantics as [`write_framed_atomic_retry`].
+pub fn write_framed_retry(
+    path: &Path,
+    payload: &[u8],
+    fp: &str,
+    policy: &RetryPolicy,
+) -> (io::Result<u64>, RetryStats) {
+    retry::retry_io(policy, fp, |_| write_framed(path, payload, fp))
+}
+
+/// [`read_framed`] under a bounded-retry policy. Corruption
+/// (`InvalidData`) is fatal — a torn frame does not heal on re-read — but
+/// interrupted reads are retried. `site` keys the jitter stream and must be
+/// a stable logical name (not a path, which would vary across runs and
+/// break trace determinism).
+pub fn read_framed_retry(
+    path: &Path,
+    site: &str,
+    policy: &RetryPolicy,
+) -> (io::Result<Vec<u8>>, RetryStats) {
+    retry::retry_io(policy, site, |_| read_framed(path))
 }
 
 /// Reads a frame written by [`write_framed_atomic`] and returns its
@@ -227,7 +285,13 @@ pub fn read_framed(path: &Path) -> io::Result<Vec<u8>> {
     let mut buf = Vec::new();
     f.read_to_end(&mut buf).map_err(|e| ctx(path, e))?;
     if buf.len() < HEADER_LEN {
-        return Err(corrupt(path, "truncated frame header"));
+        return Err(corrupt(
+            path,
+            &format!(
+                "truncated frame header: file ends at byte offset {} (need {HEADER_LEN})",
+                buf.len()
+            ),
+        ));
     }
     if &buf[..6] != MAGIC {
         return Err(corrupt(path, "not a LEAF1 framed file"));
@@ -238,7 +302,12 @@ pub fn read_framed(path: &Path) -> io::Result<Vec<u8>> {
     if payload.len() != len {
         return Err(corrupt(
             path,
-            &format!("payload length {} != framed length {len}", payload.len()),
+            &format!(
+                "truncated frame: payload is {} bytes but the header at byte \
+                 offset 6 declares {len} (file ends at byte offset {})",
+                payload.len(),
+                buf.len()
+            ),
         ));
     }
     if crc32(payload) != stored_crc {

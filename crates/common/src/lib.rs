@@ -44,6 +44,7 @@ pub mod fsio;
 pub mod json;
 pub mod obs;
 pub mod pool;
+pub mod retry;
 pub mod rng;
 pub mod units;
 

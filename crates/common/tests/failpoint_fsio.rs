@@ -3,6 +3,7 @@
 //! Failpoint state is process-global, so every scenario runs sequentially
 //! inside one `#[test]` — this binary owns the whole table.
 
+use largeea_common::retry::RetryPolicy;
 use largeea_common::{failpoint, fsio};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -107,7 +108,117 @@ fn injected_failures_follow_the_crash_contract() {
         "half the payload hit the temp file"
     );
 
+    // --- transient: retryable error, succeeds after n hits ---------------
+    failpoint::configure("io.flaky=transient@2").unwrap();
+    let p = tmp("flaky.ckpt");
+    // Unretried, a transient failure surfaces as an Interrupted error…
+    let e = fsio::write_framed_atomic(&p, b"payload", "io.flaky").unwrap_err();
+    assert_eq!(e.kind(), std::io::ErrorKind::Interrupted);
+    assert!(e.to_string().contains("transient"), "{e}");
+    assert!(!p.exists(), "transient mode must not touch the filesystem");
+    // …and the next hit (hit 2 of 2) still fails, then the write lands.
+    let (out, stats) =
+        fsio::write_framed_atomic_retry(&p, b"payload", "io.flaky", &RetryPolicy::default());
+    out.unwrap();
+    assert_eq!(stats.retries, 1, "one failed attempt inside the retry loop");
+    assert!(stats.backoff_ticks > 0 && !stats.gave_up);
+    assert_eq!(fsio::read_framed(&p).unwrap(), b"payload");
+
+    // --- transient beyond the retry budget: typed give-up ----------------
+    failpoint::configure("io.hopeless=transient@99").unwrap();
+    let p = tmp("hopeless.ckpt");
+    let (out, stats) =
+        fsio::write_framed_atomic_retry(&p, b"payload", "io.hopeless", &RetryPolicy::default());
+    assert_eq!(out.unwrap_err().kind(), std::io::ErrorKind::Interrupted);
+    assert!(stats.gave_up);
+    assert_eq!(stats.retries, 3, "default policy: 4 attempts total");
+    assert!(!p.exists());
+
+    // --- err under retry: fatal, exactly one attempt ---------------------
+    failpoint::configure("io.fatal=err").unwrap();
+    let p = tmp("fatal.ckpt");
+    let (out, stats) =
+        fsio::write_framed_retry(&p, b"payload", "io.fatal", &RetryPolicy::default());
+    assert!(out.is_err());
+    assert_eq!(stats.retries, 0, "err is Fatal: never retried");
+    assert!(!stats.gave_up);
+    // failpoint disarmed after firing ⇒ the site was hit exactly once.
+    fsio::write_framed(&p, b"payload", "io.fatal").unwrap();
+
     failpoint::clear();
     assert!(!failpoint::armed());
     std::fs::remove_dir_all(tmp("x").parent().unwrap()).ok();
+}
+
+/// ENOSPC-style short writes and partial reads: however few bytes actually
+/// land, the reader reports `InvalidData` naming the offending path and the
+/// byte offset where the frame ends. (These scenarios arm no failpoints,
+/// so they can run in parallel with the injection matrix above.)
+#[test]
+fn short_writes_are_detected_with_path_and_offset() {
+    const HEADER_LEN: usize = 18; // magic(6) + len(8) + crc(4)
+    let p = tmp("short.ckpt");
+    fsio::write_framed_atomic(&p, b"0123456789abcdef", "short.none").unwrap();
+    let full = std::fs::read(&p).unwrap();
+    assert_eq!(full.len(), HEADER_LEN + 16);
+
+    // A short write that ran out of space inside the header.
+    for cut in [0, 1, 5, 6, 13, HEADER_LEN - 1] {
+        std::fs::write(&p, &full[..cut]).unwrap();
+        let e = fsio::read_framed(&p).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "cut={cut}");
+        let msg = e.to_string();
+        assert!(msg.contains("short.ckpt"), "cut={cut}: {msg}");
+        assert!(
+            msg.contains(&format!("byte offset {cut}")) && msg.contains("truncated"),
+            "cut={cut}: {msg}"
+        );
+    }
+
+    // A short write that ran out of space mid-payload: the header's declared
+    // length convicts it, again naming path and end offset.
+    for cut in [HEADER_LEN, HEADER_LEN + 1, HEADER_LEN + 15] {
+        std::fs::write(&p, &full[..cut]).unwrap();
+        let e = fsio::read_framed(&p).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "cut={cut}");
+        let msg = e.to_string();
+        assert!(msg.contains("short.ckpt"), "cut={cut}: {msg}");
+        assert!(msg.contains("truncated frame"), "cut={cut}: {msg}");
+        assert!(
+            msg.contains("declares 16") && msg.contains(&format!("byte offset {cut}")),
+            "cut={cut}: {msg}"
+        );
+    }
+    std::fs::remove_file(&p).ok();
+}
+
+/// A partial *read* — the file grew a valid prefix but a reader raced the
+/// writer of a non-atomic (spill-class) frame — is indistinguishable from a
+/// short write and must fail the same way, while a complete frame followed
+/// by trailing garbage is also rejected (length mismatch, never a silent
+/// prefix-parse).
+#[test]
+fn partial_reads_and_trailing_garbage_are_rejected() {
+    let p = tmp("partial_read.spill");
+    fsio::write_framed(&p, b"spilled block", "pr.none").unwrap();
+    let full = std::fs::read(&p).unwrap();
+
+    // Reader observes only half the frame.
+    std::fs::write(&p, &full[..full.len() / 2]).unwrap();
+    let e = fsio::read_framed(&p).unwrap_err();
+    assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+    assert!(e.to_string().contains("partial_read.spill"), "{e}");
+
+    // Reader observes the frame plus appended garbage.
+    let mut grown = full.clone();
+    grown.extend_from_slice(b"tail");
+    std::fs::write(&p, &grown).unwrap();
+    let e = fsio::read_framed(&p).unwrap_err();
+    assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+    assert!(e.to_string().contains("declares 13"), "{e}");
+
+    // Restored full frame reads clean again.
+    std::fs::write(&p, &full).unwrap();
+    assert_eq!(fsio::read_framed(&p).unwrap(), b"spilled block");
+    std::fs::remove_file(&p).ok();
 }

@@ -45,6 +45,7 @@
 use largeea_common::fsio;
 use largeea_common::json::{self, Json};
 use largeea_common::obs::{Level, Recorder};
+use largeea_common::retry::RetryPolicy;
 use largeea_kg::EntityId;
 use largeea_partition::{MiniBatch, MiniBatches};
 use largeea_sim::SparseSimMatrix;
@@ -150,8 +151,16 @@ pub struct Checkpoint {
     dir: PathBuf,
     meta: RunMeta,
     stages: BTreeSet<String>,
+    /// Units quarantined under `--degraded-ok` (DESIGN.md §S0.12) —
+    /// persisted in the manifest so a degraded run's losses survive into
+    /// any resume or post-hoc inspection.
+    quarantined: BTreeSet<String>,
     /// Write training progress every this many epochs (informational).
     pub epoch_interval: usize,
+    /// Backoff schedule for transient faults on durable writes
+    /// (DESIGN.md §S0.12). Every manifest/artifact write runs under this
+    /// policy; non-trivial outcomes fold `retry.*` counters into the trace.
+    pub retry: RetryPolicy,
 }
 
 impl Checkpoint {
@@ -175,13 +184,16 @@ impl Checkpoint {
             dir: dir.to_path_buf(),
             meta,
             stages: BTreeSet::new(),
+            quarantined: BTreeSet::new(),
             epoch_interval: 10,
+            retry: RetryPolicy::default(),
         };
         if resume {
             match fsio::read_framed(&ckpt.manifest_path()) {
                 Ok(payload) => match Self::parse_manifest(&payload, meta) {
-                    Ok(stages) => {
+                    Ok((stages, quarantined)) => {
                         ckpt.stages = stages;
+                        ckpt.quarantined = quarantined;
                         return Ok(ckpt); // manifest adopted verbatim
                     }
                     Err(ManifestIssue::Mismatch(e)) => return Err(e),
@@ -252,6 +264,8 @@ impl Checkpoint {
     }
 
     fn manifest_json(&self) -> Json {
+        // `quarantined` is additive within version 1: readers that predate
+        // it ignore unknown fields, and a missing array parses as empty.
         Json::obj([
             ("version", Json::UInt(MANIFEST_VERSION)),
             ("config_hash", Json::UInt(self.meta.config_hash)),
@@ -261,10 +275,23 @@ impl Checkpoint {
                 "stages",
                 Json::Arr(self.stages.iter().map(|s| Json::Str(s.clone())).collect()),
             ),
+            (
+                "quarantined",
+                Json::Arr(
+                    self.quarantined
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
-    fn parse_manifest(payload: &[u8], meta: RunMeta) -> Result<BTreeSet<String>, ManifestIssue> {
+    #[allow(clippy::type_complexity)]
+    fn parse_manifest(
+        payload: &[u8],
+        meta: RunMeta,
+    ) -> Result<(BTreeSet<String>, BTreeSet<String>), ManifestIssue> {
         let text =
             std::str::from_utf8(payload).map_err(|_| ManifestIssue::Corrupt("not UTF-8".into()))?;
         let j = json::parse(text).map_err(|e| ManifestIssue::Corrupt(format!("{e:?}")))?;
@@ -297,16 +324,29 @@ impl Checkpoint {
             .iter()
             .filter_map(|s| s.as_str().map(str::to_owned))
             .collect();
-        Ok(stages)
+        // Additive field: absent in manifests written before degradation
+        // support existed, so a missing array is simply empty.
+        let quarantined = j
+            .get("quarantined")
+            .and_then(Json::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|s| s.as_str().map(str::to_owned))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok((stages, quarantined))
     }
 
     fn write_manifest(&self, rec: &Recorder) -> Result<(), CkptError> {
-        let bytes = fsio::write_framed_atomic(
+        let (out, stats) = fsio::write_framed_atomic_retry(
             &self.manifest_path(),
             self.manifest_json().dump().as_bytes(),
             "ckpt.manifest",
-        )?;
-        rec.add("ckpt.write_bytes", bytes);
+            &self.retry,
+        );
+        stats.record_into(rec);
+        rec.add("ckpt.write_bytes", out?);
         Ok(())
     }
 
@@ -321,9 +361,14 @@ impl Checkpoint {
         let mut span = rec.span_at(Level::Detail, "ckpt_write");
         span.field("stage", key);
         span.field("bytes", payload.len());
-        let bytes =
-            fsio::write_framed_atomic(&self.artifact_path(key), payload, Self::fp_for(key))?;
-        rec.add("ckpt.write_bytes", bytes);
+        let (out, stats) = fsio::write_framed_atomic_retry(
+            &self.artifact_path(key),
+            payload,
+            Self::fp_for(key),
+            &self.retry,
+        );
+        stats.record_into(rec);
+        rec.add("ckpt.write_bytes", out?);
         self.mark_done(key, rec)
     }
 
@@ -430,8 +475,17 @@ impl Checkpoint {
     /// informational state for `largeea ckpt inspect`, written every
     /// [`Checkpoint::epoch_interval`] epochs. Best-effort: resume never
     /// depends on it (batch training restarts from epoch 0 to stay
-    /// bit-identical), so write errors only warn.
-    pub fn epoch_progress(&self, round: usize, batch: usize, epoch: usize, loss: f32) {
+    /// bit-identical), so write errors only warn — but transient faults
+    /// still retry under [`Checkpoint::retry`], folding `retry.*` counters
+    /// into `rec` like every other durable write.
+    pub fn epoch_progress(
+        &self,
+        round: usize,
+        batch: usize,
+        epoch: usize,
+        loss: f32,
+        rec: &Recorder,
+    ) {
         if !epoch.is_multiple_of(self.epoch_interval.max(1)) {
             return;
         }
@@ -441,13 +495,32 @@ impl Checkpoint {
             ("epoch", Json::UInt(epoch as u64)),
             ("loss", Json::Float(loss as f64)),
         ]);
-        if let Err(e) = fsio::write_framed_atomic(
+        let (out, stats) = fsio::write_framed_atomic_retry(
             &self.dir.join(PROGRESS_FILE),
             j.dump().as_bytes(),
             "ckpt.progress",
-        ) {
+            &self.retry,
+        );
+        stats.record_into(rec);
+        if let Err(e) = out {
             eprintln!("[ckpt] warning: could not write progress: {e}");
         }
+    }
+
+    /// Records `unit` (a batch key such as `r0.b2`) as quarantined: its
+    /// artifacts were lost to I/O faults that outlived every retry, and a
+    /// `--degraded-ok` run continued without them. The record is durable —
+    /// it lives in the manifest next to the completed-stage list — so
+    /// resumes and `largeea ckpt inspect` see exactly what the degraded run
+    /// gave up.
+    pub fn quarantine(&mut self, unit: &str, rec: &Recorder) -> Result<(), CkptError> {
+        self.quarantined.insert(unit.to_owned());
+        self.write_manifest(rec)
+    }
+
+    /// Quarantined units, in sorted order.
+    pub fn quarantined(&self) -> impl Iterator<Item = &str> {
+        self.quarantined.iter().map(String::as_str)
     }
 }
 
@@ -768,14 +841,47 @@ mod tests {
         let rec = rec();
         let mut c = Checkpoint::open(&dir, meta(), false, &rec).unwrap();
         c.epoch_interval = 5;
-        c.epoch_progress(0, 1, 3, 0.5); // not on the interval: no file
+        c.epoch_progress(0, 1, 3, 0.5, &rec); // not on the interval: no file
         assert!(read_progress(&dir).is_err());
-        c.epoch_progress(0, 1, 5, 0.25);
+        c.epoch_progress(0, 1, 5, 0.25, &rec);
         let p = read_progress(&dir).unwrap();
         assert_eq!(p.get("epoch").and_then(Json::as_u64), Some(5));
         assert_eq!(p.get("batch").and_then(Json::as_u64), Some(1));
         let manifest = read_manifest(&dir).unwrap();
         assert_eq!(manifest.get("seed").and_then(Json::as_u64), Some(42));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_is_durable_and_survives_resume() {
+        let dir = tmpdir("quarantine");
+        let rec = rec();
+        let mut c = Checkpoint::open(&dir, meta(), false, &rec).unwrap();
+        assert_eq!(c.quarantined().count(), 0);
+        c.quarantine("r0.b2", &rec).unwrap();
+        c.quarantine("r0.b0", &rec).unwrap();
+        c.quarantine("r0.b2", &rec).unwrap(); // idempotent
+        assert_eq!(
+            c.quarantined().collect::<Vec<_>>(),
+            vec!["r0.b0", "r0.b2"],
+            "sorted, deduplicated"
+        );
+        // durable: a resume adopts the quarantine record
+        let c2 = Checkpoint::open(&dir, meta(), true, &rec).unwrap();
+        assert_eq!(c2.quarantined().collect::<Vec<_>>(), vec!["r0.b0", "r0.b2"]);
+        // and it is visible to post-hoc inspection
+        let m = read_manifest(&dir).unwrap();
+        let q: Vec<_> = m
+            .get("quarantined")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(q, vec!["r0.b0", "r0.b2"]);
+        // a fresh (non-resume) open starts with a clean bill of health
+        let c3 = Checkpoint::open(&dir, meta(), false, &rec).unwrap();
+        assert_eq!(c3.quarantined().count(), 0);
         fs::remove_dir_all(&dir).ok();
     }
 

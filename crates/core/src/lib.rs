@@ -46,6 +46,7 @@ pub mod pipeline;
 pub mod report;
 pub mod spill;
 pub mod structure_channel;
+pub mod supervisor;
 pub mod throughput;
 
 pub use analysis::{accuracy_by_degree, attribute_channels, ChannelAttribution, DegreeBucket};
@@ -60,4 +61,5 @@ pub use pipeline::{
 };
 pub use spill::SpillStore;
 pub use structure_channel::{StructureChannel, StructureChannelConfig, StructureChannelOutput};
+pub use supervisor::{registered_failpoints, Degradations, Supervision};
 pub use throughput::{derived_throughputs, Throughput};

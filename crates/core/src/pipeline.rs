@@ -19,7 +19,9 @@ use crate::mem::{BudgetExceeded, MemAuditError, MemTracker};
 use crate::name_channel::{NameChannel, NameChannelConfig, NameChannelOutput};
 use crate::spill::SpillStore;
 use crate::structure_channel::{StructureChannel, StructureChannelConfig};
+use crate::supervisor::{self, Degradations, Exhausted, Quarantined, Supervision};
 use largeea_common::obs::{ObsConfig, Recorder, Trace};
+use largeea_common::retry::{Retryable, Transience};
 use largeea_kg::{AlignmentSeeds, KgPair};
 use largeea_partition::batches::Retention;
 use largeea_sim::SparseSimMatrix;
@@ -50,6 +52,12 @@ pub struct ExecOptions {
     /// drift exceeds tolerance (see [`MemTracker::audit`]). Requires the
     /// instrumented allocator to be installed in the process.
     pub mem_audit: bool,
+    /// Transient-fault supervision (DESIGN.md §S0.12): the retry schedule
+    /// shared by every durable write, and whether the run may *degrade*
+    /// (quarantine a mini-batch, drop a channel) instead of failing
+    /// (`align --degraded-ok`). Pure execution regime: a run that needed no
+    /// retries is bit-identical whatever the policy says.
+    pub supervision: Supervision,
 }
 
 impl ExecOptions {
@@ -69,6 +77,7 @@ impl ExecOptions {
             mem_budget,
             spill_dir,
             mem_audit: false,
+            supervision: Supervision::default(),
         }
     }
 }
@@ -86,6 +95,13 @@ pub enum RunError {
     /// and the allocator-measured peak drifted past tolerance (or there
     /// was no instrumented allocator to measure with).
     Audit(MemAuditError),
+    /// A transient fault outlived every allowed retry (site-level backoff
+    /// *and* batch-level re-execution). Carries the unit that gave up and
+    /// the error its final attempt failed with.
+    Exhausted(Exhausted),
+    /// Degradation was allowed (`--degraded-ok`) but there was nothing
+    /// left to degrade *to*: every usable channel was lost to I/O faults.
+    Quarantined(Quarantined),
 }
 
 impl std::fmt::Display for RunError {
@@ -95,6 +111,8 @@ impl std::fmt::Display for RunError {
             RunError::Budget(e) => write!(f, "{e}"),
             RunError::Spill(e) => write!(f, "spill store: {e}"),
             RunError::Audit(e) => write!(f, "{e}"),
+            RunError::Exhausted(e) => write!(f, "{e}"),
+            RunError::Quarantined(e) => write!(f, "{e}"),
         }
     }
 }
@@ -106,6 +124,8 @@ impl std::error::Error for RunError {
             RunError::Budget(e) => Some(e),
             RunError::Spill(e) => Some(e),
             RunError::Audit(e) => Some(e),
+            RunError::Exhausted(e) => Some(e.last.as_ref()),
+            RunError::Quarantined(_) => None,
         }
     }
 }
@@ -245,6 +265,11 @@ pub struct LargeEaReport {
     pub m_s: Option<SparseSimMatrix>,
     /// The name channel's `M_n` (for post-hoc channel attribution).
     pub m_n: Option<SparseSimMatrix>,
+    /// What the run gave up to finish (DESIGN.md §S0.12). Empty unless
+    /// `--degraded-ok` traded a lost channel or quarantined mini-batch for
+    /// completion; the same facts are stamped on the trace as `degraded.*`
+    /// counters and `pipeline`-span fields.
+    pub degraded: Degradations,
 }
 
 /// The LargeEA framework runner.
@@ -328,6 +353,12 @@ impl LargeEa {
         )
         .map_err(|e| match e {
             RunError::Ckpt(c) => c,
+            // A transient checkpoint fault that outlived every retry: this
+            // interface speaks CkptError, so fold the exhaustion back into
+            // the I/O variant it grew from (kind preserved via the message).
+            RunError::Exhausted(x) => {
+                CkptError::Io(io::Error::new(io::ErrorKind::Interrupted, x.to_string()))
+            }
             other => unreachable!("default exec options cannot fail with {other}"),
         })
     }
@@ -402,13 +433,15 @@ impl LargeEa {
             pipeline_span.field("spill.dir", dir.display().to_string());
         }
         rec.gauge("progress.rounds_total", rounds as f64);
+        let sup = exec.supervision.clone();
+        let mut degraded = Degradations::default();
 
         // --- name channel (once — it does not depend on seeds) -------------
-        let name_out = if self.cfg.use_name {
-            Some(match ckpt.as_mut().and_then(|c| c.load_sim("name", rec)) {
-                Some(m_n) => {
+        let name_attempt = if self.cfg.use_name {
+            let mut run_name = || -> Result<NameChannelOutput, RunError> {
+                if let Some(m_n) = ckpt.as_mut().and_then(|c| c.load_sim("name", rec)) {
                     mem.charge("name_channel", m_n.nbytes())?;
-                    NameChannelOutput {
+                    return Ok(NameChannelOutput {
                         // only M_n flows onward; the component matrices are
                         // not checkpointed (report-only diagnostics)
                         m_se: SparseSimMatrix::new(m_n.n_rows(), m_n.n_cols()),
@@ -417,24 +450,42 @@ impl LargeEa {
                         sens_seconds: 0.0,
                         stns_seconds: 0.0,
                         peak_bytes: mem.peak("name_channel"),
-                    }
+                    });
                 }
-                None => {
-                    let out = NameChannel::new(self.cfg.name).run_bounded(
-                        &pair.source,
-                        &pair.target,
-                        rec,
-                        &mut mem,
-                        spill.as_mut(),
-                    )?;
-                    if let Some(c) = ckpt.as_mut() {
-                        c.save_sim("name", &out.m_n, rec)?;
-                    }
-                    out
+                let out = NameChannel::new(self.cfg.name).run_bounded(
+                    &pair.source,
+                    &pair.target,
+                    rec,
+                    &mut mem,
+                    spill.as_mut(),
+                )?;
+                if let Some(c) = ckpt.as_mut() {
+                    c.save_sim("name", &out.m_n, rec)?;
                 }
-            })
+                Ok(out)
+            };
+            Some(run_name())
         } else {
             None
+        };
+        let name_out = match name_attempt {
+            None => None,
+            Some(Ok(out)) => Some(out),
+            Some(Err(e)) => {
+                // The whole channel is lost. With `--degraded-ok` and a
+                // structure channel to carry the run, fusion degrades to
+                // structure-only; otherwise the fault is terminal.
+                channel_lost(
+                    "name_channel",
+                    e,
+                    &sup,
+                    self.cfg.use_structure,
+                    &mut degraded,
+                    rec,
+                )?;
+                mem.release("name_channel");
+                None
+            }
         };
 
         // --- name-based data augmentation -----------------------------------
@@ -449,12 +500,13 @@ impl LargeEa {
 
         // --- structure channel + fusion, bootstrapped ------------------------
         let mut structure_out = None;
+        let mut use_structure = self.cfg.use_structure;
         let mut sim;
         let mut round = 0;
         loop {
             rec.gauge("progress.round", (round + 1) as f64);
-            structure_out = if self.cfg.use_structure {
-                Some(StructureChannel::new(self.cfg.structure).run_bounded(
+            structure_out = if use_structure {
+                match StructureChannel::new(self.cfg.structure).run_bounded(
                     pair,
                     &train_seeds,
                     rec,
@@ -462,7 +514,30 @@ impl LargeEa {
                     round,
                     &mut mem,
                     spill.as_mut(),
-                )?)
+                    &sup,
+                ) {
+                    Ok(out) => {
+                        for key in &out.quarantined {
+                            if !degraded.quarantined_batches.contains(key) {
+                                degraded.quarantined_batches.push(key.clone());
+                            }
+                        }
+                        Some(out)
+                    }
+                    Err(e) => {
+                        channel_lost(
+                            "structure_channel",
+                            e,
+                            &sup,
+                            name_out.is_some(),
+                            &mut degraded,
+                            rec,
+                        )?;
+                        mem.release("structure_channel");
+                        use_structure = false; // lost for good: don't retrain next round
+                        None
+                    }
+                }
             } else {
                 structure_out // name-only pipelines don't benefit from rounds
             };
@@ -530,6 +605,17 @@ impl LargeEa {
         let eval = evaluate(&sim, &seeds.test);
         pipeline_span.field("pseudo_seeds", pseudo_seeds);
         pipeline_span.field("hits1", eval.hits1);
+        if degraded.is_degraded() {
+            // Honest flagging: a degraded run must never masquerade as a
+            // full-fidelity one. (Fault-free runs carry none of these
+            // fields, keeping their traces byte-identical to older ones.)
+            pipeline_span.field("degraded.name_channel", degraded.name_channel);
+            pipeline_span.field("degraded.structure_channel", degraded.structure_channel);
+            pipeline_span.field(
+                "degraded.quarantined_batches",
+                degraded.quarantined_batches.len(),
+            );
+        }
         let total_seconds = pipeline_span.finish();
         let tracked_peak_bytes = mem.total_peak();
         mem.record_into(rec);
@@ -586,8 +672,51 @@ impl LargeEa {
             },
             m_n: name_out.map(|n| n.m_n),
             sim,
+            degraded,
         })
     }
+}
+
+/// A channel died with `e`. When the run may degrade (`--degraded-ok`, the
+/// error is an I/O fault, and the *other* channel can carry the run), the
+/// loss is recorded — `degraded.<channel>` trace counter plus the
+/// [`Degradations`] ledger — and `Ok(())` lets the pipeline continue.
+/// Otherwise the fault is terminal: [`RunError::Quarantined`] when
+/// degradation was allowed but nothing usable remains,
+/// [`RunError::Exhausted`] when a transient fault outlived its retries, or
+/// `e` unchanged for deterministic (never-retryable) failures.
+fn channel_lost(
+    channel: &'static str,
+    e: RunError,
+    sup: &Supervision,
+    other_channel_available: bool,
+    degraded: &mut Degradations,
+    rec: &Recorder,
+) -> Result<(), RunError> {
+    if sup.degraded_ok && supervisor::is_io_fault(&e) {
+        if other_channel_available {
+            rec.add(&format!("degraded.{channel}"), 1);
+            match channel {
+                "name_channel" => degraded.name_channel = true,
+                _ => degraded.structure_channel = true,
+            }
+            return Ok(());
+        }
+        let mut units = degraded.units();
+        units.push(channel.to_owned());
+        return Err(RunError::Quarantined(Quarantined {
+            units,
+            why: e.to_string(),
+        }));
+    }
+    if e.transience() == Transience::Transient {
+        return Err(RunError::Exhausted(Exhausted {
+            site: channel.to_owned(),
+            attempts: sup.retry.max_attempts,
+            last: Box::new(e),
+        }));
+    }
+    Err(e)
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 
 use largeea_common::fsio;
 use largeea_common::obs::{Level, Recorder};
+use largeea_common::retry::RetryPolicy;
 use largeea_sim::SparseSimMatrix;
 use largeea_tensor::Matrix;
 use std::collections::BTreeMap;
@@ -45,6 +46,12 @@ pub struct SpillStore {
     live: BTreeMap<String, u64>,
     disk_bytes: u64,
     peak_disk_bytes: u64,
+    /// Backoff schedule for transient write/read faults (DESIGN.md §S0.12).
+    /// Every put/get runs under this policy; non-trivial outcomes fold
+    /// `retry.*` counters into the trace. The default policy retries a
+    /// handful of times with seeded-jitter exponential backoff; set
+    /// [`largeea_common::retry::RetryPolicy::none`] to fail fast.
+    pub retry: RetryPolicy,
 }
 
 impl SpillStore {
@@ -59,6 +66,7 @@ impl SpillStore {
             live: BTreeMap::new(),
             disk_bytes: 0,
             peak_disk_bytes: 0,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -90,7 +98,10 @@ impl SpillStore {
         let mut span = rec.span_at(Level::Detail, "spill_write");
         span.field("key", key);
         span.field("bytes", payload.len());
-        let framed = fsio::write_framed(&self.path_of(key), payload, "spill.write")?;
+        let (out, stats) =
+            fsio::write_framed_retry(&self.path_of(key), payload, "spill.write", &self.retry);
+        stats.record_into(rec);
+        let framed = out?;
         rec.add("mem.spill.writes", 1);
         rec.add("mem.spill.write_bytes", framed);
         let old = self.live.insert(key.to_owned(), framed).unwrap_or(0);
@@ -103,7 +114,9 @@ impl SpillStore {
     fn get(&self, key: &str, rec: &Recorder) -> io::Result<Vec<u8>> {
         let mut span = rec.span_at(Level::Detail, "spill_read");
         span.field("key", key);
-        let payload = fsio::read_framed(&self.path_of(key))?;
+        let (out, stats) = fsio::read_framed_retry(&self.path_of(key), "spill.read", &self.retry);
+        stats.record_into(rec);
+        let payload = out?;
         rec.add("mem.spill.reads", 1);
         rec.add("mem.spill.read_bytes", payload.len() as u64);
         Ok(payload)

@@ -11,7 +11,9 @@ use crate::checkpoint::{Checkpoint, CkptError};
 use crate::mem::MemTracker;
 use crate::pipeline::RunError;
 use crate::spill::SpillStore;
+use crate::supervisor::{self, Exhausted, Supervision};
 use largeea_common::obs::{Level, ObsConfig, Recorder};
+use largeea_common::retry::{with_retry, Retryable, Transience};
 use largeea_kg::{AlignmentSeeds, KgPair};
 use largeea_models::scoring::fill_similarity;
 use largeea_models::{train_hooked, train_traced, BatchGraph, ModelKind, TrainConfig};
@@ -80,6 +82,10 @@ pub struct StructureChannelOutput {
     pub peak_bytes: usize,
     /// Mean final training loss across batches that trained.
     pub final_loss: f64,
+    /// Units quarantined under `--degraded-ok` (DESIGN.md §S0.12): batch
+    /// keys (`r<R>.b<I>`) whose similarity blocks are missing from `M_s`
+    /// because their I/O outlived every retry. Empty on a healthy run.
+    pub quarantined: Vec<String>,
 }
 
 /// The structure channel runner.
@@ -189,9 +195,24 @@ impl StructureChannel {
     ) -> Result<StructureChannelOutput, CkptError> {
         let mut mem = MemTracker::new();
         let out = self
-            .run_bounded(pair, seeds, rec, ckpt, round, &mut mem, None)
+            .run_bounded(
+                pair,
+                seeds,
+                rec,
+                ckpt,
+                round,
+                &mut mem,
+                None,
+                &Supervision::default(),
+            )
             .map_err(|e| match e {
                 RunError::Ckpt(c) => c,
+                // a transient checkpoint fault that outlived every retry —
+                // this interface speaks CkptError, so fold it back into I/O
+                RunError::Exhausted(x) => CkptError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    x.to_string(),
+                )),
                 // without a budget or spill store the other variants have no
                 // source
                 other => unreachable!("in-RAM structure channel failed: {other}"),
@@ -209,6 +230,14 @@ impl StructureChannel {
     /// artifacts, and `M_s` is assembled after the training loop by
     /// streaming the blocks back in **in batch order** — the identical
     /// insert sequence to the in-RAM merge, so the result is bit-identical.
+    ///
+    /// `sup` is the transient-fault supervision regime (DESIGN.md §S0.12):
+    /// a mini-batch whose spill/checkpoint I/O exhausts site-level retries
+    /// is re-executed as a whole under `sup.retry` (per-batch seeds make
+    /// the re-run bit-identical), and with `sup.degraded_ok` a batch that
+    /// *still* fails is quarantined — recorded in the checkpoint manifest,
+    /// the `degraded.batches` trace counter and
+    /// [`StructureChannelOutput::quarantined`] — instead of failing the run.
     #[allow(clippy::too_many_arguments)]
     pub fn run_bounded(
         &self,
@@ -219,6 +248,7 @@ impl StructureChannel {
         round: usize,
         mem: &mut MemTracker,
         mut spill: Option<&mut SpillStore>,
+        sup: &Supervision,
     ) -> Result<StructureChannelOutput, RunError> {
         let channel_span = rec.span("structure_channel");
         let partition_span = rec.span("partition");
@@ -247,6 +277,7 @@ impl StructureChannel {
                 partition_seconds,
                 training_seconds: 0.0,
                 final_loss: 0.0,
+                quarantined: Vec::new(),
             });
         }
 
@@ -264,119 +295,162 @@ impl StructureChannel {
         rec.gauge("progress.epochs_total", self.cfg.train.epochs as f64);
         let mut loss_sum = 0.0f64;
         let mut loss_count = 0usize;
+        let mut quarantined: Vec<String> = Vec::new();
         for batch in &batches.batches {
             rec.gauge("progress.batch", (batch.index + 1) as f64);
-            let mut batch_span = rec.span_at(Level::Detail, "minibatch");
-            batch_span.field("batch", batch.index);
-            let skey = format!("r{round}.b{}.sim", batch.index);
-            if let Some(block) = ckpt.as_mut().and_then(|c| c.load_sim(&skey, rec)) {
-                match spill.as_deref_mut() {
-                    Some(store) => {
-                        store.put_sim(&skey, &block, rec).map_err(RunError::Spill)?;
-                        spilled_blocks.push(skey.clone());
-                    }
-                    None => merge_block(&mut m_s, &block),
+            // The unit of batch-level supervision. The body below is
+            // re-executable as a whole: per-batch seeds are independent
+            // (`cfg.seed ^ batch.index`) and `m_s` is only mutated after
+            // the last retryable operation of an attempt, so a failed
+            // attempt rolls back to `(mem_before, blocks_before)` and the
+            // re-run is bit-identical.
+            let bkey = format!("r{round}.b{}", batch.index);
+            let mem_before = mem.current("structure_channel");
+            let blocks_before = spilled_blocks.len();
+            let (res, stats) = with_retry(&sup.retry, &bkey, |attempt| {
+                if attempt > 1 {
+                    mem.set("structure_channel", mem_before);
+                    spilled_blocks.truncate(blocks_before);
                 }
-                continue;
-            }
-            let bg = BatchGraph::from_mini_batch(pair, batch);
-            batch_span.field("source_entities", bg.n_source);
-            batch_span.field("target_entities", bg.n_target);
-            if bg.n_source == 0 || bg.n_target == 0 {
-                continue;
-            }
-            let ekey = format!("r{round}.b{}.emb", batch.index);
-            let (embeddings, train_peak) = match ckpt
-                .as_mut()
-                .and_then(|c| c.load_matrix(&ekey, rec))
-            {
-                Some(m) => (m, 0usize),
-                None => {
-                    let mut model = self.cfg.model.build(
-                        &bg,
-                        self.cfg.train.dim,
-                        self.cfg.seed ^ batch.index as u64,
-                    );
-                    let report = match ckpt.as_deref_mut() {
-                        Some(c) => {
-                            let cref: &Checkpoint = c;
-                            let bidx = batch.index;
-                            let mut hook = |epoch: usize, loss: f32| {
-                                cref.epoch_progress(round, bidx, epoch, loss);
+                let mut batch_span = rec.span_at(Level::Detail, "minibatch");
+                batch_span.field("batch", batch.index);
+                let skey = format!("r{round}.b{}.sim", batch.index);
+                if let Some(block) = ckpt.as_mut().and_then(|c| c.load_sim(&skey, rec)) {
+                    match spill.as_deref_mut() {
+                        Some(store) => {
+                            store.put_sim(&skey, &block, rec).map_err(RunError::Spill)?;
+                            spilled_blocks.push(skey.clone());
+                        }
+                        None => merge_block(&mut m_s, &block),
+                    }
+                    return Ok(None);
+                }
+                let bg = BatchGraph::from_mini_batch(pair, batch);
+                batch_span.field("source_entities", bg.n_source);
+                batch_span.field("target_entities", bg.n_target);
+                if bg.n_source == 0 || bg.n_target == 0 {
+                    return Ok(None);
+                }
+                let ekey = format!("r{round}.b{}.emb", batch.index);
+                let mut batch_loss = None;
+                let (embeddings, train_peak) =
+                    match ckpt.as_mut().and_then(|c| c.load_matrix(&ekey, rec)) {
+                        Some(m) => (m, 0usize),
+                        None => {
+                            let mut model = self.cfg.model.build(
+                                &bg,
+                                self.cfg.train.dim,
+                                self.cfg.seed ^ batch.index as u64,
+                            );
+                            let report = match ckpt.as_deref_mut() {
+                                Some(c) => {
+                                    let cref: &Checkpoint = c;
+                                    let bidx = batch.index;
+                                    let mut hook = |epoch: usize, loss: f32| {
+                                        cref.epoch_progress(round, bidx, epoch, loss, rec);
+                                    };
+                                    train_hooked(
+                                        model.as_mut(),
+                                        &bg,
+                                        &self.cfg.train,
+                                        rec,
+                                        Some(&mut hook),
+                                    )
+                                }
+                                None => train_traced(model.as_mut(), &bg, &self.cfg.train, rec),
                             };
-                            train_hooked(model.as_mut(), &bg, &self.cfg.train, rec, Some(&mut hook))
+                            if let Some(&last) = report.losses.last() {
+                                batch_loss = Some(last);
+                                batch_span.field("final_loss", last);
+                            }
+                            if let Some(c) = ckpt.as_mut() {
+                                c.save_matrix(&ekey, &report.embeddings, rec)?;
+                            }
+                            (report.embeddings, report.peak_bytes)
                         }
-                        None => train_traced(model.as_mut(), &bg, &self.cfg.train, rec),
                     };
-                    if let Some(&last) = report.losses.last() {
-                        loss_sum += last as f64;
-                        loss_count += 1;
-                        batch_span.field("final_loss", last);
-                    }
-                    if let Some(c) = ckpt.as_mut() {
-                        c.save_matrix(&ekey, &report.embeddings, rec)?;
-                    }
-                    (report.embeddings, report.peak_bytes)
+                if let Some(store) = spill.as_deref_mut() {
+                    // write-through: the trained embeddings become a transient
+                    // spill artifact (removed at the end of the batch), so their
+                    // bytes are accounted and crash-injectable like every other
+                    // out-of-core write
+                    mem.charge("structure_channel", embeddings.nbytes())?;
+                    store
+                        .put_matrix(&ekey, &embeddings, rec)
+                        .map_err(RunError::Spill)?;
                 }
-            };
-            if let Some(store) = spill.as_deref_mut() {
-                // write-through: the trained embeddings become a transient
-                // spill artifact (removed at the end of the batch), so their
-                // bytes are accounted and crash-injectable like every other
-                // out-of-core write
-                mem.charge("structure_channel", embeddings.nbytes())?;
-                store
-                    .put_matrix(&ekey, &embeddings, rec)
-                    .map_err(RunError::Spill)?;
-            }
-            {
-                let mut topk_span = rec.span_at(Level::Detail, "topk");
-                topk_span.field("batch", batch.index);
-                rec.add("topk.scored_pairs", (bg.n_source * bg.n_target) as u64);
-                match spill.as_deref_mut() {
-                    Some(store) => {
-                        // fill a fresh block and spill it instead of growing
-                        // `m_s` — same content as the checkpointed merge path
-                        let mut block = SparseSimMatrix::new(m_s.n_rows(), m_s.n_cols());
-                        fill_similarity(&bg, &embeddings, self.cfg.top_k, &mut block);
-                        mem.charge("structure_channel", block.nbytes())?;
-                        if let Some(c) = ckpt.as_mut() {
-                            c.save_sim(&skey, &block, rec)?;
-                        }
-                        store.put_sim(&skey, &block, rec).map_err(RunError::Spill)?;
-                        spilled_blocks.push(skey.clone());
-                        mem.uncharge("structure_channel", block.nbytes());
-                    }
-                    None => match ckpt.as_mut() {
-                        Some(c) => {
-                            // fill a fresh block so it can be persisted before
-                            // merging — same final content as filling `m_s`
-                            // directly (each (row, col) is unique within a batch
-                            // and cross-batch duplicates accumulate by `+=`
-                            // either way)
+                {
+                    let mut topk_span = rec.span_at(Level::Detail, "topk");
+                    topk_span.field("batch", batch.index);
+                    rec.add("topk.scored_pairs", (bg.n_source * bg.n_target) as u64);
+                    match spill.as_deref_mut() {
+                        Some(store) => {
+                            // fill a fresh block and spill it instead of growing
+                            // `m_s` — same content as the checkpointed merge path
                             let mut block = SparseSimMatrix::new(m_s.n_rows(), m_s.n_cols());
                             fill_similarity(&bg, &embeddings, self.cfg.top_k, &mut block);
-                            c.save_sim(&skey, &block, rec)?;
-                            merge_block(&mut m_s, &block);
+                            mem.charge("structure_channel", block.nbytes())?;
+                            if let Some(c) = ckpt.as_mut() {
+                                c.save_sim(&skey, &block, rec)?;
+                            }
+                            store.put_sim(&skey, &block, rec).map_err(RunError::Spill)?;
+                            spilled_blocks.push(skey.clone());
+                            mem.uncharge("structure_channel", block.nbytes());
                         }
-                        None => fill_similarity(&bg, &embeddings, self.cfg.top_k, &mut m_s),
-                    },
+                        None => match ckpt.as_mut() {
+                            Some(c) => {
+                                // fill a fresh block so it can be persisted before
+                                // merging — same final content as filling `m_s`
+                                // directly (each (row, col) is unique within a batch
+                                // and cross-batch duplicates accumulate by `+=`
+                                // either way)
+                                let mut block = SparseSimMatrix::new(m_s.n_rows(), m_s.n_cols());
+                                fill_similarity(&bg, &embeddings, self.cfg.top_k, &mut block);
+                                c.save_sim(&skey, &block, rec)?;
+                                merge_block(&mut m_s, &block);
+                            }
+                            None => fill_similarity(&bg, &embeddings, self.cfg.top_k, &mut m_s),
+                        },
+                    }
                 }
-            }
-            match spill.as_deref_mut() {
-                Some(store) => {
-                    // the training transient counts against the budget too
-                    mem.charge("structure_channel", train_peak)?;
-                    mem.uncharge("structure_channel", train_peak);
-                    mem.uncharge("structure_channel", embeddings.nbytes());
-                    store.remove(&ekey);
+                match spill.as_deref_mut() {
+                    Some(store) => {
+                        // the training transient counts against the budget too
+                        mem.charge("structure_channel", train_peak)?;
+                        mem.uncharge("structure_channel", train_peak);
+                        mem.uncharge("structure_channel", embeddings.nbytes());
+                        store.remove(&ekey);
+                    }
+                    None => {
+                        // one batch is live at a time — track the max (and, when
+                        // a budget is set, enforce it at the same point)
+                        let live = train_peak + embeddings.nbytes() + m_s.nbytes();
+                        mem.set("structure_channel", live);
+                        mem.enforce("structure_channel", live)?;
+                    }
                 }
-                None => {
-                    // one batch is live at a time — track the max (and, when
-                    // a budget is set, enforce it at the same point)
-                    let live = train_peak + embeddings.nbytes() + m_s.nbytes();
-                    mem.set("structure_channel", live);
-                    mem.enforce("structure_channel", live)?;
+                Ok(batch_loss)
+            });
+            stats.record_into(rec);
+            match res {
+                Ok(Some(last)) => {
+                    loss_sum += last as f64;
+                    loss_count += 1;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // roll back the failed final attempt before deciding
+                    mem.set("structure_channel", mem_before);
+                    spilled_blocks.truncate(blocks_before);
+                    batch_fault(
+                        e,
+                        bkey,
+                        stats.retries as u32 + 1,
+                        sup,
+                        ckpt.as_deref_mut(),
+                        &mut quarantined,
+                        rec,
+                    )?;
                 }
             }
             // end of a mini-batch: refresh the working-set gauge and give
@@ -388,11 +462,20 @@ impl StructureChannel {
             // assemble M_s by streaming blocks back in batch order — the
             // same insert sequence as the in-RAM merge
             for key in &spilled_blocks {
-                let block = store.get_sim(key, rec).map_err(RunError::Spill)?;
-                let before = m_s.nbytes();
-                merge_block(&mut m_s, &block);
-                mem.charge("structure_channel", m_s.nbytes() - before)?;
-                store.remove(key);
+                match store.get_sim(key, rec).map_err(RunError::Spill) {
+                    Ok(block) => {
+                        let before = m_s.nbytes();
+                        merge_block(&mut m_s, &block);
+                        mem.charge("structure_channel", m_s.nbytes() - before)?;
+                        store.remove(key);
+                    }
+                    Err(e) => {
+                        // a block written earlier became unreadable: same
+                        // fate as a batch that never produced one
+                        let unit = key.trim_end_matches(".sim").to_owned();
+                        batch_fault(e, unit, 1, sup, ckpt.as_deref_mut(), &mut quarantined, rec)?;
+                    }
+                }
             }
         }
         m_s.normalize_global_minmax();
@@ -413,8 +496,43 @@ impl StructureChannel {
             } else {
                 loss_sum / loss_count as f64
             },
+            quarantined,
         })
     }
+}
+
+/// Decides the fate of a mini-batch whose I/O outlived batch-level retry.
+/// With `sup.degraded_ok` and an I/O-fault error the batch is quarantined —
+/// `degraded.batches` trace counter, checkpoint-manifest record, an entry in
+/// `quarantined` — and `Ok(())` lets the loop continue without its block.
+/// Otherwise the fault is terminal: [`RunError::Exhausted`] for transients
+/// that were actually retried, the unchanged error for deterministic
+/// failures (budget, audit, fatal I/O).
+fn batch_fault(
+    e: RunError,
+    unit: String,
+    attempts: u32,
+    sup: &Supervision,
+    ckpt: Option<&mut Checkpoint>,
+    quarantined: &mut Vec<String>,
+    rec: &Recorder,
+) -> Result<(), RunError> {
+    if sup.degraded_ok && supervisor::is_io_fault(&e) {
+        rec.add("degraded.batches", 1);
+        if let Some(c) = ckpt {
+            c.quarantine(&unit, rec)?;
+        }
+        quarantined.push(unit);
+        return Ok(());
+    }
+    if e.transience() == Transience::Transient {
+        return Err(RunError::Exhausted(Exhausted {
+            site: unit,
+            attempts,
+            last: Box::new(e),
+        }));
+    }
+    Err(e)
 }
 
 /// Accumulates a persisted per-batch similarity block into `m_s`.

@@ -125,4 +125,49 @@ grep -q '"kernel.isa"' "$SMOKE/simd.json"
 cmp "$SMOKE/simd.sim" "$SMOKE/quant.sim"
 grep -q 'quant.shortlist' "$SMOKE/quant.json"
 
+echo "== chaos smoke =="
+# transient-fault tolerance (DESIGN.md §S0.12), one failpoint per injection
+# mode at a fixed seed. transient: absorbed by bounded retry — bit-identical
+# results, honest retry.* counters in the trace.
+LARGEEA_FAILPOINTS=ckpt.sim=transient@1 "$L" align --data "$SMOKE/data" \
+  --model gcn --k 2 --epochs 8 --dim 16 \
+  --checkpoint-dir "$SMOKE/ckpt_transient" --sim-out "$SMOKE/transient.sim" \
+  --trace-out "$SMOKE/transient.json" > /dev/null
+cmp "$SMOKE/base.sim" "$SMOKE/transient.sim"
+grep -q '"retry.attempts"' "$SMOKE/transient.json"
+# err: a fatal injected checkpoint fault is a typed death with its
+# documented per-variant exit code (RunError::Ckpt → 4)
+set +e
+LARGEEA_FAILPOINTS=ckpt.emb=err@1 "$L" align --data "$SMOKE/data" \
+  --model gcn --k 2 --epochs 8 --dim 16 \
+  --checkpoint-dir "$SMOKE/ckpt_err" > /dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 4 ]; then
+  echo "chaos smoke: injected ckpt error exited $code, want 4" >&2
+  exit 1
+fi
+# panic / partial: injected hard deaths, after which a resume must
+# reproduce the baseline byte-for-byte (no durable partial artifacts)
+for mode in panic partial; do
+  if LARGEEA_FAILPOINTS=ckpt.emb=$mode@1 "$L" align --data "$SMOKE/data" \
+    --model gcn --k 2 --epochs 8 --dim 16 \
+    --checkpoint-dir "$SMOKE/ckpt_$mode" > /dev/null 2>&1; then
+    echo "chaos smoke: $mode failpoint did not kill the run" >&2
+    exit 1
+  fi
+  "$L" align --data "$SMOKE/data" --model gcn --k 2 --epochs 8 --dim 16 \
+    --checkpoint-dir "$SMOKE/ckpt_$mode" --resume \
+    --sim-out "$SMOKE/chaos_$mode.sim" > /dev/null
+  cmp "$SMOKE/base.sim" "$SMOKE/chaos_$mode.sim"
+done
+# --degraded-ok: losing the name channel to a fatal spill fault completes
+# structure-only and says so — on stdout and as degraded.* in the trace
+LARGEEA_FAILPOINTS=spill.write=err@1 "$L" align --data "$SMOKE/data" \
+  --model gcn --k 2 --epochs 8 --dim 16 --spill-dir "$SMOKE/spill_deg" \
+  --degraded-ok --trace-out "$SMOKE/degraded.json" > "$SMOKE/degraded.out"
+grep -q 'DEGRADED' "$SMOKE/degraded.out"
+grep -q 'degraded.name_channel' "$SMOKE/degraded.json"
+"$L" failpoints list | grep -q 'spill.write'
+
 echo "verify: OK"

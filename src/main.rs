@@ -22,7 +22,7 @@ use largeea::common::fmt_bytes;
 use largeea::common::json::ToJson;
 use largeea::common::obs::{LiveConfig, Recorder};
 use largeea::core::checkpoint::Checkpoint;
-use largeea::core::pipeline::{ExecOptions, LargeEa, LargeEaConfig};
+use largeea::core::pipeline::{ExecOptions, LargeEa, LargeEaConfig, RunError};
 use largeea::core::structure_channel::{Partitioner, StructureChannel, StructureChannelConfig};
 use largeea::core::NameChannelConfig;
 use largeea::data::Preset;
@@ -45,7 +45,9 @@ USAGE:
                     [--trace-out <file>] [--checkpoint-dir <dir>] [--resume]
                     [--mem-budget <bytes>] [--spill-dir <dir>] [--mem-audit]
                     [--live-dir <dir>] [--live-every n] [--quantize]
+                    [--degraded-ok]
   largeea eval      --data <dir> --predictions <file>
+  largeea failpoints list
   largeea ckpt      inspect <dir>
   largeea trace     summarize <trace.json>
   largeea trace     diff <a.json> <b.json> [--threshold-pct f] [--min-seconds f]
@@ -99,13 +101,76 @@ sample and atomically rewrites `<dir>/live.trace.json` — watch it from
 another terminal with `largeea trace tail <dir>`. `trace expo` renders a
 trace's metric tables as Prometheus text exposition.
 
+`--degraded-ok` lets `align` finish on partial results when transient
+I/O faults outlive the retry budget (DESIGN.md §S0.12): a mini-batch
+whose spill/checkpoint writes keep failing is quarantined (recorded in
+the checkpoint manifest, dropped from M_s), and a fully lost channel
+degrades the run to the surviving channel. Degradations are stamped as
+`degraded.*` counters/fields in the trace and reported on stdout —
+never silent. `failpoints list` prints every fault-injection site that
+`LARGEEA_FAILPOINTS=<name>=err|panic|partial|transient[@N]` can arm.
+
+EXIT CODES (documented contract, asserted by tests/cli.rs):
+  0  success
+  1  generic error (I/O, bad input data, invalid flag value)
+  2  usage error (unknown command or malformed flags)
+  3  memory budget exceeded (RunError::Budget)
+  4  checkpoint error (RunError::Ckpt)
+  5  heap audit drift (RunError::Audit)
+  6  spill I/O error (RunError::Spill)
+  7  retries exhausted on a transient fault (RunError::Exhausted)
+  8  degraded run lost every channel (RunError::Quarantined)
+
 Every command is deterministic for fixed inputs and flags.";
+
+/// A CLI failure with its documented process exit code (see `USAGE`).
+enum CliError {
+    /// Malformed command line: unknown command, bad flag syntax. Exit 2.
+    Usage(String),
+    /// A typed pipeline failure; exit code is per-variant (3..=8).
+    Run(Box<RunError>),
+    /// Everything else (I/O, bad input, invalid flag values). Exit 1.
+    Other(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Other(msg)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Other(m) => f.write_str(m),
+            CliError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl CliError {
+    /// The documented process exit code for this failure.
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Other(_) => 1,
+            CliError::Run(e) => match e.as_ref() {
+                RunError::Budget(_) => 3,
+                RunError::Ckpt(_) => 4,
+                RunError::Audit(_) => 5,
+                RunError::Spill(_) => 6,
+                RunError::Exhausted(_) => 7,
+                RunError::Quarantined(_) => 8,
+            },
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     // `trace` takes positional file arguments and encodes its verdict in
     // the exit code, so it owns its own parsing and returns directly.
@@ -116,30 +181,57 @@ fn main() -> ExitCode {
     if command == "ckpt" {
         return ckpt_cmd::cmd_ckpt(&args[1..]);
     }
+    // `failpoints` takes a positional subcommand.
+    if command == "failpoints" {
+        return cmd_failpoints(&args[1..]);
+    }
     let flags = match parse_flags(&args[1..]) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
-    let result = match command.as_str() {
-        "generate" => cmd_generate(&flags),
-        "stats" => cmd_stats(&flags),
-        "partition" => cmd_partition(&flags),
+    let result: Result<(), CliError> = match command.as_str() {
+        "generate" => cmd_generate(&flags).map_err(CliError::Other),
+        "stats" => cmd_stats(&flags).map_err(CliError::Other),
+        "partition" => cmd_partition(&flags).map_err(CliError::Other),
         "align" => cmd_align(&flags),
-        "eval" => cmd_eval(&flags),
+        "eval" => cmd_eval(&flags).map_err(CliError::Other),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.code())
+        }
+    }
+}
+
+/// `largeea failpoints list` — every fault-injection site the binary
+/// registers, in the fixed order the chaos sweep enumerates them
+/// (`largeea::core::registered_failpoints`). One `name\tsite` line each.
+fn cmd_failpoints(rest: &[String]) -> ExitCode {
+    match rest.first().map(String::as_str) {
+        Some("list") => {
+            use std::fmt::Write as _;
+            let mut out = String::new();
+            for fp in largeea::core::registered_failpoints() {
+                writeln!(out, "{:<16} {}", fp.name, fp.site).unwrap();
+            }
+            // one EPIPE-tolerant write: `failpoints list | grep -q …` closes
+            // the pipe as soon as it matches, which must not be a panic
+            let _ = std::io::Write::write_all(&mut std::io::stdout(), out.as_bytes());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: failpoints takes the subcommand `list`, got {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
         }
     }
 }
@@ -159,6 +251,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             || name == "resume"
             || name == "mem-audit"
             || name == "quantize"
+            || name == "degraded-ok"
         {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
@@ -327,7 +420,7 @@ fn cmd_partition(flags: &Flags) -> Result<(), String> {
     write_trace(flags, &rec)
 }
 
-fn cmd_align(flags: &Flags) -> Result<(), String> {
+fn cmd_align(flags: &Flags) -> Result<(), CliError> {
     let pair = load_data(flags)?;
     let unsupervised = flags.contains_key("unsupervised");
     let seeds = if unsupervised {
@@ -363,7 +456,7 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
     let rounds: usize = parse_or(flags, "rounds", 1)?.max(1);
     let rec = Recorder::from_env();
     if flags.contains_key("resume") && !flags.contains_key("checkpoint-dir") {
-        return Err("--resume needs --checkpoint-dir".to_owned());
+        return Err("--resume needs --checkpoint-dir".to_owned().into());
     }
     let mem_budget = flags
         .get("mem-budget")
@@ -373,13 +466,14 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
     // announced in the trace as the pipeline span's `spill.dir` field
     let mut exec = ExecOptions::from_flags(mem_budget, flags.get("spill-dir").map(PathBuf::from));
     exec.mem_audit = flags.contains_key("mem-audit");
+    exec.supervision.degraded_ok = flags.contains_key("degraded-ok");
     if flags.contains_key("live-every") && !flags.contains_key("live-dir") {
-        return Err("--live-every needs --live-dir".to_owned());
+        return Err("--live-every needs --live-dir".to_owned().into());
     }
     if let Some(dir) = flags.get("live-dir").map(PathBuf::from) {
         let every: u64 = parse_or(flags, "live-every", 32)?;
         if every == 0 {
-            return Err("--live-every must be at least 1".to_owned());
+            return Err("--live-every must be at least 1".to_owned().into());
         }
         std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
         rec.enable_live(LiveConfig {
@@ -392,16 +486,22 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
         Some(dir) => {
             let meta = cfg.run_meta(&seeds, rounds);
             let resume = flags.contains_key("resume");
-            let mut ckpt =
-                Checkpoint::open(Path::new(dir), meta, resume, &rec).map_err(|e| e.to_string())?;
+            let mut ckpt = Checkpoint::open(Path::new(dir), meta, resume, &rec)
+                .map_err(|e| CliError::Run(Box::new(RunError::Ckpt(e))))?;
             LargeEa::new(cfg)
                 .run_exec(&pair, &seeds, rounds, &rec, Some(&mut ckpt), &exec)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| CliError::Run(Box::new(e)))?
         }
         None => LargeEa::new(cfg)
             .run_exec(&pair, &seeds, rounds, &rec, None, &exec)
-            .map_err(|e| e.to_string())?,
+            .map_err(|e| CliError::Run(Box::new(e)))?,
     };
+    if report.degraded.is_degraded() {
+        println!(
+            "DEGRADED: completed without {} (see the trace's degraded.* fields)",
+            report.degraded.units().join(", ")
+        );
+    }
     if exec.mem_budget.is_some() || exec.spill_dir.is_some() {
         println!(
             "tracked peak {}{}",
@@ -469,7 +569,7 @@ fn cmd_align(flags: &Flags) -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote similarity matrix → {path}");
     }
-    write_trace(flags, &rec)
+    Ok(write_trace(flags, &rec)?)
 }
 
 fn cmd_eval(flags: &Flags) -> Result<(), String> {

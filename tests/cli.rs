@@ -312,6 +312,237 @@ fn checkpointed_align_survives_crash_and_resumes_identically() {
 }
 
 #[test]
+fn failpoints_list_matches_the_registry() {
+    let out = bin().args(["failpoints", "list"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let listed: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    let registry = largeea::core::registered_failpoints();
+    assert_eq!(
+        listed.len(),
+        registry.len(),
+        "`failpoints list` and the registry disagree: {text}"
+    );
+    for (line_name, fp) in listed.iter().zip(&registry) {
+        assert_eq!(*line_name, fp.name);
+        assert!(text.contains(fp.site), "missing site text for {}", fp.name);
+    }
+    // anything but `list` is a usage error
+    let out = bin().args(["failpoints", "arm"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The documented exit-code taxonomy (see `largeea --help`): every
+/// `RunError` variant maps to its own process exit code so scripts and
+/// supervisors can tell a budget blow-up from a fault that outlived its
+/// retries. (`RunError::Audit` → 5 is exercised by `tests/heap_audit.rs`
+/// at the library layer; forcing real allocator drift from the CLI would
+/// need an uninstrumented binary.)
+#[test]
+fn exit_codes_follow_the_documented_taxonomy() {
+    let dir = tempdir("exitcodes");
+    let data = dir.join("data");
+    let out = bin()
+        .args([
+            "generate",
+            "--preset",
+            "ids15k-en-fr",
+            "--scale",
+            "0.01",
+            "--out",
+        ])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // 2: usage — unknown command, malformed flags, no command at all
+    assert_eq!(
+        bin().arg("frobnicate").output().unwrap().status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        bin()
+            .args(["align", "notaflag"])
+            .output()
+            .unwrap()
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(bin().output().unwrap().status.code(), Some(2));
+
+    // 1: generic error — a missing required flag value
+    assert_eq!(
+        bin()
+            .args(["eval", "--data"])
+            .arg(&data)
+            .output()
+            .unwrap()
+            .status
+            .code(),
+        Some(1)
+    );
+
+    let align = |tag: &str, extra: &[&str], failpoints: Option<&str>| {
+        let mut cmd = bin();
+        cmd.args(["align", "--data"])
+            .arg(&data)
+            .args(["--model", "gcn", "--k", "2", "--epochs", "3", "--dim", "16"]);
+        for a in extra {
+            if *a == "@dir" {
+                cmd.arg(dir.join(tag));
+            } else {
+                cmd.arg(a);
+            }
+        }
+        if let Some(fp) = failpoints {
+            cmd.env("LARGEEA_FAILPOINTS", fp);
+        }
+        cmd.output().unwrap()
+    };
+
+    // 3: RunError::Budget — a 1-byte budget is exceeded by the first charge
+    let out = align("budget", &["--mem-budget", "1"], None);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 4: RunError::Ckpt — a fatal (non-retryable) injected manifest failure
+    let out = align(
+        "ckpt",
+        &["--checkpoint-dir", "@dir"],
+        Some("ckpt.manifest=err@1"),
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 6: RunError::Spill — a fatal injected spill-write failure
+    let out = align("spill", &["--spill-dir", "@dir"], Some("spill.write=err@1"));
+    assert_eq!(
+        out.status.code(),
+        Some(6),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 7: RunError::Exhausted — a transient fault deeper than site-level
+    // backoff (4 attempts) × batch-level re-execution (4 attempts)
+    let out = align(
+        "exhausted",
+        &["--checkpoint-dir", "@dir"],
+        Some("ckpt.sim=transient@999"),
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("retries exhausted"), "{err}");
+
+    // 8: RunError::Quarantined — degradation allowed, but both channels
+    // are lost to I/O faults: nothing left to degrade to
+    let out = align(
+        "quarantined",
+        &["--checkpoint-dir", "@dir", "--degraded-ok"],
+        Some("ckpt.name=err@1,ckpt.partition=err@1"),
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(8),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no usable channel"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--degraded-ok` turns a lost name channel into an honestly-flagged
+/// structure-only run: exit 0, a DEGRADED line on stdout, and
+/// `degraded.*` markers in the trace (and therefore `trace summarize`).
+#[test]
+fn degraded_ok_completes_structure_only_and_flags_it() {
+    let dir = tempdir("degraded");
+    let data = dir.join("data");
+    let out = bin()
+        .args([
+            "generate",
+            "--preset",
+            "ids15k-en-fr",
+            "--scale",
+            "0.01",
+            "--out",
+        ])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let trace_path = dir.join("degraded_trace.json");
+    let out = bin()
+        .args(["align", "--data"])
+        .arg(&data)
+        .args(["--model", "gcn", "--k", "2", "--epochs", "3", "--dim", "16"])
+        .arg("--spill-dir")
+        .arg(dir.join("spill"))
+        .arg("--degraded-ok")
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .env("LARGEEA_FAILPOINTS", "spill.write=err@1")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "degraded-ok run must complete: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DEGRADED"), "{text}");
+    assert!(text.contains("name_channel"), "{text}");
+    assert!(text.contains("H@1"), "degraded run still evaluates: {text}");
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.contains("degraded.name_channel"), "{trace}");
+
+    // the degradation counters surface in `trace summarize`
+    let out = bin()
+        .args(["trace", "summarize"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("degraded.name_channel"), "{text}");
+
+    // without --degraded-ok the same fault is terminal (exit 6: Spill)
+    let out = bin()
+        .args(["align", "--data"])
+        .arg(&data)
+        .args(["--model", "gcn", "--k", "2", "--epochs", "3", "--dim", "16"])
+        .arg("--spill-dir")
+        .arg(dir.join("spill2"))
+        .env("LARGEEA_FAILPOINTS", "spill.write=err@1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(6));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unsupervised_align_runs() {
     let dir = tempdir("unsup");
     let data = dir.join("data");
